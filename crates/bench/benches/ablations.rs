@@ -1,0 +1,163 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! record encoding scheme, clustering neighbour window, extension branch
+//! budget, and GBWT construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mg_core::{cluster_seeds, process_until_threshold, Cluster, ClusterParams, ExtendParams, ProcessParams};
+use mg_gbwt::{CachedGbwt, GbwtBuilder};
+use mg_index::DistanceIndex;
+use mg_support::probe::NoProbe;
+use mg_support::rle::{self, Run};
+use mg_support::varint::Cursor;
+use mg_workload::{InputSetSpec, SyntheticInput};
+
+fn input() -> SyntheticInput {
+    SyntheticInput::generate(&InputSetSpec::tiny_for_tests(), 42)
+}
+
+/// Packed vs generic run-length encoding: the GBWT record body codec.
+fn ablate_rle(c: &mut Criterion) {
+    let runs: Vec<Run> = (0..256).map(|i| Run::new(i % 4, 1 + (i * 7) % 20)).collect();
+    let mut group = c.benchmark_group("ablation_rle");
+    group.bench_function("encode_generic", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            rle::encode_runs(&mut out, black_box(&runs));
+            black_box(out)
+        })
+    });
+    group.bench_function("encode_packed", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            rle::encode_runs_packed(&mut out, black_box(&runs), 4);
+            black_box(out)
+        })
+    });
+    let mut generic = Vec::new();
+    rle::encode_runs(&mut generic, &runs);
+    let mut packed = Vec::new();
+    rle::encode_runs_packed(&mut packed, &runs, 4);
+    group.bench_function("decode_generic", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(black_box(&generic));
+            black_box(rle::decode_runs(&mut cur, runs.len()).unwrap())
+        })
+    });
+    group.bench_function("decode_packed", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(black_box(&packed));
+            black_box(rle::decode_runs_packed(&mut cur, runs.len()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Clustering neighbour window: pair-check budget vs quality trade-off.
+fn ablate_cluster_window(c: &mut Criterion) {
+    let input = input();
+    let graph = input.gbz.graph();
+    let dist = DistanceIndex::build(graph);
+    let read = input
+        .dump
+        .reads
+        .iter()
+        .max_by_key(|r| r.seeds.len())
+        .expect("reads exist");
+    let mut group = c.benchmark_group("ablation_cluster_window");
+    for window in [2usize, 4, 8, 12, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let params = ClusterParams { neighbor_window: w, ..Default::default() };
+            b.iter(|| {
+                black_box(cluster_seeds(
+                    graph,
+                    &dist,
+                    black_box(&read.seeds),
+                    read.bases.len() as u32,
+                    &params,
+                    &mut NoProbe,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Extension branch budget: DFS exploration cap.
+fn ablate_branch_budget(c: &mut Criterion) {
+    let input = input();
+    let graph = input.gbz.graph();
+    let dist = DistanceIndex::build(graph);
+    let read = input
+        .dump
+        .reads
+        .iter()
+        .max_by_key(|r| r.seeds.len())
+        .expect("reads exist");
+    let clusters: Vec<Cluster> = cluster_seeds(
+        graph,
+        &dist,
+        &read.seeds,
+        read.bases.len() as u32,
+        &ClusterParams::default(),
+        &mut NoProbe,
+    );
+    let mut group = c.benchmark_group("ablation_branch_budget");
+    for budget in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &steps| {
+            let extend = ExtendParams { max_branch_steps: steps, ..Default::default() };
+            let mut cache = CachedGbwt::new(input.gbz.gbwt(), 256);
+            b.iter(|| {
+                black_box(process_until_threshold(
+                    graph,
+                    &mut cache,
+                    &read.bases,
+                    0,
+                    &read.seeds,
+                    &clusters,
+                    &extend,
+                    &ProcessParams::default(),
+                    &mut NoProbe,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// GBWT construction: cost of the suffix-doubling build per path count.
+fn ablate_gbwt_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gbwt_build");
+    group.sample_size(10);
+    for paths in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(paths), &paths, |b, &n| {
+            // n paths over a 60-node chain with small detours.
+            let chains: Vec<Vec<mg_graph::Handle>> = (0..n)
+                .map(|p| {
+                    (1..=60u64)
+                        .map(|i| {
+                            let id = if i % 7 == 0 && p % 2 == 1 { i + 60 } else { i };
+                            mg_graph::Handle::forward(mg_graph::NodeId::new(id))
+                        })
+                        .collect()
+                })
+                .collect();
+            b.iter(|| {
+                let mut builder = GbwtBuilder::new();
+                for path in &chains {
+                    builder = builder.insert(path);
+                }
+                black_box(builder.build().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = ablate_rle, ablate_cluster_window, ablate_branch_budget, ablate_gbwt_build
+}
+criterion_main!(ablations);

@@ -1,0 +1,6 @@
+//! ANOVA: which tuning parameter matters (§VII-B).
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    let study = mg_bench::experiments::casestudies::tuning_study(&ctx);
+    print!("{}", mg_bench::experiments::casestudies::anova(&ctx, &study));
+}

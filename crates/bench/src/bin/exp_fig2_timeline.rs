@@ -1,0 +1,5 @@
+//! Figure 2: parent thread timeline.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::characterization::fig2(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Figure 3: per-region runtime shares.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::characterization::fig3(&ctx));
+}

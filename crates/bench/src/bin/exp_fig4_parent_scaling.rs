@@ -1,0 +1,5 @@
+//! Figure 4: parent strong scaling.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::characterization::fig4(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Figure 5 + Table VII: cross-machine scaling.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::casestudies::fig5(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Figure 6: CachedGBWT capacity sweep.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::casestudies::fig6(&ctx));
+}

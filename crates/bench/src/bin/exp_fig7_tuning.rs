@@ -1,0 +1,6 @@
+//! Figure 7 + Table VIII: autotuning best vs default.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    let study = mg_bench::experiments::casestudies::tuning_study(&ctx);
+    print!("{}", mg_bench::experiments::casestudies::fig7(&ctx, &study));
+}

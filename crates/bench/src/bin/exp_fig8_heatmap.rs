@@ -1,0 +1,6 @@
+//! Figure 8: parameter heat map for D-HPRC @ chi-intel.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    let study = mg_bench::experiments::casestudies::tuning_study(&ctx);
+    print!("{}", mg_bench::experiments::casestudies::fig8(&ctx, &study));
+}

@@ -1,0 +1,5 @@
+//! Table I: code-size comparison.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::tables::table1(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Table II: hardware platform models.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::tables::table2(&ctx));
+}

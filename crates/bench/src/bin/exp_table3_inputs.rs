@@ -1,0 +1,5 @@
+//! Table III: input sets.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::tables::table3(&ctx));
+}

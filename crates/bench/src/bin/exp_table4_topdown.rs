@@ -1,0 +1,5 @@
+//! Table IV: top-down breakdown.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::characterization::table4(&ctx));
+}

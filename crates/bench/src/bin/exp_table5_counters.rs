@@ -1,0 +1,5 @@
+//! Table V: hardware counter validation.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::validation::table5(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Table VI: proxy vs parent execution time.
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::validation::table6(&ctx));
+}

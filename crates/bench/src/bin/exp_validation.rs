@@ -1,0 +1,5 @@
+//! Functional validation (§VI-a).
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    print!("{}", mg_bench::experiments::validation::functional_validation(&ctx));
+}

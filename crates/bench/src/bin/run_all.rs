@@ -1,0 +1,24 @@
+//! Runs the entire evaluation: every table and figure, in paper order.
+use mg_bench::experiments::{casestudies, characterization, tables, validation};
+
+fn main() {
+    let ctx = mg_bench::Ctx::from_env();
+    let start = std::time::Instant::now();
+    print!("{}", tables::table1(&ctx));
+    print!("{}", tables::table2(&ctx));
+    print!("{}", tables::table3(&ctx));
+    print!("{}", characterization::fig2(&ctx));
+    print!("{}", characterization::fig3(&ctx));
+    print!("{}", characterization::fig4(&ctx));
+    print!("{}", characterization::table4(&ctx));
+    print!("{}", validation::table5(&ctx));
+    print!("{}", validation::table6(&ctx));
+    print!("{}", validation::functional_validation(&ctx));
+    print!("{}", casestudies::fig5(&ctx));
+    print!("{}", casestudies::fig6(&ctx));
+    let study = casestudies::tuning_study(&ctx);
+    print!("{}", casestudies::fig7(&ctx, &study));
+    print!("{}", casestudies::fig8(&ctx, &study));
+    print!("{}", casestudies::anova(&ctx, &study));
+    println!("\ncomplete evaluation in {:?}; CSVs under {}", start.elapsed(), ctx.out_dir.display());
+}

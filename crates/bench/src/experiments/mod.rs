@@ -1,0 +1,7 @@
+//! One module per paper artefact; every `run` returns the rendered report
+//! (also printed by the corresponding binary) and writes CSVs.
+
+pub mod casestudies;
+pub mod characterization;
+pub mod tables;
+pub mod validation;

@@ -1,0 +1,226 @@
+//! Proxy validation: Table V (hardware counters), Table VI (execution
+//! time), and the functional validation of §VI-a.
+
+use crate::{parent_reads, render_table, Ctx};
+use mg_core::{run_mapping, validate, Mapper, MappingOptions};
+use mg_gbwt::CachedGbwt;
+use mg_perf::{cosine_similarity, CacheSimProbe, HwCounters, MachineModel, Profiler};
+use mg_parent::{Parent, ParentOptions};
+use mg_support::regions::NullSink;
+use mg_workload::{InputSetSpec, SyntheticInput};
+
+fn proxy_counters(input: &SyntheticInput, machine: &MachineModel) -> HwCounters {
+    let mapper = Mapper::new(&input.gbz);
+    let mut probe = CacheSimProbe::new(machine);
+    let options = MappingOptions::default();
+    let mut cache = CachedGbwt::new(input.gbz.gbwt(), options.cache_capacity);
+    for (i, read) in input.dump.reads.iter().enumerate() {
+        let _ = mapper.map_read(&mut cache, i as u64, read, &options, &NullSink, 0, &mut probe);
+    }
+    probe.counters()
+}
+
+fn parent_kernel_counters(input: &SyntheticInput, machine: &MachineModel) -> HwCounters {
+    let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+    let mut probe = CacheSimProbe::new(machine);
+    let options = ParentOptions { hard_hit_cap: input.spec.hard_hit_cap, ..Default::default() };
+    let mut cache = CachedGbwt::new(input.gbz.gbwt(), options.mapping.cache_capacity);
+    for (i, read) in parent_reads(input).iter().enumerate() {
+        // The probe instruments only the kernel-bearing map path (the
+        // seed-and-extend sections the paper measured in Giraffe).
+        let _ = parent.map_read_full(&mut cache, i as u64, read, &options, &NullSink, 0, &mut probe);
+    }
+    probe.counters()
+}
+
+/// Table V — hardware counter validation on A-human, plus cosine
+/// similarity.
+pub fn table5(ctx: &Ctx) -> String {
+    let input = ctx.generate(&InputSetSpec::a_human());
+    let machine = MachineModel::local_intel();
+    let proxy = proxy_counters(&input, &machine);
+    let parent = parent_kernel_counters(&input, &machine);
+    let row = |name: &str, c: &HwCounters| -> Vec<String> {
+        vec![
+            name.to_string(),
+            format!("{:.3e}", c.instructions as f64),
+            format!("{:.2}", c.ipc()),
+            format!("{:.3e}", c.l1da as f64),
+            format!("{:.3e}", c.l1dm as f64),
+            format!("{:.3e}", c.llda as f64),
+            format!("{:.3e}", c.lldm as f64),
+        ]
+    };
+    let rows = vec![row("miniGiraffe", &proxy), row("parent", &parent)];
+    let similarity = cosine_similarity(&proxy.validation_vector(), &parent.validation_vector());
+    let header = ["Application", "Inst.", "IPC", "L1DA", "L1DM", "LLDA", "LLDM"];
+    ctx.write_csv(
+        "table5_counters.csv",
+        &header.join(","),
+        &rows.iter().map(|r| r.join(",")).collect::<Vec<_>>(),
+    );
+    let mut report = render_table(
+        "Table V: hardware counter validation (A-human, simulated counters)",
+        &header,
+        &rows,
+    );
+    report.push_str(&format!(
+        "L1D miss rate: proxy {:.4} vs parent {:.4}; LLC miss rate: {:.2} vs {:.2}\n",
+        proxy.l1d_miss_rate(),
+        parent.l1d_miss_rate(),
+        proxy.llc_miss_rate(),
+        parent.llc_miss_rate()
+    ));
+    report.push_str(&format!(
+        "cosine similarity: {similarity:.6} (paper: 0.9996)\n"
+    ));
+    report
+}
+
+/// Table VI — execution time of the proxy vs the parent's kernel regions,
+/// measured on the host, single-threaded (this container has one core).
+pub fn table6(ctx: &Ctx) -> String {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    // Two repetitions per measurement, minimum kept (the paper averages
+    // three runs; min-of-N is the standard noise floor on shared hosts).
+    const REPEATS: usize = 2;
+    for spec in InputSetSpec::all() {
+        let input = ctx.generate(&spec);
+        // Parent: time only the instrumented kernel regions. One untimed
+        // warm-up run captures the dump and heats caches/allocator, then
+        // parent and proxy measurements interleave.
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let options = ParentOptions { hard_hit_cap: input.spec.hard_hit_cap, ..Default::default() };
+        let dump = parent.run(&parent_reads(&input), &options).dump;
+        let mut parent_kernel_s = f64::INFINITY;
+        let mut proxy_s = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let profiler = Profiler::new();
+            let _ = parent.run_with_sink(&parent_reads(&input), &options, &profiler);
+            let kernel_us: u64 = profiler
+                .region_summary()
+                .iter()
+                .filter(|s| {
+                    s.region == "cluster_seeds" || s.region == "process_until_threshold_c"
+                })
+                .map(|s| s.total_us)
+                .sum();
+            parent_kernel_s = parent_kernel_s.min(kernel_us as f64 / 1e6);
+            // Proxy: end-to-end wall on the captured dump.
+            let proxy = run_mapping(&dump, &input.gbz, &options.mapping);
+            proxy_s = proxy_s.min(proxy.wall.as_secs_f64());
+        }
+        let diff = (proxy_s - parent_kernel_s) / parent_kernel_s * 100.0;
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{proxy_s:.3}"),
+            format!("{parent_kernel_s:.3}"),
+            format!("{diff:+.2}"),
+        ]);
+        csv.push(format!("{},{proxy_s:.6},{parent_kernel_s:.6},{diff:.3}", spec.name));
+    }
+    ctx.write_csv(
+        "table6_runtime.csv",
+        "input,proxy_s,parent_kernels_s,diff_pct",
+        &csv,
+    );
+    let mut report = render_table(
+        "Table VI: execution time, proxy vs parent kernel regions (host, 1 thread)",
+        &["input set", "miniGiraffe (s)", "parent kernels (s)", "% diff"],
+        &rows,
+    );
+    report.push_str("paper: proxy within 8.8% of Giraffe across inputs\n");
+    report
+}
+
+/// Functional validation (§VI-a): the proxy's output must match the
+/// parent's kernel output 100%, both directions, on every input set.
+pub fn functional_validation(ctx: &Ctx) -> String {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut all_exact = true;
+    for spec in InputSetSpec::all() {
+        let input = ctx.generate(&spec);
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let options = ParentOptions { hard_hit_cap: input.spec.hard_hit_cap, ..Default::default() };
+        let run = parent.run(&parent_reads(&input), &options);
+        let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
+        let report = validate(&run.kernel_results, &proxy.per_read);
+        all_exact &= report.is_exact();
+        rows.push(vec![
+            spec.name.to_string(),
+            report.matched.to_string(),
+            report.missing.len().to_string(),
+            report.extra.len().to_string(),
+            format!("{:.2}", report.recall() * 100.0),
+            format!("{:.2}", report.precision() * 100.0),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{:.4},{:.4}",
+            spec.name,
+            report.matched,
+            report.missing.len(),
+            report.extra.len(),
+            report.recall(),
+            report.precision()
+        ));
+    }
+    ctx.write_csv(
+        "validation.csv",
+        "input,matched,missing,extra,recall,precision",
+        &csv,
+    );
+    let mut report = render_table(
+        "Functional validation: proxy vs parent outputs",
+        &["input set", "matched", "missing", "extra", "recall %", "precision %"],
+        &rows,
+    );
+    report.push_str(&format!(
+        "overall: {} (paper: 100% match on all input sets)\n",
+        if all_exact { "100% MATCH" } else { "MISMATCH" }
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctx() -> Ctx {
+        Ctx {
+            seed: 3,
+            scale: 0.04,
+            out_dir: std::env::temp_dir().join(format!("mg-val-{}", std::process::id())),
+        }
+    }
+
+    #[test]
+    fn table5_similarity_is_high() {
+        let ctx = test_ctx();
+        let report = table5(&ctx);
+        let sim_line = report
+            .lines()
+            .find(|l| l.starts_with("cosine similarity"))
+            .unwrap();
+        let value: f64 = sim_line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(value > 0.99, "similarity {value}");
+        std::fs::remove_dir_all(&ctx.out_dir).ok();
+    }
+
+    #[test]
+    fn functional_validation_is_exact() {
+        let ctx = test_ctx();
+        let report = functional_validation(&ctx);
+        assert!(report.contains("100% MATCH"), "{report}");
+        std::fs::remove_dir_all(&ctx.out_dir).ok();
+    }
+}

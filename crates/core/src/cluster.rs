@@ -1,0 +1,378 @@
+//! The `cluster_seeds` kernel: Giraffe's second-hottest region.
+//!
+//! Seeds of one read are grouped into clusters of mutually close graph
+//! positions (within a distance limit derived from the read length) using
+//! the distance index, and each cluster gets a quality score from how much
+//! of the read its seeds cover. High-scoring clusters feed the extension
+//! kernel.
+
+use mg_index::{DistanceIndex, DistanceScratch};
+use mg_support::probe::MemProbe;
+
+use crate::types::Seed;
+
+/// Logical address region of the per-read seed arrays (for tracing).
+pub const REGION_SEEDS: u64 = 0x5000_0000_0000;
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Two seeds join a cluster when their minimum graph distance is at
+    /// most this many bases (Giraffe derives it from the read length; the
+    /// pipelines pass `read_len`).
+    pub distance_limit: u64,
+    /// How many sorted neighbours each seed is checked against. Bounds the
+    /// pair checks at `O(seeds × window)` like Giraffe's distance-index
+    /// sweep bounds its work.
+    pub neighbor_window: usize,
+    /// K-mer length used to convert seed counts into read coverage.
+    pub kmer_len: u32,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            distance_limit: 200,
+            neighbor_window: 12,
+            kmer_len: 29,
+        }
+    }
+}
+
+/// A cluster of seed indices with its quality score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Indices into the read's seed array, ascending.
+    pub seeds: Vec<usize>,
+    /// Cluster score: distinct read offsets represented (Giraffe's cluster
+    /// score counts distinct minimizers).
+    pub score: f64,
+    /// Fraction of the read covered by the cluster's seed k-mers.
+    pub coverage: f64,
+}
+
+/// Union-find over seed indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller index becomes the root.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo as u32;
+        }
+    }
+}
+
+/// Clusters the seeds of one read.
+///
+/// Seeds are sorted by their linearized graph position; each seed is
+/// checked against the next `neighbor_window` seeds with the distance-index
+/// prefilter and an exact bounded distance query, and close pairs are
+/// unioned. Clusters come back sorted by score (descending), ties broken by
+/// first seed index — a deterministic order regardless of thread count.
+pub fn cluster_seeds<P: MemProbe>(
+    graph: &mg_graph::VariationGraph,
+    dist: &DistanceIndex,
+    seeds: &[Seed],
+    read_len: u32,
+    params: &ClusterParams,
+    probe: &mut P,
+) -> Vec<Cluster> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    probe.touch(REGION_SEEDS, (seeds.len() * std::mem::size_of::<Seed>()) as u32);
+    probe.instret(seeds.len() as u64 * 4);
+
+    // Sort indices by linearized position so nearby seeds are adjacent.
+    let mut order: Vec<usize> = (0..seeds.len()).collect();
+    let linear = |s: &Seed| -> (u32, u64, u64) {
+        let node = s.pos.handle.node();
+        (
+            dist.component(node),
+            dist.approx_position(node).saturating_add(s.pos.offset as u64),
+            s.pos.handle.packed(),
+        )
+    };
+    order.sort_unstable_by_key(|&i| (linear(&seeds[i]), seeds[i].read_offset));
+    probe.instret((seeds.len() as f64 * (seeds.len() as f64).log2().max(1.0)) as u64);
+
+    let mut uf = UnionFind::new(seeds.len());
+    let limit = params.distance_limit;
+    let mut scratch = DistanceScratch::default();
+    for (rank, &i) in order.iter().enumerate() {
+        for &j in order.iter().skip(rank + 1).take(params.neighbor_window) {
+            // Transitivity: pairs already clustered need no distance query
+            // (this is what makes the sweep near-linear, like Giraffe's
+            // distance-index clustering).
+            if uf.find(i) == uf.find(j) {
+                probe.instret(2);
+                continue;
+            }
+            let (a, b) = (seeds[i].pos, seeds[j].pos);
+            probe.instret(6);
+            if !dist.maybe_within(a, b, limit) {
+                continue;
+            }
+            // Same-handle fast path: the offset gap is itself a walk.
+            if a.handle == b.handle {
+                let gap = a.offset.abs_diff(b.offset) as u64;
+                probe.instret(4);
+                if gap <= limit {
+                    uf.union(i, j);
+                    continue;
+                }
+            }
+            // Exact check, either direction.
+            probe.instret(40);
+            if dist
+                .min_undirected_distance_with(graph, a, b, limit, &mut scratch)
+                .is_some_and(|d| d <= limit)
+            {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    // Gather components: sort (root, index) pairs and slice into groups —
+    // no per-read hash map on the hot path.
+    let mut rooted: Vec<(usize, usize)> = (0..seeds.len()).map(|i| (uf.find(i), i)).collect();
+    rooted.sort_unstable();
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut start = 0;
+    while start < rooted.len() {
+        let root = rooted[start].0;
+        let mut end = start + 1;
+        while end < rooted.len() && rooted[end].0 == root {
+            end += 1;
+        }
+        let members: Vec<usize> = rooted[start..end].iter().map(|&(_, i)| i).collect();
+        clusters.push(score_cluster(seeds, members, read_len, params));
+        start = end;
+    }
+    clusters.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.seeds[0].cmp(&b.seeds[0]))
+    });
+    probe.instret(clusters.len() as u64 * 8);
+    clusters
+}
+
+fn score_cluster(seeds: &[Seed], members: Vec<usize>, read_len: u32, params: &ClusterParams) -> Cluster {
+    // Score: number of distinct read offsets (distinct minimizers).
+    let mut offsets: Vec<u32> = members.iter().map(|&i| seeds[i].read_offset).collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    let score = offsets.len() as f64;
+    // Coverage: union of [offset, offset + k) intervals over the read.
+    let mut covered = 0u64;
+    let mut cursor = 0u32;
+    for &off in &offsets {
+        let start = off.max(cursor);
+        let end = (off + params.kmer_len).min(read_len.max(off));
+        if end > start {
+            covered += (end - start) as u64;
+        }
+        cursor = cursor.max(end);
+    }
+    let coverage = if read_len == 0 {
+        0.0
+    } else {
+        (covered as f64 / read_len as f64).min(1.0)
+    };
+    Cluster {
+        seeds: members,
+        score,
+        coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_graph::pangenome::{PangenomeBuilder, Variant};
+    use mg_graph::{Handle, NodeId};
+    use mg_support::probe::{CountingProbe, NoProbe};
+    use mg_index::GraphPos;
+
+    /// A long linear pangenome: two far-apart regions.
+    fn linear() -> (mg_graph::Pangenome, DistanceIndex) {
+        let p = PangenomeBuilder::new(vec![b'A'; 2000])
+            .haplotypes(vec![vec![]])
+            .max_node_len(20)
+            .build()
+            .unwrap();
+        let d = DistanceIndex::build(p.graph());
+        (p, d)
+    }
+
+    fn seed_at(p: &mg_graph::Pangenome, read_off: u32, base_pos: u64) -> Seed {
+        // Node i covers bases [20 * (i - 1), 20 * i).
+        let node = base_pos / 20 + 1;
+        let off = (base_pos % 20) as u32;
+        let _ = p;
+        Seed::new(read_off, GraphPos::new(Handle::forward(NodeId::new(node)), off))
+    }
+
+    #[test]
+    fn empty_seeds_give_no_clusters() {
+        let (p, d) = linear();
+        let out = cluster_seeds(p.graph(), &d, &[], 100, &ClusterParams::default(), &mut NoProbe);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_seed_is_one_cluster() {
+        let (p, d) = linear();
+        let seeds = [seed_at(&p, 0, 100)];
+        let out = cluster_seeds(p.graph(), &d, &seeds, 100, &ClusterParams::default(), &mut NoProbe);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seeds, vec![0]);
+        assert_eq!(out[0].score, 1.0);
+    }
+
+    #[test]
+    fn nearby_seeds_cluster_far_seeds_split() {
+        let (p, d) = linear();
+        // Three seeds around base 100, two around base 1500.
+        let seeds = [
+            seed_at(&p, 0, 100),
+            seed_at(&p, 10, 110),
+            seed_at(&p, 20, 120),
+            seed_at(&p, 0, 1500),
+            seed_at(&p, 30, 1530),
+        ];
+        let params = ClusterParams { distance_limit: 150, ..Default::default() };
+        let out = cluster_seeds(p.graph(), &d, &seeds, 100, &params, &mut NoProbe);
+        assert_eq!(out.len(), 2);
+        // Best cluster first: 3 distinct offsets beats 2.
+        assert_eq!(out[0].seeds, vec![0, 1, 2]);
+        assert_eq!(out[0].score, 3.0);
+        assert_eq!(out[1].seeds, vec![3, 4]);
+    }
+
+    #[test]
+    fn chained_seeds_form_one_cluster() {
+        // Seeds each within limit of the next but first and last far apart:
+        // transitive clustering must chain them.
+        let (p, d) = linear();
+        let seeds: Vec<Seed> = (0..8).map(|i| seed_at(&p, i * 5, 100 + i as u64 * 100)).collect();
+        let params = ClusterParams { distance_limit: 120, ..Default::default() };
+        let out = cluster_seeds(p.graph(), &d, &seeds, 150, &params, &mut NoProbe);
+        assert_eq!(out.len(), 1, "chain should union into one cluster");
+        assert_eq!(out[0].seeds.len(), 8);
+    }
+
+    #[test]
+    fn coverage_accounts_for_overlap() {
+        let (p, d) = linear();
+        // Two seeds whose k-mers overlap on the read.
+        let seeds = [seed_at(&p, 0, 100), seed_at(&p, 10, 110)];
+        let params = ClusterParams { distance_limit: 100, kmer_len: 29, ..Default::default() };
+        let out = cluster_seeds(p.graph(), &d, &seeds, 100, &params, &mut NoProbe);
+        assert_eq!(out.len(), 1);
+        // Covered: [0, 39) = 39 bases of 100.
+        assert!((out[0].coverage - 0.39).abs() < 1e-9, "coverage {}", out[0].coverage);
+    }
+
+    #[test]
+    fn different_components_never_cluster() {
+        let mut g = mg_graph::VariationGraph::new();
+        let a = g.add_node(b"AAAA").unwrap();
+        let b = g.add_node(b"CCCC").unwrap();
+        let d = DistanceIndex::build(&g);
+        let seeds = [
+            Seed::new(0, GraphPos::new(Handle::forward(a), 0)),
+            Seed::new(1, GraphPos::new(Handle::forward(b), 0)),
+        ];
+        let out = cluster_seeds(&g, &d, &seeds, 50, &ClusterParams::default(), &mut NoProbe);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn seeds_across_a_bubble_cluster() {
+        let p = PangenomeBuilder::new(b"AAAAAAAACCCCCCCCTTTTTTTT".to_vec())
+            .variants(vec![Variant::snp(10, b'G')])
+            .haplotypes(vec![vec![0], vec![1]])
+            .max_node_len(6)
+            .build()
+            .unwrap();
+        let d = DistanceIndex::build(p.graph());
+        // One seed before the bubble, one on the alt allele, one after.
+        let before = Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 2));
+        let after_node = p.graph().max_node_id().unwrap();
+        let after = Seed::new(12, GraphPos::new(Handle::forward(after_node), 1));
+        let out = cluster_seeds(
+            p.graph(),
+            &d,
+            &[before, after],
+            50,
+            &ClusterParams { distance_limit: 30, ..Default::default() },
+            &mut NoProbe,
+        );
+        assert_eq!(out.len(), 1, "seeds straddling the bubble must cluster");
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let (p, d) = linear();
+        let seeds: Vec<Seed> = (0..20)
+            .map(|i| seed_at(&p, (i * 7) % 60, ((i * 137) % 1900) as u64))
+            .collect();
+        let params = ClusterParams { distance_limit: 100, ..Default::default() };
+        let a = cluster_seeds(p.graph(), &d, &seeds, 100, &params, &mut NoProbe);
+        let b = cluster_seeds(p.graph(), &d, &seeds, 100, &params, &mut NoProbe);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_sees_work() {
+        let (p, d) = linear();
+        let seeds: Vec<Seed> = (0..10).map(|i| seed_at(&p, i, 100 + i as u64 * 10)).collect();
+        let mut probe = CountingProbe::default();
+        let _ = cluster_seeds(p.graph(), &d, &seeds, 100, &ClusterParams::default(), &mut probe);
+        assert!(probe.instructions > 0);
+        assert!(probe.touches > 0);
+    }
+
+    #[test]
+    fn union_find_chains_compress() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(2), 0);
+        assert_eq!(uf.find(4), 3);
+        uf.union(2, 4);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), 0);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Seed dumps: the proxy's `.bin` input format.
+//!
+//! miniGiraffe does not run Giraffe's preprocessing; it consumes a dump of
+//! the exact inputs Giraffe's seed-and-extend stage saw — reads plus their
+//! seeds — captured right before the critical functions execute. The parent
+//! pipeline ([`mg_parent`](../../parent)) exports these; the workload
+//! generator synthesizes them directly.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use mg_graph::Handle;
+use mg_index::GraphPos;
+use mg_support::container::{ContainerReader, ContainerWriter};
+use mg_support::varint::{self, Cursor};
+use mg_support::{Error, Result};
+
+use crate::types::{ReadInput, Seed, Workflow};
+
+/// Container kind discriminator for seed dumps.
+pub const DUMP_KIND: [u8; 4] = *b"SEED";
+/// Section tag for dump metadata.
+pub const TAG_META: u32 = 0x0010;
+/// Section tag for the read + seed payload.
+pub const TAG_READS: u32 = 0x0011;
+
+/// A full proxy input: every read with its seeds.
+///
+/// # Examples
+///
+/// ```
+/// use mg_core::dump::SeedDump;
+/// use mg_core::types::{ReadInput, Seed, Workflow};
+/// use mg_graph::{Handle, NodeId};
+/// use mg_index::GraphPos;
+///
+/// # fn main() -> mg_support::Result<()> {
+/// let dump = SeedDump::new(
+///     Workflow::Single,
+///     vec![ReadInput {
+///         bases: b"ACGT".to_vec(),
+///         seeds: vec![Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 0))],
+///     }],
+/// );
+/// let bytes = dump.to_bytes()?;
+/// assert_eq!(SeedDump::from_bytes(&bytes)?, dump);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedDump {
+    /// Single- or paired-end (metadata only; kernels treat reads alike).
+    pub workflow: Workflow,
+    /// The reads with their seeds.
+    pub reads: Vec<ReadInput>,
+}
+
+impl SeedDump {
+    /// Bundles reads into a dump.
+    pub fn new(workflow: Workflow, reads: Vec<ReadInput>) -> Self {
+        SeedDump { workflow, reads }
+    }
+
+    /// Total seeds across all reads.
+    pub fn total_seeds(&self) -> usize {
+        self.reads.iter().map(|r| r.seeds.len()).sum()
+    }
+
+    /// Total read bases.
+    pub fn total_bases(&self) -> usize {
+        self.reads.iter().map(|r| r.bases.len()).sum()
+    }
+
+    /// Keeps the first `fraction` of reads (the paper's autotuning
+    /// subsampling uses the first 10%). Paired dumps keep whole pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction <= 1.0`.
+    pub fn subsample(&self, fraction: f64) -> SeedDump {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let mut count = ((self.reads.len() as f64) * fraction).round() as usize;
+        count = count.clamp(1.min(self.reads.len()), self.reads.len());
+        if self.workflow == Workflow::Paired {
+            count = count.next_multiple_of(2).min(self.reads.len());
+        }
+        SeedDump {
+            workflow: self.workflow,
+            reads: self.reads[..count].to_vec(),
+        }
+    }
+
+    /// Serializes to an in-memory image.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors (not expected in-memory).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        let mut writer = ContainerWriter::new(&mut bytes, DUMP_KIND)?;
+        self.write_sections(&mut writer)?;
+        writer.finish()?;
+        Ok(bytes)
+    }
+
+    fn write_sections<W: std::io::Write>(&self, writer: &mut ContainerWriter<W>) -> Result<()> {
+        let mut meta = Vec::new();
+        varint::write_u64(&mut meta, matches!(self.workflow, Workflow::Paired) as u64);
+        varint::write_u64(&mut meta, self.reads.len() as u64);
+        writer.section(TAG_META, &meta)?;
+        let mut payload = Vec::new();
+        for read in &self.reads {
+            varint::write_u64(&mut payload, read.bases.len() as u64);
+            payload.extend_from_slice(&read.bases);
+            varint::write_u64(&mut payload, read.seeds.len() as u64);
+            // Seeds delta-encoded by read offset for compactness.
+            let mut prev_off = 0u64;
+            for seed in &read.seeds {
+                varint::write_u64(&mut payload, seed.read_offset as u64 - prev_off);
+                prev_off = seed.read_offset as u64;
+                varint::write_u64(&mut payload, seed.pos.handle.packed());
+                varint::write_u64(&mut payload, seed.pos.offset as u64);
+            }
+        }
+        writer.section(TAG_READS, &payload)?;
+        Ok(())
+    }
+
+    /// Deserializes an image written by [`SeedDump::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns container and codec errors on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut reader = ContainerReader::new(bytes, DUMP_KIND)?;
+        Self::read_sections(&mut reader)
+    }
+
+    fn read_sections<R: std::io::Read>(reader: &mut ContainerReader<R>) -> Result<Self> {
+        let meta = reader.expect_section(TAG_META)?;
+        let mut cur = Cursor::new(&meta);
+        let workflow = if cur.read_u64()? != 0 {
+            Workflow::Paired
+        } else {
+            Workflow::Single
+        };
+        let read_count = cur.read_u64()? as usize;
+        let payload = reader.expect_section(TAG_READS)?;
+        let mut cur = Cursor::new(&payload);
+        let mut reads = Vec::with_capacity(read_count);
+        for _ in 0..read_count {
+            let len = cur.read_u64()? as usize;
+            let bases = cur.read_bytes(len)?.to_vec();
+            let seed_count = cur.read_u64()? as usize;
+            let mut seeds = Vec::with_capacity(seed_count);
+            let mut prev_off = 0u64;
+            for _ in 0..seed_count {
+                prev_off += cur.read_u64()?;
+                let handle = Handle::from_gbwt(cur.read_u64()?)
+                    .ok_or_else(|| Error::Corrupt("seed handle encodes endmarker".into()))?;
+                let offset = cur.read_u64()? as u32;
+                seeds.push(Seed::new(prev_off as u32, GraphPos::new(handle, offset)));
+            }
+            reads.push(ReadInput { bases, seeds });
+        }
+        if !cur.is_at_end() {
+            return Err(Error::Corrupt("trailing bytes after reads".into()));
+        }
+        Ok(SeedDump { workflow, reads })
+    }
+
+    /// Writes a `.bin` dump file.
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = BufWriter::new(File::create(path)?);
+        let mut writer = ContainerWriter::new(file, DUMP_KIND)?;
+        self.write_sections(&mut writer)?;
+        writer.finish()?;
+        Ok(())
+    }
+
+    /// Reads a `.bin` dump file.
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem and format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let file = BufReader::new(File::open(path)?);
+        let mut reader = ContainerReader::new(file, DUMP_KIND)?;
+        Self::read_sections(&mut reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_graph::NodeId;
+    use proptest::prelude::*;
+
+    fn sample_dump(n: usize, workflow: Workflow) -> SeedDump {
+        let reads = (0..n)
+            .map(|i| ReadInput {
+                bases: vec![b"ACGT"[i % 4]; 10 + i % 5],
+                seeds: (0..(i % 4))
+                    .map(|s| {
+                        Seed::new(
+                            s as u32 * 2,
+                            GraphPos::new(
+                                Handle::forward(NodeId::new(1 + (i + s) as u64)),
+                                (s % 3) as u32,
+                            ),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        SeedDump::new(workflow, reads)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let dump = sample_dump(13, Workflow::Single);
+        assert_eq!(SeedDump::from_bytes(&dump.to_bytes().unwrap()).unwrap(), dump);
+    }
+
+    #[test]
+    fn roundtrip_paired() {
+        let dump = sample_dump(6, Workflow::Paired);
+        let back = SeedDump::from_bytes(&dump.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.workflow, Workflow::Paired);
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let dump = sample_dump(5, Workflow::Single);
+        let dir = std::env::temp_dir().join(format!("mg-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seeds.bin");
+        dump.save(&path).unwrap();
+        assert_eq!(SeedDump::load(&path).unwrap(), dump);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn totals() {
+        let dump = sample_dump(8, Workflow::Single);
+        assert_eq!(dump.total_seeds(), dump.reads.iter().map(|r| r.seeds.len()).sum());
+        assert_eq!(dump.total_bases(), dump.reads.iter().map(|r| r.bases.len()).sum());
+    }
+
+    #[test]
+    fn subsample_takes_prefix() {
+        let dump = sample_dump(100, Workflow::Single);
+        let sub = dump.subsample(0.1);
+        assert_eq!(sub.reads.len(), 10);
+        assert_eq!(sub.reads[..], dump.reads[..10]);
+    }
+
+    #[test]
+    fn subsample_keeps_whole_pairs() {
+        let dump = sample_dump(10, Workflow::Paired);
+        let sub = dump.subsample(0.11); // 1.1 -> rounds to 1 -> bumps to 2
+        assert_eq!(sub.reads.len() % 2, 0);
+        assert!(!sub.reads.is_empty());
+    }
+
+    #[test]
+    fn subsample_never_empties() {
+        let dump = sample_dump(3, Workflow::Single);
+        assert_eq!(dump.subsample(0.0001).reads.len(), 1);
+        assert_eq!(dump.subsample(1.0).reads.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn subsample_rejects_zero() {
+        sample_dump(3, Workflow::Single).subsample(0.0);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let dump = sample_dump(4, Workflow::Single);
+        let mut bytes = dump.to_bytes().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        assert!(SeedDump::from_bytes(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            raw in proptest::collection::vec(
+                (
+                    proptest::collection::vec(proptest::sample::select(b"ACGTN".to_vec()), 0..40),
+                    proptest::collection::vec((0u32..200, 1u64..1000, any::<bool>(), 0u32..30), 0..8),
+                ),
+                0..20,
+            ),
+            paired: bool,
+        ) {
+            let reads: Vec<ReadInput> = raw
+                .into_iter()
+                .map(|(bases, seeds)| {
+                    let mut seeds: Vec<Seed> = seeds
+                        .into_iter()
+                        .map(|(ro, node, rev, off)| {
+                            let h = if rev {
+                                Handle::reverse(NodeId::new(node))
+                            } else {
+                                Handle::forward(NodeId::new(node))
+                            };
+                            Seed::new(ro, GraphPos::new(h, off))
+                        })
+                        .collect();
+                    // The format delta-encodes read offsets: keep sorted.
+                    seeds.sort();
+                    ReadInput { bases, seeds }
+                })
+                .collect();
+            let workflow = if paired { Workflow::Paired } else { Workflow::Single };
+            let dump = SeedDump::new(workflow, reads);
+            prop_assert_eq!(SeedDump::from_bytes(&dump.to_bytes().unwrap()).unwrap(), dump);
+        }
+    }
+}

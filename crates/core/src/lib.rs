@@ -1,0 +1,63 @@
+//! miniGiraffe: the pangenomic mapping proxy application.
+//!
+//! This crate is the proxy itself — the ~2% of Giraffe that accounts for
+//! its critical compute. It consumes a [`dump::SeedDump`] (reads plus the
+//! seeds Giraffe's preprocessing found for them, captured right before the
+//! critical functions) and a [`mg_gbwt::Gbz`] pangenome, and runs:
+//!
+//! 1. [`cluster::cluster_seeds`] — group seeds by graph distance and score
+//!    the clusters (Giraffe's `cluster_seeds` region);
+//! 2. [`extend::process_until_threshold`] — the seed-and-extend kernel:
+//!    walk the graph from each promising seed in both directions over
+//!    haplotype-consistent edges, comparing read bases against node bases
+//!    (Giraffe's `process_until_threshold_c` region).
+//!
+//! The outer read loop is parallel and exposes the paper's three tuning
+//! parameters (scheduler, batch size, initial `CachedGBWT` capacity) via
+//! [`MappingOptions`]. Output is the raw extension set (offsets + scores),
+//! which [`validate::validate`] compares against parent output exactly the
+//! way the paper's functional validation does.
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_core::{run_mapping, MappingOptions};
+//! use mg_core::dump::SeedDump;
+//! use mg_core::types::{ReadInput, Seed, Workflow};
+//! use mg_gbwt::Gbz;
+//! use mg_graph::pangenome::{PangenomeBuilder, Variant};
+//! use mg_graph::{Handle, NodeId};
+//! use mg_index::GraphPos;
+//!
+//! # fn main() -> mg_support::Result<()> {
+//! // A pangenome with one SNP and two haplotypes.
+//! let p = PangenomeBuilder::new(b"AAAACCCCGGGGTTTT".to_vec())
+//!     .variants(vec![Variant::snp(6, b'G')])
+//!     .haplotypes(vec![vec![0], vec![1]])
+//!     .max_node_len(4)
+//!     .build()?;
+//! let gbz = Gbz::from_pangenome(p)?;
+//! // One read sampled from haplotype 0 with a seed at its start.
+//! let dump = SeedDump::new(Workflow::Single, vec![ReadInput {
+//!     bases: b"AAAACCCCGGGGTTTT".to_vec(),
+//!     seeds: vec![Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 0))],
+//! }]);
+//! let results = run_mapping(&dump, &gbz, &MappingOptions::default());
+//! assert_eq!(results.per_read[0].best_score(), Some(16));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cluster;
+pub mod dump;
+pub mod extend;
+pub mod pipeline;
+pub mod types;
+pub mod validate;
+
+pub use cluster::{cluster_seeds, Cluster, ClusterParams};
+pub use dump::SeedDump;
+pub use extend::{extend_seed, process_until_threshold, ExtendParams, ProcessParams};
+pub use pipeline::{run_mapping, Mapper, MappingOptions, MappingResults};
+pub use types::{Extension, ExtensionKey, ReadInput, ReadResult, Seed, Workflow};
+pub use validate::{validate, ValidationReport};

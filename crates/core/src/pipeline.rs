@@ -1,0 +1,428 @@
+//! The miniGiraffe mapping pipeline: dump in, extensions out.
+//!
+//! Mirrors the proxy's main loop: iterate over reads and their seeds in a
+//! parallel outer loop (scheduler, batch size, and CachedGBWT capacity are
+//! the tuning parameters), run `cluster_seeds` then
+//! `process_until_threshold_c` per read, and collect raw mapping results.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use mg_gbwt::{CacheStats, CachedGbwt, Gbz};
+use mg_index::DistanceIndex;
+use mg_sched::SchedulerKind;
+use mg_support::probe::{MemProbe, NoProbe};
+use mg_support::regions::{NullSink, RegionSink, RegionTimer};
+
+use crate::cluster::{cluster_seeds, ClusterParams};
+use crate::extend::{process_until_threshold, ExtendParams, ProcessParams};
+use crate::types::{ReadInput, ReadResult};
+
+/// All knobs of a mapping run.
+///
+/// `threads`, `batch_size`, `cache_capacity`, and `scheduler` are the
+/// paper's tuning parameters (defaults: Giraffe's 512 batch / 256 capacity
+/// with the OpenMP-dynamic scheduler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingOptions {
+    /// Worker threads for the outer read loop.
+    pub threads: usize,
+    /// Reads handed to a thread at a time.
+    pub batch_size: usize,
+    /// Initial capacity of each thread's [`CachedGbwt`].
+    pub cache_capacity: usize,
+    /// Which scheduler distributes batches.
+    pub scheduler: SchedulerKind,
+    /// Seed clustering parameters.
+    pub cluster: ClusterParams,
+    /// Gapless extension parameters.
+    pub extend: ExtendParams,
+    /// Cluster-processing policy.
+    pub process: ProcessParams,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        MappingOptions {
+            threads: 1,
+            batch_size: 512,
+            cache_capacity: 256,
+            scheduler: SchedulerKind::Dynamic,
+            cluster: ClusterParams::default(),
+            extend: ExtendParams::default(),
+            process: ProcessParams::default(),
+        }
+    }
+}
+
+/// Results of a mapping run.
+#[derive(Debug, Clone)]
+pub struct MappingResults {
+    /// One result per input read, in input order.
+    pub per_read: Vec<ReadResult>,
+    /// Wall-clock time of the parallel mapping loop (the makespan the
+    /// tuning study optimizes).
+    pub wall: Duration,
+    /// Cache statistics aggregated across worker threads.
+    pub cache: CacheStats,
+}
+
+impl MappingResults {
+    /// Total extensions across all reads.
+    pub fn total_extensions(&self) -> usize {
+        self.per_read.iter().map(|r| r.extensions.len()).sum()
+    }
+
+    /// Fraction of reads with at least one extension.
+    pub fn mapped_fraction(&self) -> f64 {
+        if self.per_read.is_empty() {
+            return 0.0;
+        }
+        let mapped = self.per_read.iter().filter(|r| !r.extensions.is_empty()).count();
+        mapped as f64 / self.per_read.len() as f64
+    }
+}
+
+/// A reusable mapper: pangenome + distance index, ready to map dumps.
+///
+/// # Examples
+///
+/// ```
+/// use mg_core::{Mapper, MappingOptions};
+/// use mg_core::dump::SeedDump;
+/// use mg_core::types::{ReadInput, Seed, Workflow};
+/// use mg_gbwt::Gbz;
+/// use mg_graph::pangenome::PangenomeBuilder;
+/// use mg_graph::{Handle, NodeId};
+/// use mg_index::GraphPos;
+///
+/// # fn main() -> mg_support::Result<()> {
+/// let p = PangenomeBuilder::new(b"ACGTACGTACGTACGT".to_vec())
+///     .haplotypes(vec![vec![]])
+///     .max_node_len(8)
+///     .build()?;
+/// let gbz = Gbz::from_pangenome(p)?;
+/// let dump = SeedDump::new(Workflow::Single, vec![ReadInput {
+///     bases: b"ACGTACGT".to_vec(),
+///     seeds: vec![Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 0))],
+/// }]);
+/// let mapper = Mapper::new(&gbz);
+/// let results = mapper.run(&dump, &MappingOptions::default());
+/// assert_eq!(results.per_read.len(), 1);
+/// assert_eq!(results.per_read[0].best_score(), Some(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Mapper<'a> {
+    gbz: &'a Gbz,
+    dist: DistanceIndex,
+}
+
+impl<'a> Mapper<'a> {
+    /// Preprocesses the pangenome (builds the distance index).
+    pub fn new(gbz: &'a Gbz) -> Self {
+        Mapper {
+            gbz,
+            dist: DistanceIndex::build(gbz.graph()),
+        }
+    }
+
+    /// The pangenome this mapper maps against.
+    pub fn gbz(&self) -> &'a Gbz {
+        self.gbz
+    }
+
+    /// The distance index.
+    pub fn distance_index(&self) -> &DistanceIndex {
+        &self.dist
+    }
+
+    /// Maps a single read with caller-provided cache, sink, and probe: the
+    /// exact per-read work both pipelines share.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_read<P: MemProbe>(
+        &self,
+        cache: &mut CachedGbwt<'_>,
+        read_id: u64,
+        input: &ReadInput,
+        options: &MappingOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+        probe: &mut P,
+    ) -> ReadResult {
+        let read_len = input.bases.len() as u32;
+        let mut cluster_params = options.cluster;
+        // Giraffe derives the clustering limit from the read length.
+        cluster_params.distance_limit = cluster_params.distance_limit.max(read_len as u64);
+        let clusters = {
+            let _t = RegionTimer::start(sink, thread, "cluster_seeds");
+            cluster_seeds(
+                self.gbz.graph(),
+                &self.dist,
+                &input.seeds,
+                read_len,
+                &cluster_params,
+                probe,
+            )
+        };
+        let extensions = {
+            let _t = RegionTimer::start(sink, thread, "process_until_threshold_c");
+            process_until_threshold(
+                self.gbz.graph(),
+                cache,
+                &input.bases,
+                read_id,
+                &input.seeds,
+                &clusters,
+                &options.extend,
+                &options.process,
+                probe,
+            )
+        };
+        ReadResult { read_id, extensions }
+    }
+
+    /// Runs the full parallel mapping loop without instrumentation.
+    pub fn run(&self, dump: &crate::dump::SeedDump, options: &MappingOptions) -> MappingResults {
+        self.run_with_sink(dump, options, &NullSink)
+    }
+
+    /// Runs the full parallel mapping loop, reporting region timings to
+    /// `sink`.
+    pub fn run_with_sink(
+        &self,
+        dump: &crate::dump::SeedDump,
+        options: &MappingOptions,
+        sink: &(impl RegionSink + ?Sized),
+    ) -> MappingResults {
+        let n = dump.reads.len();
+        let slots: Vec<OnceLock<ReadResult>> = (0..n).map(|_| OnceLock::new()).collect();
+        let stats: StatsCollector = std::sync::Mutex::new(Vec::new());
+        let scheduler = options.scheduler.build(options.batch_size);
+        let start = Instant::now();
+        scheduler.run_erased(n, options.threads.max(1), &|thread| {
+            let mut worker = Worker {
+                cache: CachedGbwt::new(self.gbz.gbwt(), options.cache_capacity),
+                stats: &stats,
+            };
+            let slots = &slots;
+            Box::new(move |i| {
+                let result = worker.map(self, i, &dump.reads[i], options, sink, thread);
+                slots[i].set(result).expect("each read mapped once");
+            })
+        });
+        let wall = start.elapsed();
+        let per_read = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|| panic!("scheduler never processed read {i}"))
+            })
+            .collect();
+        let cache = stats.lock().unwrap().clone().into_iter().fold(
+            CacheStats::default(),
+            |mut acc, s| {
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.rehashes += s.rehashes;
+                acc.rehashed_slots += s.rehashed_slots;
+                acc
+            },
+        );
+        MappingResults { per_read, wall, cache }
+    }
+}
+
+type StatsCollector = std::sync::Mutex<Vec<CacheStats>>;
+
+/// Per-thread mapping state: owns the thread's `CachedGbwt` and pushes its
+/// final statistics to the collector when the worker winds down. Method
+/// calls force the closure to capture the worker as a whole, so the `Drop`
+/// reliably runs at thread teardown.
+struct Worker<'g, 's> {
+    cache: CachedGbwt<'g>,
+    stats: &'s StatsCollector,
+}
+
+impl Worker<'_, '_> {
+    fn map(
+        &mut self,
+        mapper: &Mapper<'_>,
+        i: usize,
+        input: &ReadInput,
+        options: &MappingOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+    ) -> ReadResult {
+        mapper.map_read(&mut self.cache, i as u64, input, options, sink, thread, &mut NoProbe)
+    }
+}
+
+impl Drop for Worker<'_, '_> {
+    fn drop(&mut self) {
+        self.stats.lock().unwrap().push(self.cache.stats());
+    }
+}
+
+/// One-shot convenience: map `dump` against `gbz` with `options`.
+pub fn run_mapping(
+    dump: &crate::dump::SeedDump,
+    gbz: &Gbz,
+    options: &MappingOptions,
+) -> MappingResults {
+    Mapper::new(gbz).run(dump, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::SeedDump;
+    use crate::types::{Seed, Workflow};
+    use mg_graph::pangenome::{PangenomeBuilder, Variant};
+    use mg_graph::{Handle, NodeId};
+    use mg_index::GraphPos;
+    use std::sync::Mutex;
+
+    fn sample_gbz() -> Gbz {
+        let p = PangenomeBuilder::new(b"AAAACCCCGGGGTTTTACGTACGTAACCGGTT".to_vec())
+            .variants(vec![Variant::snp(6, b'T'), Variant::deletion(20, 2)])
+            .haplotypes(vec![vec![0, 0], vec![1, 0], vec![0, 1]])
+            .max_node_len(5)
+            .build()
+            .unwrap();
+        Gbz::from_pangenome(p).unwrap()
+    }
+
+    fn sample_dump(gbz: &Gbz, reads: usize) -> SeedDump {
+        // Reads sampled from haplotype sequences with anchors at their true
+        // positions (node 1 offset varies).
+        let mut inputs = Vec::new();
+        for i in 0..reads {
+            let offset = (i % 3) as u32;
+            let bases = {
+                // Walk haplotype 0's graph from node 1.
+                let seq = gbz.gbwt().sequence(0).unwrap();
+                let mut s = Vec::new();
+                for sym in seq {
+                    let h = Handle::from_gbwt(sym).unwrap();
+                    s.extend_from_slice(gbz.graph().sequence(h).as_ref());
+                }
+                s[offset as usize..(offset as usize + 16).min(s.len())].to_vec()
+            };
+            inputs.push(crate::types::ReadInput {
+                bases,
+                seeds: vec![Seed::new(
+                    0,
+                    GraphPos::new(Handle::forward(NodeId::new(1)), offset),
+                )],
+            });
+        }
+        SeedDump::new(Workflow::Single, inputs)
+    }
+
+    #[test]
+    fn maps_all_reads_single_thread() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 10);
+        let results = run_mapping(&dump, &gbz, &MappingOptions::default());
+        assert_eq!(results.per_read.len(), 10);
+        for (i, r) in results.per_read.iter().enumerate() {
+            assert_eq!(r.read_id, i as u64);
+            assert!(!r.extensions.is_empty(), "read {i} unmapped");
+            assert_eq!(r.best_score(), Some(16), "read {i}");
+        }
+        assert!(results.mapped_fraction() > 0.999);
+        assert!(results.cache.hits + results.cache.misses > 0);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts_and_schedulers() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 30);
+        let base = run_mapping(&dump, &gbz, &MappingOptions::default());
+        for threads in [2usize, 4] {
+            for kind in SchedulerKind::ALL {
+                let options = MappingOptions {
+                    threads,
+                    scheduler: kind,
+                    batch_size: 4,
+                    ..Default::default()
+                };
+                let got = run_mapping(&dump, &gbz, &options);
+                assert_eq!(
+                    got.per_read, base.per_read,
+                    "scheduler {kind} with {threads} threads diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_capacity_changes_stats_not_results() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 20);
+        let small = run_mapping(
+            &dump,
+            &gbz,
+            &MappingOptions { cache_capacity: 8, ..Default::default() },
+        );
+        let large = run_mapping(
+            &dump,
+            &gbz,
+            &MappingOptions { cache_capacity: 4096, ..Default::default() },
+        );
+        assert_eq!(small.per_read, large.per_read);
+        assert_eq!(large.cache.rehashes, 0);
+    }
+
+    #[test]
+    fn region_sink_sees_both_kernels() {
+        struct Collector(Mutex<Vec<&'static str>>);
+        impl RegionSink for Collector {
+            fn record(
+                &self,
+                _thread: usize,
+                region: &'static str,
+                _start: std::time::Instant,
+                _end: std::time::Instant,
+            ) {
+                self.0.lock().unwrap().push(region);
+            }
+        }
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 5);
+        let sink = Collector(Mutex::new(Vec::new()));
+        let mapper = Mapper::new(&gbz);
+        let _ = mapper.run_with_sink(&dump, &MappingOptions::default(), &sink);
+        let regions = sink.0.into_inner().unwrap();
+        assert_eq!(regions.iter().filter(|r| **r == "cluster_seeds").count(), 5);
+        assert_eq!(
+            regions.iter().filter(|r| **r == "process_until_threshold_c").count(),
+            5
+        );
+    }
+
+    #[test]
+    fn empty_dump_is_fine() {
+        let gbz = sample_gbz();
+        let dump = SeedDump::new(Workflow::Single, Vec::new());
+        let results = run_mapping(&dump, &gbz, &MappingOptions::default());
+        assert!(results.per_read.is_empty());
+        assert_eq!(results.total_extensions(), 0);
+        assert_eq!(results.mapped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn read_without_seeds_yields_empty_result() {
+        let gbz = sample_gbz();
+        let dump = SeedDump::new(
+            Workflow::Single,
+            vec![crate::types::ReadInput { bases: b"ACGT".to_vec(), seeds: vec![] }],
+        );
+        let results = run_mapping(&dump, &gbz, &MappingOptions::default());
+        assert_eq!(results.per_read.len(), 1);
+        assert!(results.per_read[0].extensions.is_empty());
+    }
+}

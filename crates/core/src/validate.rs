@@ -1,0 +1,204 @@
+//! Functional validation: proxy output versus parent output.
+//!
+//! The paper validates miniGiraffe by exporting the extensions Giraffe
+//! found and checking two properties: (1) every expected match appears in
+//! the proxy output and (2) the proxy output contains no match absent from
+//! the expected output. This module implements exactly that comparison.
+
+use std::collections::BTreeMap;
+
+use crate::types::{ExtensionKey, ReadResult};
+
+/// Outcome of comparing two result sets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Keys present in both outputs.
+    pub matched: usize,
+    /// Keys the expected output has but the actual output lacks.
+    pub missing: Vec<ExtensionKey>,
+    /// Keys the actual output has but the expected output lacks.
+    pub extra: Vec<ExtensionKey>,
+}
+
+impl ValidationReport {
+    /// `true` when the outputs match exactly (the paper reports 100%).
+    pub fn is_exact(&self) -> bool {
+        self.missing.is_empty() && self.extra.is_empty()
+    }
+
+    /// Fraction of expected keys found, in `[0, 1]`; 1.0 when nothing was
+    /// expected.
+    pub fn recall(&self) -> f64 {
+        let expected = self.matched + self.missing.len();
+        if expected == 0 {
+            1.0
+        } else {
+            self.matched as f64 / expected as f64
+        }
+    }
+
+    /// Fraction of actual keys that were expected, in `[0, 1]`; 1.0 when
+    /// nothing was produced.
+    pub fn precision(&self) -> f64 {
+        let actual = self.matched + self.extra.len();
+        if actual == 0 {
+            1.0
+        } else {
+            self.matched as f64 / actual as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matched={} missing={} extra={} recall={:.4} precision={:.4}",
+            self.matched,
+            self.missing.len(),
+            self.extra.len(),
+            self.recall(),
+            self.precision()
+        )
+    }
+}
+
+fn key_counts(results: &[ReadResult]) -> BTreeMap<ExtensionKey, usize> {
+    let mut map = BTreeMap::new();
+    for r in results {
+        for e in &r.extensions {
+            *map.entry(e.validation_key()).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Compares `actual` (the proxy) against `expected` (the parent), both
+/// directions, multiset semantics.
+pub fn validate(expected: &[ReadResult], actual: &[ReadResult]) -> ValidationReport {
+    let want = key_counts(expected);
+    let got = key_counts(actual);
+    let mut report = ValidationReport::default();
+    for (key, &w) in &want {
+        let g = got.get(key).copied().unwrap_or(0);
+        report.matched += w.min(g);
+        for _ in g..w {
+            report.missing.push(*key);
+        }
+    }
+    for (key, &g) in &got {
+        let w = want.get(key).copied().unwrap_or(0);
+        for _ in w..g {
+            report.extra.push(*key);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Extension;
+    use mg_graph::{Handle, NodeId};
+    use mg_index::GraphPos;
+
+    fn ext(read_id: u64, start: u32, end: u32, node: u64, score: i32) -> Extension {
+        Extension {
+            read_id,
+            read_start: start,
+            read_end: end,
+            pos: GraphPos::new(Handle::forward(NodeId::new(node)), 0),
+            path: vec![],
+            score,
+            mismatches: 0,
+        }
+    }
+
+    fn results(extensions: Vec<Extension>) -> Vec<ReadResult> {
+        let mut by_read: BTreeMap<u64, Vec<Extension>> = BTreeMap::new();
+        for e in extensions {
+            by_read.entry(e.read_id).or_default().push(e);
+        }
+        by_read
+            .into_iter()
+            .map(|(read_id, extensions)| ReadResult { read_id, extensions })
+            .collect()
+    }
+
+    #[test]
+    fn identical_outputs_validate_exactly() {
+        let a = results(vec![ext(0, 0, 10, 1, 10), ext(1, 2, 12, 3, 8)]);
+        let report = validate(&a, &a.clone());
+        assert!(report.is_exact());
+        assert_eq!(report.matched, 2);
+        assert_eq!(report.recall(), 1.0);
+        assert_eq!(report.precision(), 1.0);
+    }
+
+    #[test]
+    fn order_within_read_does_not_matter() {
+        let a = results(vec![ext(0, 0, 10, 1, 10), ext(0, 5, 15, 2, 9)]);
+        let mut b = a.clone();
+        b[0].extensions.reverse();
+        assert!(validate(&a, &b).is_exact());
+    }
+
+    #[test]
+    fn missing_extension_detected() {
+        let expected = results(vec![ext(0, 0, 10, 1, 10), ext(0, 5, 15, 2, 9)]);
+        let actual = results(vec![ext(0, 0, 10, 1, 10)]);
+        let report = validate(&expected, &actual);
+        assert!(!report.is_exact());
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.missing.len(), 1);
+        assert!(report.extra.is_empty());
+        assert!((report.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_extension_detected() {
+        let expected = results(vec![ext(0, 0, 10, 1, 10)]);
+        let actual = results(vec![ext(0, 0, 10, 1, 10), ext(2, 0, 8, 5, 8)]);
+        let report = validate(&expected, &actual);
+        assert_eq!(report.extra.len(), 1);
+        assert!(report.missing.is_empty());
+        assert!((report.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_differences_are_mismatches() {
+        let expected = results(vec![ext(0, 0, 10, 1, 10)]);
+        let actual = results(vec![ext(0, 0, 10, 1, 9)]);
+        let report = validate(&expected, &actual);
+        assert_eq!(report.matched, 0);
+        assert_eq!(report.missing.len(), 1);
+        assert_eq!(report.extra.len(), 1);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        // Two identical extensions expected, one produced.
+        let expected = results(vec![ext(0, 0, 10, 1, 10), ext(0, 0, 10, 1, 10)]);
+        let actual = results(vec![ext(0, 0, 10, 1, 10)]);
+        let report = validate(&expected, &actual);
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.missing.len(), 1);
+    }
+
+    #[test]
+    fn empty_outputs_are_exact() {
+        let report = validate(&[], &[]);
+        assert!(report.is_exact());
+        assert_eq!(report.recall(), 1.0);
+        assert_eq!(report.precision(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let expected = results(vec![ext(0, 0, 10, 1, 10)]);
+        let report = validate(&expected, &[]);
+        let text = report.to_string();
+        assert!(text.contains("missing=1"));
+        assert!(text.contains("recall=0.0000"));
+    }
+}

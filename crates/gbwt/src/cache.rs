@@ -1,0 +1,371 @@
+//! `CachedGbwt`: decompressed-record caching with a tunable initial
+//! capacity.
+//!
+//! Giraffe keeps visited GBWT nodes decompressed in a per-thread cache so
+//! repeated accesses skip decompression. The cache is an open-addressing
+//! hash table; when it fills past its load limit it *doubles and rehashes*,
+//! which is expensive. The paper exposes the initial capacity as a tuning
+//! parameter (default 256) and finds it the statistically significant one:
+//! too small means repeated rehash storms, too large means slow
+//! initialization and poor locality. This implementation reproduces those
+//! trade-offs directly.
+
+use mg_support::probe::MemProbe;
+
+use crate::gbwt::Gbwt;
+use crate::record::DecodedRecord;
+
+/// Logical address region of cache table slots (for the cache simulator).
+pub const REGION_CACHE: u64 = 0x2000_0000_0000;
+/// Modelled bytes per cache slot when reporting accesses to the probe.
+const SLOT_BYTES: u64 = 64;
+
+/// Statistics accumulated by a [`CachedGbwt`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decompress the record.
+    pub misses: u64,
+    /// Number of grow-and-rehash events.
+    pub rehashes: u64,
+    /// Total slots moved across all rehashes.
+    pub rehashed_slots: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A decompressed-record cache over a [`Gbwt`].
+///
+/// Not `Sync`: like Giraffe's `CachedGBWT`, each worker thread owns one.
+///
+/// # Examples
+///
+/// ```
+/// use mg_graph::{Handle, NodeId};
+/// use mg_gbwt::{CachedGbwt, GbwtBuilder};
+///
+/// let path: Vec<Handle> = [1u64, 2].iter()
+///     .map(|&i| Handle::forward(NodeId::new(i))).collect();
+/// let gbwt = GbwtBuilder::new().insert(&path).build().unwrap();
+/// let mut cache = CachedGbwt::new(&gbwt, 64);
+/// let first = cache.record(2).total_visits();
+/// let again = cache.record(2).total_visits();
+/// assert_eq!(first, again);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct CachedGbwt<'a> {
+    gbwt: &'a Gbwt,
+    /// Open-addressing table: `slots[i]` holds `(symbol + 1, record)`;
+    /// key 0 means empty.
+    keys: Vec<u64>,
+    values: Vec<DecodedRecord>,
+    capacity: usize,
+    len: usize,
+    stats: CacheStats,
+    /// When `true` every lookup decompresses (capacity 0: the "no caching
+    /// structure" baseline of the paper's Figure 6).
+    disabled: bool,
+    /// Scratch slot for disabled-mode lookups.
+    scratch: DecodedRecord,
+}
+
+/// Maximum load factor before growing (num/den).
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+impl<'a> CachedGbwt<'a> {
+    /// Creates a cache with the given initial capacity (rounded up to a
+    /// power of two, minimum 8). A capacity of **0** disables caching
+    /// entirely: every lookup decompresses the record (Figure 6's
+    /// no-cache baseline).
+    pub fn new(gbwt: &'a Gbwt, initial_capacity: usize) -> Self {
+        if initial_capacity == 0 {
+            return CachedGbwt {
+                gbwt,
+                keys: Vec::new(),
+                values: Vec::new(),
+                capacity: 0,
+                len: 0,
+                stats: CacheStats::default(),
+                disabled: true,
+                scratch: DecodedRecord::empty(),
+            };
+        }
+        let capacity = initial_capacity.max(8).next_power_of_two();
+        CachedGbwt {
+            gbwt,
+            keys: vec![0; capacity],
+            values: vec![DecodedRecord::empty(); capacity],
+            capacity,
+            len: 0,
+            stats: CacheStats::default(),
+            disabled: false,
+            scratch: DecodedRecord::empty(),
+        }
+    }
+
+    /// Returns `true` when caching is disabled (capacity 0).
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// The wrapped index.
+    pub fn gbwt(&self) -> &'a Gbwt {
+        self.gbwt
+    }
+
+    /// Current table capacity (slots).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (the cache contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn slot_of(&self, symbol: u64) -> usize {
+        // Fibonacci hashing over the symbol.
+        let h = symbol.wrapping_mul(0x9E3779B97F4A7C15);
+        (h >> (64 - self.capacity.trailing_zeros())) as usize
+    }
+
+    /// Looks up the record of `symbol`, decompressing and inserting on miss.
+    pub fn record(&mut self, symbol: u64) -> &DecodedRecord {
+        self.record_with_probe(symbol, &mut mg_support::probe::NoProbe)
+    }
+
+    /// [`CachedGbwt::record`] with instrumentation: probe-visible table slot
+    /// touches, plus the decompression accesses on a miss.
+    pub fn record_with_probe<P: MemProbe>(
+        &mut self,
+        symbol: u64,
+        probe: &mut P,
+    ) -> &DecodedRecord {
+        if self.disabled {
+            self.stats.misses += 1;
+            self.scratch = self.gbwt.record_with_probe(symbol, probe);
+            return &self.scratch;
+        }
+        let key = symbol + 1;
+        let mut slot = self.slot_of(symbol);
+        loop {
+            probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
+            probe.instret(3);
+            if self.keys[slot] == key {
+                self.stats.hits += 1;
+                // A hit is a pointer chase: the slot line plus the record
+                // header. (The caller's scan of edges/runs is charged by the
+                // kernels themselves, identically for hits and misses.)
+                probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES + 8, 64);
+                return &self.values[slot];
+            }
+            if self.keys[slot] == 0 {
+                break;
+            }
+            slot = (slot + 1) & (self.capacity - 1);
+        }
+        // Miss: decompress and insert.
+        self.stats.misses += 1;
+        let record = self.gbwt.record_with_probe(symbol, probe);
+        if (self.len + 1) * LOAD_DEN > self.capacity * LOAD_NUM {
+            self.grow(probe);
+            slot = self.slot_of(symbol);
+            while self.keys[slot] != 0 {
+                slot = (slot + 1) & (self.capacity - 1);
+            }
+        }
+        self.keys[slot] = key;
+        self.values[slot] = record;
+        self.len += 1;
+        probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
+        &self.values[slot]
+    }
+
+    /// Doubles the table and reinserts every entry (the expensive rehash the
+    /// paper's capacity tuning avoids).
+    fn grow<P: MemProbe>(&mut self, probe: &mut P) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; self.capacity * 2]);
+        let old_values = std::mem::replace(
+            &mut self.values,
+            vec![DecodedRecord::empty(); self.capacity * 2],
+        );
+        self.capacity *= 2;
+        self.stats.rehashes += 1;
+        for (key, value) in old_keys.into_iter().zip(old_values) {
+            if key == 0 {
+                continue;
+            }
+            self.stats.rehashed_slots += 1;
+            // Rehash cost: read the old slot, write the new one.
+            probe.instret(6);
+            let mut slot = self.slot_of(key - 1);
+            while self.keys[slot] != 0 {
+                slot = (slot + 1) & (self.capacity - 1);
+            }
+            probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
+            self.keys[slot] = key;
+            self.values[slot] = value;
+        }
+    }
+
+    /// Approximate heap footprint of the cache in bytes (drives the memory
+    /// pressure model in the simulated-machine experiments).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * 8
+            + self.values.capacity() * std::mem::size_of::<DecodedRecord>()
+            + self
+                .values
+                .iter()
+                .map(|v| v.edges.capacity() * 16 + v.runs.capacity() * 16)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GbwtBuilder;
+    use mg_graph::{Handle, NodeId};
+    use mg_support::probe::CountingProbe;
+
+    fn chain_gbwt(n: u64) -> Gbwt {
+        let path: Vec<Handle> = (1..=n).map(|i| Handle::forward(NodeId::new(i))).collect();
+        GbwtBuilder::new().insert(&path).build().unwrap()
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let g = chain_gbwt(4);
+        let mut cache = CachedGbwt::new(&g, 16);
+        let direct = g.record(4);
+        assert_eq!(*cache.record(4), direct);
+        assert_eq!(*cache.record(4), direct);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let g = chain_gbwt(2);
+        assert_eq!(CachedGbwt::new(&g, 1).capacity(), 8);
+        assert_eq!(CachedGbwt::new(&g, 100).capacity(), 128);
+        assert_eq!(CachedGbwt::new(&g, 256).capacity(), 256);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let g = chain_gbwt(4);
+        let mut cache = CachedGbwt::new(&g, 0);
+        assert!(cache.is_disabled());
+        let direct = g.record(4);
+        assert_eq!(*cache.record(4), direct);
+        assert_eq!(*cache.record(4), direct);
+        // Every lookup is a miss; nothing is retained.
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn growth_rehashes_and_preserves_entries() {
+        let g = chain_gbwt(64);
+        let mut cache = CachedGbwt::new(&g, 8);
+        // Touch every record of every orientation: 128 symbols > 8 slots.
+        for sym in 2..g.alphabet_size() {
+            let _ = cache.record(sym);
+        }
+        assert!(cache.stats().rehashes >= 3);
+        assert_eq!(cache.len() as u64, g.alphabet_size() - 2);
+        // Everything still correct and now hits.
+        let before_hits = cache.stats().hits;
+        for sym in 2..g.alphabet_size() {
+            assert_eq!(*cache.record(sym), g.record(sym), "symbol {sym}");
+        }
+        assert_eq!(
+            cache.stats().hits - before_hits,
+            g.alphabet_size() - 2
+        );
+    }
+
+    #[test]
+    fn big_initial_capacity_never_rehashes() {
+        let g = chain_gbwt(64);
+        let mut cache = CachedGbwt::new(&g, 4096);
+        for sym in 2..g.alphabet_size() {
+            let _ = cache.record(sym);
+        }
+        assert_eq!(cache.stats().rehashes, 0);
+        assert_eq!(cache.capacity(), 4096);
+    }
+
+    #[test]
+    fn probe_sees_more_work_on_miss_than_hit() {
+        let g = chain_gbwt(8);
+        let mut cache = CachedGbwt::new(&g, 64);
+        let mut miss_probe = CountingProbe::default();
+        let _ = cache.record_with_probe(2, &mut miss_probe);
+        let mut hit_probe = CountingProbe::default();
+        let _ = cache.record_with_probe(2, &mut hit_probe);
+        assert!(miss_probe.instructions > hit_probe.instructions);
+        assert!(miss_probe.touches > hit_probe.touches);
+    }
+
+    #[test]
+    fn unknown_symbols_cache_empty_records() {
+        let g = chain_gbwt(4);
+        let mut cache = CachedGbwt::new(&g, 16);
+        assert!(cache.record(500).is_empty());
+        assert!(cache.record(500).is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let g = chain_gbwt(4);
+        let mut cache = CachedGbwt::new(&g, 16);
+        let _ = cache.record(2);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        stats.hits = 3;
+        stats.misses = 1;
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,902 @@
+//! The GBWT index: compressed records plus the queries Giraffe relies on.
+
+use mg_support::probe::MemProbe;
+use mg_support::varint::{self, Cursor};
+use mg_support::{Error, Result};
+
+use crate::record::{DecodedRecord, ENDMARKER};
+
+/// Logical address region of the compressed record blob (see
+/// [`mg_support::probe`]).
+pub const REGION_RECORDS: u64 = 0x1000_0000_0000;
+
+/// A half-open range of visit offsets within one node record.
+///
+/// The result of [`Gbwt::find`] / [`Gbwt::extend`]: all haplotype positions
+/// whose recent history matches the searched pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SearchState {
+    /// The node symbol the state lives at.
+    pub node: u64,
+    /// Start of the visit range (inclusive).
+    pub start: u64,
+    /// End of the visit range (exclusive).
+    pub end: u64,
+}
+
+impl SearchState {
+    /// An empty state at `node`.
+    pub fn empty(node: u64) -> Self {
+        SearchState { node, start: 0, end: 0 }
+    }
+
+    /// Number of haplotype positions matching.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns `true` if no haplotype matches.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// A bidirectional search state: the pattern's forward occurrences (range at
+/// its last node) paired with its reverse occurrences (range at the flipped
+/// first node). Both ranges always have equal size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BidirState {
+    /// Range over occurrences of the pattern, at its last symbol.
+    pub forward: SearchState,
+    /// Range over occurrences of the reversed pattern, at the flipped first
+    /// symbol.
+    pub backward: SearchState,
+}
+
+impl BidirState {
+    /// Number of haplotype positions matching.
+    pub fn len(&self) -> u64 {
+        self.forward.len()
+    }
+
+    /// Returns `true` if no haplotype matches.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Swaps search directions (the state for the reversed pattern).
+    pub fn flipped(self) -> Self {
+        BidirState {
+            forward: self.backward,
+            backward: self.forward,
+        }
+    }
+}
+
+/// Extends a unidirectional state through `record`, which must be the
+/// record of `state.node`. This is the range arithmetic behind
+/// [`Gbwt::extend`], factored out so callers holding a cached record (a
+/// [`crate::CachedGbwt`] entry) can skip the re-fetch.
+pub fn record_extend(record: &DecodedRecord, state: &SearchState, symbol: u64) -> SearchState {
+    if state.is_empty() {
+        return SearchState::empty(symbol);
+    }
+    let Some(edge_idx) = record.edge_index(symbol) else {
+        return SearchState::empty(symbol);
+    };
+    let offset = record.edges[edge_idx].offset;
+    let before = record.rank_at(state.start, edge_idx);
+    let inside = record.count_in_range(state.start, state.end, edge_idx);
+    SearchState {
+        node: symbol,
+        start: offset + before,
+        end: offset + before + inside,
+    }
+}
+
+/// Extends a bidirectional state forward through `record`, which must be
+/// the record of `state.forward.node`. The range arithmetic behind
+/// [`Gbwt::extend_forward`].
+pub fn record_extend_forward(
+    record: &DecodedRecord,
+    state: &BidirState,
+    symbol: u64,
+) -> BidirState {
+    if state.is_empty() {
+        return BidirState {
+            forward: SearchState::empty(symbol),
+            backward: SearchState::empty(state.backward.node),
+        };
+    }
+    let Some(edge_idx) = record.edge_index(symbol) else {
+        return BidirState {
+            forward: SearchState::empty(symbol),
+            backward: SearchState::empty(state.backward.node),
+        };
+    };
+    let (before, counts) =
+        record.range_counts_with_prefix(state.forward.start, state.forward.end);
+    record_extend_forward_with_counts(record, state, edge_idx, &before, &counts)
+}
+
+/// The range arithmetic of [`record_extend_forward`] given precomputed
+/// per-edge counts: `before[e]` visits through edge `e` before the range
+/// and `counts[e]` inside it (from
+/// [`DecodedRecord::range_counts_with_prefix`]). Lets the extension kernel
+/// branch over every edge of a node with a single run scan.
+pub fn record_extend_forward_with_counts(
+    record: &DecodedRecord,
+    state: &BidirState,
+    edge_idx: usize,
+    before: &[u64],
+    counts: &[u64],
+) -> BidirState {
+    let symbol = record.edges[edge_idx].symbol;
+    let inside = counts[edge_idx];
+    // Forward range: standard LF over the restriction to `symbol`.
+    let forward = SearchState {
+        node: symbol,
+        start: record.edges[edge_idx].offset + before[edge_idx],
+        end: record.edges[edge_idx].offset + before[edge_idx] + inside,
+    };
+    // Backward range: occurrences of the reversed (flipped) pattern are
+    // grouped by flipped successor; skip the groups that sort before.
+    // Sequence ends (endmarker edge) have no reverse counterpart and sort
+    // before every real group in the reversed index: the reverse sequence
+    // *starts* there.
+    let mut preceding = 0u64;
+    for (i, e) in record.edges.iter().enumerate() {
+        if e.symbol == ENDMARKER || (e.symbol ^ 1) < (symbol ^ 1) {
+            preceding += counts[i];
+        }
+    }
+    let backward = SearchState {
+        node: state.backward.node,
+        start: state.backward.start + preceding,
+        end: state.backward.start + preceding + inside,
+    };
+    BidirState { forward, backward }
+}
+
+/// Structural statistics of a [`Gbwt`] (see [`Gbwt::statistics`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbwtStatistics {
+    /// Total BWT runs across nonempty records.
+    pub total_runs: u64,
+    /// Number of records with at least one visit.
+    pub nonempty_records: u64,
+    /// Mean runs per nonempty record (run-length compressibility).
+    pub avg_runs_per_record: f64,
+    /// Compressed bytes per haplotype visit.
+    pub bytes_per_visit: f64,
+}
+
+/// The compressed GBWT index.
+///
+/// Records are decompressed on access; wrap the index in a
+/// [`crate::CachedGbwt`] to keep hot records decoded (this is the structure
+/// whose initial capacity the paper autotunes).
+///
+/// # Examples
+///
+/// ```
+/// use mg_graph::{Handle, NodeId};
+/// use mg_gbwt::GbwtBuilder;
+///
+/// let path: Vec<Handle> = [1u64, 2, 3]
+///     .iter().map(|&i| Handle::forward(NodeId::new(i))).collect();
+/// let gbwt = GbwtBuilder::new().insert(&path).build().unwrap();
+/// let state = gbwt.find(Handle::forward(NodeId::new(1)).to_gbwt());
+/// assert_eq!(state.len(), 1);
+/// let state = gbwt.extend(&state, Handle::forward(NodeId::new(2)).to_gbwt());
+/// assert_eq!(state.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gbwt {
+    records: Vec<u8>,
+    /// Byte offsets of each record in `records`, indexed by `symbol - 2`;
+    /// one trailing entry.
+    offsets: Vec<u64>,
+    endmarker: Vec<u8>,
+    sequence_count: u64,
+    path_count: u64,
+    bidirectional: bool,
+    alphabet_size: u64,
+    total_visits: u64,
+    /// Sequence id of each ending visit, addressed by the endmarker-edge
+    /// offsets (grouped by final node symbol ascending).
+    end_ids: Vec<u64>,
+}
+
+impl Gbwt {
+    /// Assembles an index from its parts (used by [`crate::GbwtBuilder`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        records: Vec<u8>,
+        offsets: Vec<u64>,
+        endmarker: Vec<u8>,
+        sequence_count: u64,
+        path_count: u64,
+        bidirectional: bool,
+        alphabet_size: u64,
+        total_visits: u64,
+        end_ids: Vec<u64>,
+    ) -> Self {
+        Gbwt {
+            records,
+            offsets,
+            endmarker,
+            sequence_count,
+            path_count,
+            bidirectional,
+            alphabet_size,
+            total_visits,
+            end_ids,
+        }
+    }
+
+    /// Number of indexed sequences (paths × 2 when bidirectional).
+    pub fn sequence_count(&self) -> u64 {
+        self.sequence_count
+    }
+
+    /// Number of *inserted* paths.
+    pub fn path_count(&self) -> u64 {
+        self.path_count
+    }
+
+    /// Whether reverse sequences are indexed (required for bidirectional
+    /// search).
+    pub fn is_bidirectional(&self) -> bool {
+        self.bidirectional
+    }
+
+    /// One past the largest symbol with a record.
+    pub fn alphabet_size(&self) -> u64 {
+        self.alphabet_size
+    }
+
+    /// Total haplotype visits across all node records.
+    pub fn total_visits(&self) -> u64 {
+        self.total_visits
+    }
+
+    /// Number of node records (two per node id, one per orientation).
+    pub fn record_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Size in bytes of the compressed record blob.
+    pub fn compressed_bytes(&self) -> usize {
+        self.records.len() + self.endmarker.len()
+    }
+
+    /// Returns `true` if `symbol` has a (possibly empty) record.
+    pub fn has_record(&self, symbol: u64) -> bool {
+        symbol >= 2 && symbol < self.alphabet_size
+    }
+
+    /// Decompresses the record of `symbol`, reporting the memory touched and
+    /// the decode work to `probe`.
+    ///
+    /// Unknown symbols yield an empty record, mirroring how Giraffe treats
+    /// nodes absent from every haplotype.
+    pub fn record_with_probe<P: MemProbe>(&self, symbol: u64, probe: &mut P) -> DecodedRecord {
+        if !self.has_record(symbol) {
+            probe.instret(2);
+            return DecodedRecord::empty();
+        }
+        let idx = (symbol - 2) as usize;
+        let start = self.offsets[idx] as usize;
+        let end = self.offsets[idx + 1] as usize;
+        probe.touch(
+            REGION_RECORDS + self.offsets.len() as u64 * 8 + start as u64,
+            (end - start) as u32,
+        );
+        // Offset-table lookup.
+        probe.touch(REGION_RECORDS + idx as u64 * 8, 16);
+        let mut cur = Cursor::new(&self.records[start..end]);
+        let record = DecodedRecord::decode(&mut cur).expect("internal record is valid");
+        // Decompression cost scales with the encoded size: varint decoding,
+        // run expansion, and allocation dominate a cold record access.
+        probe.instret(40 + 14 * (end - start) as u64);
+        record
+    }
+
+    /// Decompresses the record of `symbol` without instrumentation.
+    pub fn record(&self, symbol: u64) -> DecodedRecord {
+        self.record_with_probe(symbol, &mut mg_support::probe::NoProbe)
+    }
+
+    /// Decompresses the endmarker record (sequence starts).
+    pub fn endmarker_record(&self) -> DecodedRecord {
+        let mut cur = Cursor::new(&self.endmarker);
+        DecodedRecord::decode(&mut cur).expect("internal endmarker is valid")
+    }
+
+    /// Follows one haplotype visit a single step forward.
+    ///
+    /// Returns `None` when the sequence ends at this visit.
+    pub fn follow(&self, symbol: u64, offset: u64) -> Option<(u64, u64)> {
+        self.record(symbol).lf(offset)
+    }
+
+    /// The first visit of sequence `id`: `(symbol, offset)`.
+    ///
+    /// Returns `None` if `id` is out of range.
+    pub fn sequence_start(&self, id: u64) -> Option<(u64, u64)> {
+        if id >= self.sequence_count {
+            return None;
+        }
+        self.endmarker_record().lf(id)
+    }
+
+    /// Reconstructs the full symbol sequence of sequence `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if `id` is out of range.
+    pub fn sequence(&self, id: u64) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut cursor = self
+            .sequence_start(id)
+            .ok_or_else(|| Error::Corrupt(format!("sequence {id} out of range")))?;
+        loop {
+            out.push(cursor.0);
+            match self.follow(cursor.0, cursor.1) {
+                Some(next) => cursor = next,
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// All visits of `symbol`: the starting point of a backward search.
+    pub fn find(&self, symbol: u64) -> SearchState {
+        self.find_with_probe(symbol, &mut mg_support::probe::NoProbe)
+    }
+
+    /// [`Gbwt::find`] with instrumentation.
+    pub fn find_with_probe<P: MemProbe>(&self, symbol: u64, probe: &mut P) -> SearchState {
+        let record = self.record_with_probe(symbol, probe);
+        SearchState {
+            node: symbol,
+            start: 0,
+            end: record.total_visits(),
+        }
+    }
+
+    /// Extends a search state one symbol forward.
+    pub fn extend(&self, state: &SearchState, symbol: u64) -> SearchState {
+        self.extend_with_probe(state, symbol, &mut mg_support::probe::NoProbe)
+    }
+
+    /// [`Gbwt::extend`] with instrumentation.
+    pub fn extend_with_probe<P: MemProbe>(
+        &self,
+        state: &SearchState,
+        symbol: u64,
+        probe: &mut P,
+    ) -> SearchState {
+        if state.is_empty() {
+            return SearchState::empty(symbol);
+        }
+        let record = self.record_with_probe(state.node, probe);
+        probe.instret(4 * record.runs.len() as u64 + 8);
+        record_extend(&record, state, symbol)
+    }
+
+    /// Starts a bidirectional search at a single symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not bidirectional.
+    pub fn find_bidir(&self, symbol: u64) -> BidirState {
+        assert!(self.bidirectional, "bidirectional search needs a bidirectional index");
+        BidirState {
+            forward: self.find(symbol),
+            backward: self.find(symbol ^ 1),
+        }
+    }
+
+    /// Extends a bidirectional state forward by `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not bidirectional.
+    pub fn extend_forward(&self, state: &BidirState, symbol: u64) -> BidirState {
+        self.extend_forward_with_probe(state, symbol, &mut mg_support::probe::NoProbe)
+    }
+
+    /// [`Gbwt::extend_forward`] with instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not bidirectional.
+    pub fn extend_forward_with_probe<P: MemProbe>(
+        &self,
+        state: &BidirState,
+        symbol: u64,
+        probe: &mut P,
+    ) -> BidirState {
+        assert!(self.bidirectional, "bidirectional search needs a bidirectional index");
+        if state.is_empty() {
+            return BidirState {
+                forward: SearchState::empty(symbol),
+                backward: SearchState::empty(state.backward.node),
+            };
+        }
+        let record = self.record_with_probe(state.forward.node, probe);
+        probe.instret(4 * record.runs.len() as u64 + 8);
+        record_extend_forward(&record, state, symbol)
+    }
+
+    /// Extends a bidirectional state backward by `symbol` (the new first
+    /// symbol of the pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not bidirectional.
+    pub fn extend_backward(&self, state: &BidirState, symbol: u64) -> BidirState {
+        self.extend_backward_with_probe(state, symbol, &mut mg_support::probe::NoProbe)
+    }
+
+    /// [`Gbwt::extend_backward`] with instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not bidirectional.
+    pub fn extend_backward_with_probe<P: MemProbe>(
+        &self,
+        state: &BidirState,
+        symbol: u64,
+        probe: &mut P,
+    ) -> BidirState {
+        let flipped = self.extend_forward_with_probe(&state.flipped(), symbol ^ 1, probe);
+        flipped.flipped()
+    }
+
+    /// Identifies the sequence that visit `(symbol, offset)` belongs to by
+    /// following it forward to its end — the GBWT `locate` query that lets
+    /// the mapper name the haplotypes supporting a match.
+    ///
+    /// Each step decompresses a record, so the cost is O(remaining path
+    /// length × decode); use it on the cold annotation path, not inside
+    /// mapping kernels.
+    ///
+    /// Returns `None` for invalid positions.
+    pub fn locate(&self, symbol: u64, offset: u64) -> Option<u64> {
+        let mut cursor = (symbol, offset);
+        loop {
+            let record = self.record(cursor.0);
+            match record.lf_full(cursor.1)? {
+                (ENDMARKER, end_idx) => {
+                    return self.end_ids.get(end_idx as usize).copied();
+                }
+                next => cursor = next,
+            }
+        }
+    }
+
+    /// Sequence ids of every haplotype position in `state`, ascending and
+    /// deduplicated. `limit` caps the work (positions located).
+    pub fn locate_state(&self, state: &SearchState, limit: usize) -> Vec<u64> {
+        let mut ids: Vec<u64> = (state.start..state.end)
+            .take(limit)
+            .filter_map(|offset| self.locate(state.node, offset))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Structural statistics: `(total runs, average runs per nonempty
+    /// record, compressed bytes per visit)` — the compression profile the
+    /// GBZ paper reports for real pangenomes.
+    pub fn statistics(&self) -> GbwtStatistics {
+        let mut runs = 0u64;
+        let mut nonempty = 0u64;
+        for sym in 2..self.alphabet_size {
+            let record = self.record(sym);
+            if !record.is_empty() {
+                nonempty += 1;
+                runs += record.runs.len() as u64;
+            }
+        }
+        GbwtStatistics {
+            total_runs: runs,
+            nonempty_records: nonempty,
+            avg_runs_per_record: if nonempty == 0 { 0.0 } else { runs as f64 / nonempty as f64 },
+            bytes_per_visit: if self.total_visits == 0 {
+                0.0
+            } else {
+                self.compressed_bytes() as f64 / self.total_visits as f64
+            },
+        }
+    }
+
+    /// Serializes the index to a byte payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.sequence_count);
+        varint::write_u64(&mut out, self.path_count);
+        varint::write_u64(&mut out, self.bidirectional as u64);
+        varint::write_u64(&mut out, self.alphabet_size);
+        varint::write_u64(&mut out, self.total_visits);
+        varint::write_u64(&mut out, self.end_ids.len() as u64);
+        for &id in &self.end_ids {
+            varint::write_u64(&mut out, id);
+        }
+        varint::write_u64(&mut out, self.endmarker.len() as u64);
+        out.extend_from_slice(&self.endmarker);
+        varint::write_u64(&mut out, self.offsets.len() as u64);
+        let mut prev = 0u64;
+        for &o in &self.offsets {
+            varint::write_u64(&mut out, o - prev);
+            prev = o;
+        }
+        varint::write_u64(&mut out, self.records.len() as u64);
+        out.extend_from_slice(&self.records);
+        out
+    }
+
+    /// Deserializes an index written by [`Gbwt::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns decoding errors and [`Error::Corrupt`] on structural
+    /// inconsistencies.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let mut cur = Cursor::new(data);
+        let sequence_count = cur.read_u64()?;
+        let path_count = cur.read_u64()?;
+        let bidirectional = cur.read_u64()? != 0;
+        let alphabet_size = cur.read_u64()?;
+        let total_visits = cur.read_u64()?;
+        let end_count = cur.read_u64()? as usize;
+        let mut end_ids = Vec::with_capacity(end_count);
+        for _ in 0..end_count {
+            end_ids.push(cur.read_u64()?);
+        }
+        let end_len = cur.read_u64()? as usize;
+        let endmarker = cur.read_bytes(end_len)?.to_vec();
+        let offset_count = cur.read_u64()? as usize;
+        if offset_count == 0 {
+            return Err(Error::Corrupt("missing record offsets".into()));
+        }
+        let mut offsets = Vec::with_capacity(offset_count);
+        let mut acc = 0u64;
+        for _ in 0..offset_count {
+            acc += cur.read_u64()?;
+            offsets.push(acc);
+        }
+        let rec_len = cur.read_u64()? as usize;
+        if *offsets.last().unwrap() != rec_len as u64 {
+            return Err(Error::Corrupt("record offsets disagree with blob size".into()));
+        }
+        if alphabet_size < 2 || offsets.len() as u64 != alphabet_size - 1 {
+            return Err(Error::Corrupt(format!(
+                "alphabet size {alphabet_size} disagrees with {} record offsets",
+                offsets.len()
+            )));
+        }
+        let records = cur.read_bytes(rec_len)?.to_vec();
+        if !cur.is_at_end() {
+            return Err(Error::Corrupt("trailing bytes after GBWT".into()));
+        }
+        Ok(Gbwt {
+            records,
+            offsets,
+            endmarker,
+            sequence_count,
+            path_count,
+            bidirectional,
+            alphabet_size,
+            total_visits,
+            end_ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GbwtBuilder;
+    use mg_graph::{Handle, NodeId};
+    use proptest::prelude::*;
+
+    fn fwd(ids: &[u64]) -> Vec<Handle> {
+        ids.iter().map(|&i| Handle::forward(NodeId::new(i))).collect()
+    }
+
+    /// A small diamond pangenome: most haplotypes take 1-2-4-5, some 1-3-4-5.
+    fn diamond_gbwt() -> Gbwt {
+        GbwtBuilder::new()
+            .insert(&fwd(&[1, 2, 4, 5]))
+            .insert(&fwd(&[1, 2, 4, 5]))
+            .insert(&fwd(&[1, 3, 4, 5]))
+            .insert(&fwd(&[1, 2, 4, 5]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn metadata() {
+        let g = diamond_gbwt();
+        assert_eq!(g.sequence_count(), 8);
+        assert_eq!(g.path_count(), 4);
+        assert!(g.is_bidirectional());
+        assert_eq!(g.record_count(), (g.alphabet_size() - 2) as usize);
+        // 4 paths * 4 nodes * 2 orientations of visits.
+        assert_eq!(g.total_visits(), 32);
+    }
+
+    #[test]
+    fn find_counts_occurrences() {
+        let g = diamond_gbwt();
+        assert_eq!(g.find(2).len(), 4); // node 1+: all four paths
+        assert_eq!(g.find(4).len(), 3); // node 2+: three paths
+        assert_eq!(g.find(6).len(), 1); // node 3+: one path
+        assert_eq!(g.find(3).len(), 4); // node 1-: all four reverses
+        assert_eq!(g.find(99).len(), 0); // no such record
+    }
+
+    #[test]
+    fn extend_narrows_matches() {
+        let g = diamond_gbwt();
+        let s = g.find(2);
+        let s24 = g.extend(&s, 4);
+        assert_eq!(s24.len(), 3);
+        let s246 = g.extend(&s24, 8);
+        assert_eq!(s246.len(), 3);
+        // Pattern 1+ 3+ 4+: one haplotype.
+        let s26 = g.extend(&s, 6);
+        assert_eq!(s26.len(), 1);
+        assert_eq!(g.extend(&s26, 8).len(), 1);
+        // Pattern 2+ then 3+: impossible.
+        let bad = g.extend(&g.find(4), 6);
+        assert!(bad.is_empty());
+        // Extending an empty state stays empty.
+        assert!(g.extend(&bad, 8).is_empty());
+    }
+
+    #[test]
+    fn follow_walks_a_sequence() {
+        let g = diamond_gbwt();
+        let (mut sym, mut off) = g.sequence_start(0).unwrap();
+        let mut symbols = vec![sym];
+        while let Some((s, o)) = g.follow(sym, off) {
+            symbols.push(s);
+            sym = s;
+            off = o;
+        }
+        assert_eq!(symbols, vec![2, 4, 8, 10]);
+    }
+
+    #[test]
+    fn all_sequences_reconstruct() {
+        let g = diamond_gbwt();
+        assert_eq!(g.sequence(0).unwrap(), vec![2, 4, 8, 10]);
+        assert_eq!(g.sequence(2).unwrap(), vec![2, 4, 8, 10]);
+        assert_eq!(g.sequence(4).unwrap(), vec![2, 6, 8, 10]);
+        // Reverses.
+        assert_eq!(g.sequence(1).unwrap(), vec![11, 9, 5, 3]);
+        assert_eq!(g.sequence(5).unwrap(), vec![11, 9, 7, 3]);
+        assert!(g.sequence(8).is_err());
+    }
+
+    #[test]
+    fn bidir_find_has_equal_ranges() {
+        let g = diamond_gbwt();
+        for sym in 2..g.alphabet_size() {
+            let state = g.find_bidir(sym);
+            assert_eq!(state.forward.len(), state.backward.len(), "symbol {sym}");
+        }
+    }
+
+    #[test]
+    fn bidir_extend_forward_matches_unidirectional_counts() {
+        let g = diamond_gbwt();
+        let state = g.find_bidir(2);
+        let state = g.extend_forward(&state, 4);
+        assert_eq!(state.len(), 3);
+        assert_eq!(state.backward.len(), 3);
+        let state = g.extend_forward(&state, 8);
+        assert_eq!(state.len(), 3);
+        let state = g.extend_forward(&state, 10);
+        assert_eq!(state.len(), 3);
+    }
+
+    #[test]
+    fn bidir_extend_backward_matches_pattern_counts() {
+        let g = diamond_gbwt();
+        // Start at node 4 (symbol 8), extend backward to 2 (symbol 4).
+        let state = g.find_bidir(8);
+        assert_eq!(state.len(), 4);
+        let state = g.extend_backward(&state, 4);
+        assert_eq!(state.len(), 3);
+        let state = g.extend_backward(&state, 2);
+        assert_eq!(state.len(), 3);
+        // Backward to 3 instead.
+        let state = g.find_bidir(8);
+        let state = g.extend_backward(&state, 6);
+        assert_eq!(state.len(), 1);
+    }
+
+    #[test]
+    fn bidir_mixed_directions() {
+        let g = diamond_gbwt();
+        // Build pattern 1+ 2+ 4+ by extending both ways from 2+.
+        let state = g.find_bidir(4);
+        let state = g.extend_forward(&state, 8);
+        let state = g.extend_backward(&state, 2);
+        assert_eq!(state.len(), 3);
+        // Same pattern built in the other interleaving.
+        let state2 = g.find_bidir(4);
+        let state2 = g.extend_backward(&state2, 2);
+        let state2 = g.extend_forward(&state2, 8);
+        assert_eq!(state2.len(), 3);
+        assert_eq!(state.forward, state2.forward);
+        assert_eq!(state.backward, state2.backward);
+    }
+
+    #[test]
+    #[should_panic(expected = "bidirectional")]
+    fn bidir_on_unidirectional_panics() {
+        let g = GbwtBuilder::new()
+            .unidirectional()
+            .insert(&fwd(&[1, 2]))
+            .build()
+            .unwrap();
+        let _ = g.find_bidir(2);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let g = diamond_gbwt();
+        let back = Gbwt::from_bytes(&g.to_bytes()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn locate_matches_sequence_reconstruction() {
+        // Walking any sequence and locating each visited position must
+        // return that sequence's id.
+        let g = diamond_gbwt();
+        for id in 0..g.sequence_count() {
+            let mut cursor = g.sequence_start(id).unwrap();
+            loop {
+                assert_eq!(
+                    g.locate(cursor.0, cursor.1),
+                    Some(id),
+                    "sequence {id} at {cursor:?}"
+                );
+                match g.follow(cursor.0, cursor.1) {
+                    Some(next) => cursor = next,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_state_names_matching_haplotypes() {
+        let g = diamond_gbwt();
+        // Pattern 1+ 3+ matches only path 2 (sequence 4).
+        let state = g.extend(&g.find(2), 6);
+        assert_eq!(g.locate_state(&state, 100), vec![4]);
+        // Pattern 1+ 2+ matches paths 0, 1, 3 (sequences 0, 2, 6).
+        let state = g.extend(&g.find(2), 4);
+        assert_eq!(g.locate_state(&state, 100), vec![0, 2, 6]);
+        // Limit caps the located positions.
+        assert_eq!(g.locate_state(&state, 1).len(), 1);
+    }
+
+    #[test]
+    fn locate_rejects_invalid_positions() {
+        let g = diamond_gbwt();
+        assert_eq!(g.locate(2, 999), None);
+        assert_eq!(g.locate(999, 0), None);
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let bytes = diamond_gbwt().to_bytes();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Gbwt::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn record_probe_reports_accesses() {
+        use mg_support::probe::CountingProbe;
+        let g = diamond_gbwt();
+        let mut probe = CountingProbe::default();
+        let _ = g.record_with_probe(2, &mut probe);
+        assert!(probe.touches >= 2);
+        assert!(probe.instructions > 0);
+    }
+
+    /// Count occurrences of `pattern` as a subsequence window across all
+    /// indexed sequences, the ground truth for find/extend.
+    fn naive_count(g: &Gbwt, pattern: &[u64]) -> u64 {
+        let mut count = 0;
+        for id in 0..g.sequence_count() {
+            let seq = g.sequence(id).unwrap();
+            if pattern.len() > seq.len() {
+                continue;
+            }
+            for w in seq.windows(pattern.len()) {
+                if w == pattern {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random path sets: reconstruction and search must agree with the
+        /// inserted paths.
+        #[test]
+        fn prop_search_matches_naive(
+            paths in proptest::collection::vec(
+                proptest::collection::vec(1u64..12, 1..15),
+                1..10,
+            ),
+            pattern in proptest::collection::vec(1u64..12, 1..5),
+        ) {
+            let mut builder = GbwtBuilder::new();
+            for ids in &paths {
+                builder = builder.insert(&fwd(ids));
+            }
+            let g = builder.build().unwrap();
+            // Reconstruction.
+            for (p, ids) in paths.iter().enumerate() {
+                let expect: Vec<u64> = ids.iter().map(|&i| i * 2).collect();
+                prop_assert_eq!(g.sequence(2 * p as u64).unwrap(), expect);
+            }
+            // Search: extend along the pattern, compare against naive count.
+            let symbols: Vec<u64> = pattern.iter().map(|&i| i * 2).collect();
+            let mut state = g.find(symbols[0]);
+            for &s in &symbols[1..] {
+                state = g.extend(&state, s);
+            }
+            prop_assert_eq!(state.len(), naive_count(&g, &symbols));
+            // locate_state must name exactly the sequences containing the
+            // pattern (ids of sequences with >= 1 occurrence).
+            let mut expect_ids: Vec<u64> = (0..g.sequence_count())
+                .filter(|&id| {
+                    let seq = g.sequence(id).unwrap();
+                    seq.windows(symbols.len().min(seq.len() + 1)).any(|w| w == symbols)
+                })
+                .collect();
+            expect_ids.sort_unstable();
+            prop_assert_eq!(g.locate_state(&state, usize::MAX), expect_ids);
+            // Bidirectional: same count, built backward.
+            let mut bstate = g.find_bidir(*symbols.last().unwrap());
+            for &s in symbols.iter().rev().skip(1) {
+                bstate = g.extend_backward(&bstate, s);
+            }
+            prop_assert_eq!(bstate.len(), state.len());
+            prop_assert_eq!(bstate.backward.len(), bstate.forward.len());
+        }
+
+        #[test]
+        fn prop_serialization_roundtrip(
+            paths in proptest::collection::vec(
+                proptest::collection::vec(1u64..9, 1..10),
+                1..6,
+            ),
+        ) {
+            let mut builder = GbwtBuilder::new();
+            for ids in &paths {
+                builder = builder.insert(&fwd(ids));
+            }
+            let g = builder.build().unwrap();
+            prop_assert_eq!(Gbwt::from_bytes(&g.to_bytes()).unwrap(), g);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! DNA alphabet utilities.
+//!
+//! Sequences are stored as ASCII bytes over the uppercase alphabet `ACGT`
+//! (plus `N` for unknown bases in reads). These helpers validate, complement,
+//! and pack bases.
+
+/// The four DNA bases in code order (`A=0, C=1, G=2, T=3`).
+pub const BASES: [u8; 4] = *b"ACGT";
+
+/// Returns `true` for an uppercase `A`, `C`, `G`, or `T`.
+pub fn is_base(b: u8) -> bool {
+    matches!(b, b'A' | b'C' | b'G' | b'T')
+}
+
+/// Returns `true` if every byte of `seq` is a valid base.
+pub fn is_valid_sequence(seq: &[u8]) -> bool {
+    seq.iter().all(|&b| is_base(b))
+}
+
+/// Maps a base to its 2-bit code.
+///
+/// # Panics
+///
+/// Panics if `b` is not a valid base; use [`encode_base_checked`] for
+/// untrusted input.
+pub fn encode_base(b: u8) -> u8 {
+    encode_base_checked(b).unwrap_or_else(|| panic!("invalid base {:?}", b as char))
+}
+
+/// Maps a base to its 2-bit code, or `None` for non-bases (including `N`).
+pub fn encode_base_checked(b: u8) -> Option<u8> {
+    match b {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+/// Maps a 2-bit code back to its base.
+///
+/// # Panics
+///
+/// Panics if `code > 3`.
+pub fn decode_base(code: u8) -> u8 {
+    BASES[code as usize]
+}
+
+/// Watson–Crick complement of a base; `N` stays `N`.
+///
+/// # Panics
+///
+/// Panics on bytes that are neither bases nor `N`.
+pub fn complement(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'N' => b'N',
+        _ => panic!("invalid base {:?}", b as char),
+    }
+}
+
+/// Reverse complement of a sequence.
+///
+/// ```
+/// assert_eq!(mg_graph::dna::reverse_complement(b"ACGT"), b"ACGT");
+/// assert_eq!(mg_graph::dna::reverse_complement(b"AACG"), b"CGTT");
+/// ```
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement(b)).collect()
+}
+
+/// Reverse-complements `seq` in place without allocating.
+pub fn reverse_complement_in_place(seq: &mut [u8]) {
+    seq.reverse();
+    for b in seq.iter_mut() {
+        *b = complement(*b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn base_predicates() {
+        for b in BASES {
+            assert!(is_base(b));
+        }
+        for b in [b'N', b'a', b'X', 0u8] {
+            assert!(!is_base(b));
+        }
+        assert!(is_valid_sequence(b"ACGTACGT"));
+        assert!(!is_valid_sequence(b"ACGN"));
+        assert!(is_valid_sequence(b""));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (code, b) in BASES.iter().enumerate() {
+            assert_eq!(encode_base(*b), code as u8);
+            assert_eq!(decode_base(code as u8), *b);
+        }
+        assert_eq!(encode_base_checked(b'N'), None);
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(complement(b'A'), b'T');
+        assert_eq!(complement(b'T'), b'A');
+        assert_eq!(complement(b'C'), b'G');
+        assert_eq!(complement(b'G'), b'C');
+        assert_eq!(complement(b'N'), b'N');
+    }
+
+    #[test]
+    fn revcomp_empty() {
+        assert_eq!(reverse_complement(b""), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn revcomp_in_place_matches_allocating() {
+        let mut buf = b"GATTACA".to_vec();
+        let expect = reverse_complement(&buf);
+        reverse_complement_in_place(&mut buf);
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid base")]
+    fn complement_rejects_garbage() {
+        complement(b'Q');
+    }
+
+    fn dna_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(BASES.to_vec()), 0..max_len)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_revcomp_is_involution(seq in dna_strategy(300)) {
+            prop_assert_eq!(reverse_complement(&reverse_complement(&seq)), seq);
+        }
+
+        #[test]
+        fn prop_revcomp_preserves_validity(seq in dna_strategy(300)) {
+            prop_assert!(is_valid_sequence(&reverse_complement(&seq)));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! GFA-flavoured text serialization for inspection and debugging.
+//!
+//! The dump follows GFA 1.0 conventions closely enough to eyeball in any GFA
+//! viewer: `S` lines for segments, `L` lines for links (always `0M` overlap),
+//! and `P` lines for haplotype paths.
+
+use std::fmt::Write as _;
+
+use crate::graph::VariationGraph;
+use crate::pangenome::Pangenome;
+
+/// Renders a graph (without paths) as GFA text.
+///
+/// ```
+/// use mg_graph::{VariationGraph, Handle};
+///
+/// let mut g = VariationGraph::new();
+/// let a = g.add_node(b"ACG").unwrap();
+/// let b = g.add_node(b"T").unwrap();
+/// g.add_edge(Handle::forward(a), Handle::forward(b));
+/// let text = mg_graph::gfa::graph_to_gfa(&g);
+/// assert!(text.contains("S\t1\tACG"));
+/// assert!(text.contains("L\t1\t+\t2\t+\t0M"));
+/// ```
+pub fn graph_to_gfa(graph: &VariationGraph) -> String {
+    let mut out = String::from("H\tVN:Z:1.0\n");
+    for id in graph.node_ids() {
+        let seq = graph.forward_sequence(id);
+        let _ = writeln!(out, "S\t{id}\t{}", String::from_utf8_lossy(seq));
+    }
+    for (from, to) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "L\t{}\t{}\t{}\t{}\t0M",
+            from.node(),
+            from.orientation(),
+            to.node(),
+            to.orientation()
+        );
+    }
+    out
+}
+
+/// Renders a pangenome as GFA text including `P` lines for haplotype paths.
+pub fn pangenome_to_gfa(pangenome: &Pangenome) -> String {
+    let mut out = graph_to_gfa(pangenome.graph());
+    for path in pangenome.paths() {
+        let steps: Vec<String> = path
+            .handles
+            .iter()
+            .map(|h| format!("{}{}", h.node(), h.orientation()))
+            .collect();
+        let _ = writeln!(out, "P\thap{}\t{}\t*", path.haplotype, steps.join(","));
+    }
+    out
+}
+
+
+/// Errors are [`mg_support::Error::Corrupt`] with the offending line number.
+type ParseResult<T> = mg_support::Result<T>;
+
+/// Parses GFA 1.0 text into a graph plus named paths.
+///
+/// Supports the subset the writer emits — `H`, `S`, `L` (with `0M`
+/// overlap), and `P` lines — which is also the subset vg's text dumps use
+/// for simple graphs. Segment names must be the integer node ids.
+///
+/// # Errors
+///
+/// Returns [`mg_support::Error::Corrupt`] for malformed lines, unknown
+/// record types, non-integer segment names, dangling links, or paths
+/// referencing missing segments.
+pub fn parse_gfa(text: &str) -> ParseResult<(VariationGraph, Vec<(String, Vec<crate::Handle>)>)> {
+    use mg_support::Error;
+
+    let corrupt = |lineno: usize, message: &str| -> Error {
+        Error::Corrupt(format!("GFA line {lineno}: {message}"))
+    };
+    // First pass: segments, in id order (GFA has no ordering guarantee).
+    let mut segments: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if !line.starts_with("S\t") {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        cols.next();
+        let id: u64 = cols
+            .next()
+            .ok_or_else(|| corrupt(lineno, "S line missing name"))?
+            .parse()
+            .map_err(|_| corrupt(lineno, "segment name must be an integer id"))?;
+        let seq = cols
+            .next()
+            .ok_or_else(|| corrupt(lineno, "S line missing sequence"))?;
+        segments.push((id, seq.as_bytes().to_vec()));
+    }
+    segments.sort_by_key(|&(id, _)| id);
+    let mut graph = VariationGraph::new();
+    for (expect, (id, seq)) in segments.iter().enumerate() {
+        if *id != expect as u64 + 1 {
+            return Err(Error::Corrupt(format!(
+                "segment ids must be dense 1..n; found {id} at position {}",
+                expect + 1
+            )));
+        }
+        graph.add_node(seq)?;
+    }
+
+    fn parse_step(
+        graph: &VariationGraph,
+        name: &str,
+        orient: &str,
+        lineno: usize,
+    ) -> ParseResult<crate::Handle> {
+        let id: u64 = name.parse().map_err(|_| {
+            mg_support::Error::Corrupt(format!(
+                "GFA line {lineno}: segment reference must be an integer id"
+            ))
+        })?;
+        if id == 0 || !graph.has_node(crate::NodeId::new(id.max(1))) {
+            return Err(mg_support::Error::Corrupt(format!(
+                "GFA line {lineno}: reference to missing segment"
+            )));
+        }
+        let node = crate::NodeId::new(id);
+        match orient {
+            "+" => Ok(crate::Handle::forward(node)),
+            "-" => Ok(crate::Handle::reverse(node)),
+            other => Err(mg_support::Error::Corrupt(format!(
+                "GFA line {lineno}: bad orientation {other:?}"
+            ))),
+        }
+    }
+
+    // Second pass: links and paths.
+    let mut paths = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let mut cols = line.split('\t');
+        match cols.next() {
+            Some("H") | Some("S") | Some("") | None => {}
+            Some("L") => {
+                let from_name = cols.next().ok_or_else(|| corrupt(lineno, "L missing from"))?;
+                let from_orient = cols.next().ok_or_else(|| corrupt(lineno, "L missing from orient"))?;
+                let to_name = cols.next().ok_or_else(|| corrupt(lineno, "L missing to"))?;
+                let to_orient = cols.next().ok_or_else(|| corrupt(lineno, "L missing to orient"))?;
+                let from = parse_step(&graph, from_name, from_orient, lineno)?;
+                let to = parse_step(&graph, to_name, to_orient, lineno)?;
+                graph.add_edge(from, to);
+            }
+            Some("P") => {
+                let name = cols.next().ok_or_else(|| corrupt(lineno, "P missing name"))?;
+                let steps_text = cols.next().ok_or_else(|| corrupt(lineno, "P missing steps"))?;
+                let mut steps = Vec::new();
+                for step in steps_text.split(',') {
+                    if step.len() < 2 {
+                        return Err(corrupt(lineno, "empty path step"));
+                    }
+                    let (id_text, orient) = step.split_at(step.len() - 1);
+                    steps.push(parse_step(&graph, id_text, orient, lineno)?);
+                }
+                paths.push((name.to_string(), steps));
+            }
+            Some(other) => {
+                return Err(corrupt(lineno, &format!("unknown record type {other:?}")));
+            }
+        }
+    }
+    Ok((graph, paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::Handle;
+    use crate::pangenome::{PangenomeBuilder, Variant};
+
+    #[test]
+    fn empty_graph_has_header_only() {
+        let g = VariationGraph::new();
+        assert_eq!(graph_to_gfa(&g), "H\tVN:Z:1.0\n");
+    }
+
+    #[test]
+    fn segment_and_link_lines() {
+        let mut g = VariationGraph::new();
+        let a = g.add_node(b"AC").unwrap();
+        let b = g.add_node(b"GT").unwrap();
+        g.add_edge(Handle::forward(a), Handle::reverse(b));
+        let text = graph_to_gfa(&g);
+        assert!(text.contains("S\t1\tAC\n"));
+        assert!(text.contains("S\t2\tGT\n"));
+        assert!(text.contains("L\t1\t+\t2\t-\t0M\n"));
+    }
+
+    #[test]
+    fn pangenome_path_lines() {
+        let p = PangenomeBuilder::new(b"AAAATTTT".to_vec())
+            .variants(vec![Variant::snp(4, b'G')])
+            .haplotypes(vec![vec![0], vec![1]])
+            .build()
+            .unwrap();
+        let text = pangenome_to_gfa(&p);
+        assert_eq!(text.matches("\nP\t").count(), 2);
+        assert!(text.contains("P\thap0\t"));
+        assert!(text.contains("P\thap1\t"));
+    }
+
+    #[test]
+    fn line_counts_match_graph() {
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGT".to_vec())
+            .variants(vec![Variant::snp(3, b'A'), Variant::deletion(9, 2)])
+            .haplotypes(vec![vec![1, 0]])
+            .build()
+            .unwrap();
+        let text = pangenome_to_gfa(&p);
+        let s_lines = text.lines().filter(|l| l.starts_with("S\t")).count();
+        let l_lines = text.lines().filter(|l| l.starts_with("L\t")).count();
+        assert_eq!(s_lines, p.graph().node_count());
+        assert_eq!(l_lines, p.graph().edge_count());
+    }
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+    use crate::pangenome::{PangenomeBuilder, Variant};
+
+    #[test]
+    fn writer_output_round_trips() {
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGTAACC".to_vec())
+            .variants(vec![Variant::snp(4, b'T'), Variant::deletion(10, 2)])
+            .haplotypes(vec![vec![0, 0], vec![1, 1]])
+            .max_node_len(6)
+            .build()
+            .unwrap();
+        let text = pangenome_to_gfa(&p);
+        let (graph, paths) = parse_gfa(&text).unwrap();
+        assert_eq!(&graph, p.graph());
+        assert_eq!(paths.len(), p.paths().len());
+        for ((name, steps), original) in paths.iter().zip(p.paths()) {
+            assert_eq!(name, &format!("hap{}", original.haplotype));
+            assert_eq!(steps, &original.handles);
+        }
+    }
+
+    #[test]
+    fn minimal_hand_written_gfa() {
+        let text = "H\tVN:Z:1.0\nS\t1\tACG\nS\t2\tT\nL\t1\t+\t2\t-\t0M\nP\tx\t1+,2-\t*\n";
+        let (graph, paths) = parse_gfa(text).unwrap();
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(graph.edge_count(), 1);
+        assert_eq!(paths[0].0, "x");
+        assert_eq!(paths[0].1.len(), 2);
+        assert!(paths[0].1[1].orientation().is_reverse());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        // Unknown record type.
+        assert!(parse_gfa("Z\tgarbage\n").is_err());
+        // Non-integer segment name.
+        assert!(parse_gfa("S\tfoo\tACGT\n").is_err());
+        // Sparse ids.
+        assert!(parse_gfa("S\t1\tAC\nS\t5\tGT\n").is_err());
+        // Link to a missing segment.
+        assert!(parse_gfa("S\t1\tAC\nL\t1\t+\t9\t+\t0M\n").is_err());
+        // Bad orientation.
+        assert!(parse_gfa("S\t1\tAC\nS\t2\tGT\nL\t1\t*\t2\t+\t0M\n").is_err());
+        // Path step referencing a missing segment.
+        assert!(parse_gfa("S\t1\tAC\nP\tp\t7+\t*\n").is_err());
+        // Invalid bases in a segment.
+        assert!(parse_gfa("S\t1\tAXGT\n").is_err());
+    }
+}

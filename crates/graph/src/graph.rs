@@ -1,0 +1,487 @@
+//! The variation graph: sequence-labelled nodes with oriented edges.
+//!
+//! Nodes have dense ids `1..=node_count`. Edges connect oriented handles;
+//! adding `a -> b` implicitly adds the symmetric traversal
+//! `b.flip() -> a.flip()`, so walking the graph backwards is walking the
+//! flipped handles forwards. Sequences are stored in one flat byte buffer so
+//! node access is a slice, matching the cache behaviour of a real graph
+//! implementation.
+
+use std::borrow::Cow;
+
+use mg_support::varint::{self, Cursor};
+use mg_support::{Error, Result};
+
+use crate::dna;
+use crate::handle::{Handle, NodeId, Orientation};
+
+/// A sequence-labelled bidirected variation graph.
+///
+/// # Examples
+///
+/// ```
+/// use mg_graph::{VariationGraph, Handle, Orientation};
+///
+/// let mut g = VariationGraph::new();
+/// let a = g.add_node(b"ACG").unwrap();
+/// let b = g.add_node(b"T").unwrap();
+/// g.add_edge(Handle::forward(a), Handle::forward(b));
+/// assert_eq!(g.sequence(Handle::forward(a)).as_ref(), b"ACG");
+/// assert_eq!(g.sequence(Handle::reverse(a)).as_ref(), b"CGT");
+/// assert_eq!(g.successors(Handle::forward(a)), &[Handle::forward(b)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VariationGraph {
+    /// Concatenated forward sequences of all nodes.
+    seq_data: Vec<u8>,
+    /// `seq_offsets[i]..seq_offsets[i + 1]` is the sequence of node `i + 1`.
+    seq_offsets: Vec<usize>,
+    /// Successor handles per oriented handle, indexed by `packed - 2`.
+    adjacency: Vec<Vec<Handle>>,
+    /// Total number of distinct (unoriented) edges.
+    edge_count: usize,
+}
+
+impl VariationGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        VariationGraph {
+            seq_data: Vec::new(),
+            seq_offsets: vec![0],
+            adjacency: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.seq_offsets.len() - 1
+    }
+
+    /// Number of (unoriented) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total bases stored across all nodes.
+    pub fn total_sequence_len(&self) -> usize {
+        self.seq_data.len()
+    }
+
+    /// The largest valid node id, or `None` for an empty graph.
+    pub fn max_node_id(&self) -> Option<NodeId> {
+        (self.node_count() > 0).then(|| NodeId::new(self.node_count() as u64))
+    }
+
+    /// Returns `true` if `node` exists in the graph.
+    pub fn has_node(&self, node: NodeId) -> bool {
+        (node.value() as usize) <= self.node_count()
+    }
+
+    /// Adds a node with the given forward sequence, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the sequence is empty or contains
+    /// non-`ACGT` bytes.
+    pub fn add_node(&mut self, sequence: &[u8]) -> Result<NodeId> {
+        if sequence.is_empty() {
+            return Err(Error::Corrupt("empty node sequence".into()));
+        }
+        if !dna::is_valid_sequence(sequence) {
+            return Err(Error::Corrupt("node sequence contains non-ACGT bytes".into()));
+        }
+        self.seq_data.extend_from_slice(sequence);
+        self.seq_offsets.push(self.seq_data.len());
+        self.adjacency.push(Vec::new()); // forward
+        self.adjacency.push(Vec::new()); // reverse
+        Ok(NodeId::new(self.node_count() as u64))
+    }
+
+    /// Adds the edge `from -> to` (and its mirror `to.flip() -> from.flip()`).
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint node does not exist.
+    pub fn add_edge(&mut self, from: Handle, to: Handle) {
+        assert!(self.has_node(from.node()), "edge from missing node {}", from.node());
+        assert!(self.has_node(to.node()), "edge to missing node {}", to.node());
+        let fwd = self.adj_index(from);
+        if self.adjacency[fwd].contains(&to) {
+            return;
+        }
+        self.adjacency[fwd].push(to);
+        self.adjacency[fwd].sort_unstable();
+        // Mirror edge for backward traversal; identical when the edge is a
+        // self-inverse (from == to.flip()).
+        let back = self.adj_index(to.flip());
+        if !self.adjacency[back].contains(&from.flip()) {
+            self.adjacency[back].push(from.flip());
+            self.adjacency[back].sort_unstable();
+        }
+        self.edge_count += 1;
+    }
+
+    fn adj_index(&self, handle: Handle) -> usize {
+        (handle.packed() - 2) as usize
+    }
+
+    /// Length in bases of `node`'s sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn node_len(&self, node: NodeId) -> usize {
+        let i = node.value() as usize;
+        assert!(i <= self.node_count(), "missing node {node}");
+        self.seq_offsets[i] - self.seq_offsets[i - 1]
+    }
+
+    /// The forward-strand sequence of `node` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn forward_sequence(&self, node: NodeId) -> &[u8] {
+        let i = node.value() as usize;
+        assert!(i <= self.node_count(), "missing node {node}");
+        &self.seq_data[self.seq_offsets[i - 1]..self.seq_offsets[i]]
+    }
+
+    /// The sequence read along `handle`: borrowed for forward handles,
+    /// allocated for reverse (reverse complement).
+    ///
+    /// For byte-at-a-time access without allocation, use [`VariationGraph::base`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's node does not exist.
+    pub fn sequence(&self, handle: Handle) -> Cow<'_, [u8]> {
+        let fwd = self.forward_sequence(handle.node());
+        match handle.orientation() {
+            Orientation::Forward => Cow::Borrowed(fwd),
+            Orientation::Reverse => Cow::Owned(dna::reverse_complement(fwd)),
+        }
+    }
+
+    /// The base at `offset` along `handle`, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or `offset` is out of range.
+    #[inline]
+    pub fn base(&self, handle: Handle, offset: usize) -> u8 {
+        let fwd = self.forward_sequence(handle.node());
+        match handle.orientation() {
+            Orientation::Forward => fwd[offset],
+            Orientation::Reverse => dna::complement(fwd[fwd.len() - 1 - offset]),
+        }
+    }
+
+    /// Handles reachable by one edge from `handle`, in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's node does not exist.
+    pub fn successors(&self, handle: Handle) -> &[Handle] {
+        assert!(self.has_node(handle.node()), "missing node {}", handle.node());
+        &self.adjacency[self.adj_index(handle)]
+    }
+
+    /// Handles with an edge into `handle` (computed via the mirror edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's node does not exist.
+    pub fn predecessors(&self, handle: Handle) -> Vec<Handle> {
+        self.successors(handle.flip())
+            .iter()
+            .map(|h| h.flip())
+            .collect()
+    }
+
+    /// Out-degree of `handle`.
+    pub fn degree(&self, handle: Handle) -> usize {
+        self.successors(handle).len()
+    }
+
+    /// Returns `true` if the edge `from -> to` exists.
+    pub fn has_edge(&self, from: Handle, to: Handle) -> bool {
+        self.has_node(from.node())
+            && self.has_node(to.node())
+            && self.adjacency[self.adj_index(from)].binary_search(&to).is_ok()
+    }
+
+    /// Iterates over all node ids in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..=self.node_count() as u64).map(NodeId::new)
+    }
+
+    /// Iterates over all distinct edges as `(from, to)` pairs, each edge
+    /// reported once in its canonical direction (smaller packed endpoint
+    /// first).
+    pub fn edges(&self) -> impl Iterator<Item = (Handle, Handle)> + '_ {
+        self.node_ids().flat_map(move |id| {
+            [Handle::forward(id), Handle::reverse(id)]
+                .into_iter()
+                .flat_map(move |from| {
+                    self.successors(from)
+                        .iter()
+                        .filter(move |&&to| {
+                            // Keep the canonical direction of each edge pair;
+                            // self-inverse edges (from == to.flip()) have only
+                            // one representation and are always kept.
+                            from.packed() <= to.flip().packed()
+                        })
+                        .map(move |&to| (from, to))
+                })
+        })
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.seq_data.capacity()
+            + self.seq_offsets.capacity() * std::mem::size_of::<usize>()
+            + self
+                .adjacency
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<Handle>() + std::mem::size_of::<Vec<Handle>>())
+                .sum::<usize>()
+    }
+
+    /// Serializes the graph to a byte payload (for container sections).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.node_count() as u64);
+        for id in self.node_ids() {
+            let seq = self.forward_sequence(id);
+            varint::write_u64(&mut out, seq.len() as u64);
+            out.extend_from_slice(seq);
+        }
+        // Edges in canonical direction only; the mirror is re-derived.
+        let edges: Vec<(Handle, Handle)> = self.edges().collect();
+        varint::write_u64(&mut out, edges.len() as u64);
+        for (from, to) in edges {
+            varint::write_u64(&mut out, from.packed());
+            varint::write_u64(&mut out, to.packed());
+        }
+        out
+    }
+
+    /// Deserializes a graph written by [`VariationGraph::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns decoding errors and [`Error::Corrupt`] for invalid structure.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let mut cur = Cursor::new(data);
+        let node_count = cur.read_u64()?;
+        let mut graph = VariationGraph::new();
+        for _ in 0..node_count {
+            let len = cur.read_u64()? as usize;
+            let seq = cur.read_bytes(len)?;
+            graph.add_node(seq)?;
+        }
+        let edge_count = cur.read_u64()?;
+        for _ in 0..edge_count {
+            let from = Handle::from_gbwt(cur.read_u64()?)
+                .ok_or_else(|| Error::Corrupt("edge endpoint encodes endmarker".into()))?;
+            let to = Handle::from_gbwt(cur.read_u64()?)
+                .ok_or_else(|| Error::Corrupt("edge endpoint encodes endmarker".into()))?;
+            if !graph.has_node(from.node()) || !graph.has_node(to.node()) {
+                return Err(Error::Corrupt("edge references missing node".into()));
+            }
+            graph.add_edge(from, to);
+        }
+        if !cur.is_at_end() {
+            return Err(Error::Corrupt("trailing bytes after graph".into()));
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> (VariationGraph, [NodeId; 4]) {
+        // 1: ACG -> {2: T, 3: G} -> 4: AA
+        let mut g = VariationGraph::new();
+        let a = g.add_node(b"ACG").unwrap();
+        let b = g.add_node(b"T").unwrap();
+        let c = g.add_node(b"G").unwrap();
+        let d = g.add_node(b"AA").unwrap();
+        g.add_edge(Handle::forward(a), Handle::forward(b));
+        g.add_edge(Handle::forward(a), Handle::forward(c));
+        g.add_edge(Handle::forward(b), Handle::forward(d));
+        g.add_edge(Handle::forward(c), Handle::forward(d));
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts() {
+        let (g, _) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.total_sequence_len(), 7);
+        assert_eq!(g.max_node_id(), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn sequences_and_bases() {
+        let (g, [a, ..]) = diamond();
+        assert_eq!(g.sequence(Handle::forward(a)).as_ref(), b"ACG");
+        assert_eq!(g.sequence(Handle::reverse(a)).as_ref(), b"CGT");
+        for (i, &want) in b"ACG".iter().enumerate() {
+            assert_eq!(g.base(Handle::forward(a), i), want);
+        }
+        for (i, &want) in b"CGT".iter().enumerate() {
+            assert_eq!(g.base(Handle::reverse(a), i), want);
+        }
+    }
+
+    #[test]
+    fn successors_sorted_and_mirrored() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(
+            g.successors(Handle::forward(a)),
+            &[Handle::forward(b), Handle::forward(c)]
+        );
+        // Mirror: from 4's reverse we reach 2- and 3-.
+        assert_eq!(
+            g.successors(Handle::reverse(d)),
+            &[Handle::reverse(b), Handle::reverse(c)]
+        );
+        // Predecessors of 4+ are 2+ and 3+.
+        let mut preds = g.predecessors(Handle::forward(d));
+        preds.sort();
+        assert_eq!(preds, vec![Handle::forward(b), Handle::forward(c)]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = VariationGraph::new();
+        let a = g.add_node(b"A").unwrap();
+        let b = g.add_node(b"C").unwrap();
+        g.add_edge(Handle::forward(a), Handle::forward(b));
+        g.add_edge(Handle::forward(a), Handle::forward(b));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(Handle::forward(a)), 1);
+    }
+
+    #[test]
+    fn has_edge_queries() {
+        let (g, [a, b, _, d]) = diamond();
+        assert!(g.has_edge(Handle::forward(a), Handle::forward(b)));
+        assert!(g.has_edge(Handle::reverse(b), Handle::reverse(a)));
+        assert!(!g.has_edge(Handle::forward(a), Handle::forward(d)));
+    }
+
+    #[test]
+    fn reverse_orientation_edges() {
+        // Inversion-style edge: 1+ -> 2-.
+        let mut g = VariationGraph::new();
+        let a = g.add_node(b"AC").unwrap();
+        let b = g.add_node(b"GG").unwrap();
+        g.add_edge(Handle::forward(a), Handle::reverse(b));
+        assert_eq!(g.successors(Handle::forward(a)), &[Handle::reverse(b)]);
+        // Mirror: 2+ -> 1-.
+        assert_eq!(g.successors(Handle::forward(b)), &[Handle::reverse(a)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_sequences() {
+        let mut g = VariationGraph::new();
+        assert!(g.add_node(b"").is_err());
+        assert!(g.add_node(b"ACGN").is_err());
+        assert!(g.add_node(b"acgt").is_err());
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_once() {
+        let (g, _) = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (g, _) = diamond();
+        let bytes = g.to_bytes();
+        let g2 = VariationGraph::from_bytes(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn deserialize_rejects_trailing_garbage() {
+        let (g, _) = diamond();
+        let mut bytes = g.to_bytes();
+        bytes.push(0);
+        assert!(VariationGraph::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = VariationGraph::new();
+        let g2 = VariationGraph::from_bytes(&g.to_bytes()).unwrap();
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    /// Random small graphs for property tests.
+    fn graph_strategy() -> impl Strategy<Value = VariationGraph> {
+        let seqs = proptest::collection::vec(
+            proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..8),
+            1..20,
+        );
+        (seqs, proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()), 0..40))
+            .prop_map(|(seqs, raw_edges)| {
+                let mut g = VariationGraph::new();
+                let ids: Vec<NodeId> = seqs.iter().map(|s| g.add_node(s).unwrap()).collect();
+                for (f, t, fr, tr) in raw_edges {
+                    let from = ids[(f % ids.len() as u64) as usize];
+                    let to = ids[(t % ids.len() as u64) as usize];
+                    let from = if fr { Handle::reverse(from) } else { Handle::forward(from) };
+                    let to = if tr { Handle::reverse(to) } else { Handle::forward(to) };
+                    g.add_edge(from, to);
+                }
+                g
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_serialization_roundtrip(g in graph_strategy()) {
+            let g2 = VariationGraph::from_bytes(&g.to_bytes()).unwrap();
+            prop_assert_eq!(g, g2);
+        }
+
+        #[test]
+        fn prop_mirror_edges_consistent(g in graph_strategy()) {
+            for id in g.node_ids() {
+                for from in [Handle::forward(id), Handle::reverse(id)] {
+                    for &to in g.successors(from) {
+                        // Every successor edge has its mirror.
+                        prop_assert!(g.successors(to.flip()).contains(&from.flip()));
+                        prop_assert!(g.has_edge(from, to));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_base_matches_sequence(g in graph_strategy()) {
+            for id in g.node_ids() {
+                for h in [Handle::forward(id), Handle::reverse(id)] {
+                    let seq = g.sequence(h);
+                    for (i, &b) in seq.iter().enumerate() {
+                        prop_assert_eq!(g.base(h, i), b);
+                    }
+                }
+            }
+        }
+    }
+}

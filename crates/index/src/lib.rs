@@ -1,0 +1,20 @@
+//! Indexing structures for pangenome mapping: minimizers and distances.
+//!
+//! Giraffe seeds its mapping with three indices; this crate provides the two
+//! that the mapping kernels consume at runtime:
+//!
+//! - [`MinimizerIndex`]: (k, w)-minimizers of every haplotype path, mapping
+//!   read k-mers to [`GraphPos`] seed positions;
+//! - [`DistanceIndex`]: minimum graph distances between positions, used by
+//!   the seed-clustering kernel.
+//!
+//! (The third index, the GBWT itself, lives in [`mg_gbwt`].)
+
+pub mod distance;
+pub mod minimizer;
+pub mod serialize;
+pub mod snarl;
+
+pub use distance::{DistanceIndex, DistanceScratch};
+pub use snarl::{ChainAnswer, ChainIndex};
+pub use minimizer::{extract_minimizers, GraphPos, Minimizer, MinimizerIndex, MinimizerParams};

@@ -1,0 +1,528 @@
+//! Minimizer index: the seeding stage of Giraffe.
+//!
+//! A *(k, w)-minimizer* of a sequence is the k-mer with the smallest hash in
+//! each window of `w` consecutive k-mers. Indexing the minimizers of every
+//! haplotype path (in both orientations) lets a mapper find, for each
+//! minimizer of a read, the graph positions where that k-mer occurs — the
+//! *seeds* that the clustering and extension kernels consume.
+
+use std::collections::HashMap;
+
+use mg_graph::{dna, Handle, VariationGraph};
+
+/// A position in the graph: a spot on an oriented node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphPos {
+    /// The oriented node.
+    pub handle: Handle,
+    /// Offset in bases along the handle's oriented sequence.
+    pub offset: u32,
+}
+
+impl GraphPos {
+    /// Creates a graph position.
+    pub fn new(handle: Handle, offset: u32) -> Self {
+        GraphPos { handle, offset }
+    }
+}
+
+/// A minimizer extracted from a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Minimizer {
+    /// Packed 2-bit k-mer value.
+    pub kmer: u64,
+    /// Offset of the k-mer's first base in the sequence.
+    pub offset: u32,
+}
+
+/// Parameters of the minimizer scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizerParams {
+    /// K-mer length (1..=31).
+    pub k: usize,
+    /// Window length in k-mers (>= 1).
+    pub w: usize,
+}
+
+impl Default for MinimizerParams {
+    /// Giraffe's short-read defaults: k = 29, w = 11.
+    fn default() -> Self {
+        MinimizerParams { k: 29, w: 11 }
+    }
+}
+
+impl MinimizerParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= 31` and `w >= 1`.
+    pub fn new(k: usize, w: usize) -> Self {
+        assert!((1..=31).contains(&k), "k must be in 1..=31");
+        assert!(w >= 1, "w must be >= 1");
+        MinimizerParams { k, w }
+    }
+}
+
+/// Invertible 64-bit hash (Thomas Wang / minimap2 style), used to order
+/// k-mers within a window so minimizers are spread pseudo-randomly.
+pub fn hash_kmer(kmer: u64) -> u64 {
+    let mut x = kmer.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Extracts the (k, w)-minimizers of `seq` with a monotonic-deque sweep.
+///
+/// Windows containing a non-ACGT byte produce no minimizer. Consecutive
+/// windows sharing their minimizer report it once.
+pub fn extract_minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
+    let k = params.k;
+    let w = params.w;
+    if seq.len() < k {
+        return Vec::new();
+    }
+    let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let mut out: Vec<Minimizer> = Vec::new();
+    // Deque of (kmer index, hash), increasing hash from front to back.
+    let mut deque: std::collections::VecDeque<(usize, u64, u64)> = std::collections::VecDeque::new();
+    let mut current = 0u64;
+    let mut valid = 0usize; // number of consecutive valid bases ending here
+    for (i, &b) in seq.iter().enumerate() {
+        match dna::encode_base_checked(b) {
+            Some(code) => {
+                current = ((current << 2) | code as u64) & mask;
+                valid += 1;
+            }
+            None => {
+                current = 0;
+                valid = 0;
+            }
+        }
+        if i + 1 < k {
+            continue;
+        }
+        let kmer_idx = i + 1 - k;
+        if valid < k {
+            // K-mer spans an invalid base: flush the deque of anything that
+            // would otherwise linger across the gap.
+            continue;
+        }
+        let h = hash_kmer(current);
+        // Strict comparison keeps the earliest k-mer on hash ties.
+        while deque.back().is_some_and(|&(_, bh, _)| bh > h) {
+            deque.pop_back();
+        }
+        deque.push_back((kmer_idx, h, current));
+        // Window of k-mers ending at kmer_idx covers [kmer_idx + 1 - w, kmer_idx];
+        // evict candidates that fell out on the left.
+        while deque.front().is_some_and(|&(idx, _, _)| idx + w <= kmer_idx) {
+            deque.pop_front();
+        }
+        if kmer_idx + 1 >= w {
+            // Window complete: the front is the minimizer, but only if the
+            // whole window is valid k-mers (no gaps since window start).
+            let window_start = kmer_idx + 1 - w;
+            if valid >= k + w - 1 || window_start_valid(&deque, window_start) {
+                if let Some(&(idx, _, kmer)) = deque.front() {
+                    if out.last().map(|m| m.offset as usize) != Some(idx) {
+                        out.push(Minimizer { kmer, offset: idx as u32 });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A window is usable if its minimum candidate is inside it; gaps drop
+/// candidates, so an up-to-date front implies enough validity for reporting.
+fn window_start_valid(
+    deque: &std::collections::VecDeque<(usize, u64, u64)>,
+    window_start: usize,
+) -> bool {
+    deque.front().is_some_and(|&(idx, _, _)| idx >= window_start)
+}
+
+/// The minimizer index over a graph's haplotype paths.
+///
+/// # Examples
+///
+/// ```
+/// use mg_graph::pangenome::{PangenomeBuilder, Variant};
+/// use mg_index::{MinimizerIndex, MinimizerParams};
+///
+/// let p = PangenomeBuilder::new(b"ACGTTGCAACGTACGTTGCA".to_vec())
+///     .variants(vec![Variant::snp(9, b'T')])
+///     .haplotypes(vec![vec![0], vec![1]])
+///     .build()
+///     .unwrap();
+/// let params = MinimizerParams::new(5, 3);
+/// let index = MinimizerIndex::build(p.graph(), p.paths().iter().map(|h| h.handles.as_slice()), params);
+/// // Querying a read sampled from haplotype 0 yields seeds.
+/// let hits = index.query(b"ACGTTGCAAC", 100);
+/// assert!(!hits.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinimizerIndex {
+    params: MinimizerParams,
+    /// k-mer -> sorted, deduplicated graph positions.
+    table: HashMap<u64, Vec<GraphPos>>,
+    total_positions: usize,
+}
+
+impl MinimizerIndex {
+    /// Builds the index from haplotype paths, indexing both orientations of
+    /// every path so reverse-strand reads seed on flipped handles.
+    pub fn build<'a, I>(graph: &VariationGraph, paths: I, params: MinimizerParams) -> Self
+    where
+        I: IntoIterator<Item = &'a [Handle]>,
+    {
+        let mut table: HashMap<u64, Vec<GraphPos>> = HashMap::new();
+        for path in paths {
+            Self::index_path(graph, path, params, &mut table);
+            let flipped: Vec<Handle> = path.iter().rev().map(|h| h.flip()).collect();
+            Self::index_path(graph, &flipped, params, &mut table);
+        }
+        let mut total = 0;
+        for positions in table.values_mut() {
+            positions.sort_unstable();
+            positions.dedup();
+            total += positions.len();
+        }
+        MinimizerIndex {
+            params,
+            table,
+            total_positions: total,
+        }
+    }
+
+    fn index_path(
+        graph: &VariationGraph,
+        path: &[Handle],
+        params: MinimizerParams,
+        table: &mut HashMap<u64, Vec<GraphPos>>,
+    ) {
+        // Spell the path and remember, per base, its graph position.
+        let mut seq = Vec::new();
+        let mut pos_of_base: Vec<GraphPos> = Vec::new();
+        for &h in path {
+            let node_seq = graph.sequence(h);
+            for (off, &b) in node_seq.iter().enumerate() {
+                seq.push(b);
+                pos_of_base.push(GraphPos::new(h, off as u32));
+            }
+        }
+        for m in extract_minimizers(&seq, params) {
+            table
+                .entry(m.kmer)
+                .or_default()
+                .push(pos_of_base[m.offset as usize]);
+        }
+    }
+
+    /// The minimizer scheme parameters.
+    pub fn params(&self) -> MinimizerParams {
+        self.params
+    }
+
+    /// Number of distinct indexed k-mers.
+    pub fn distinct_kmers(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total indexed (k-mer, position) pairs.
+    pub fn total_positions(&self) -> usize {
+        self.total_positions
+    }
+
+    /// Graph positions of one k-mer, if indexed.
+    pub fn positions(&self, kmer: u64) -> Option<&[GraphPos]> {
+        self.table.get(&kmer).map(|v| v.as_slice())
+    }
+
+    /// Iterates over all indexed k-mers (arbitrary order).
+    pub fn kmers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.table.keys().copied()
+    }
+
+    /// Reassembles an index from deserialized parts (see
+    /// [`MinimizerIndex::from_bytes`](crate::serialize)).
+    pub(crate) fn from_parts(
+        params: MinimizerParams,
+        table: std::collections::HashMap<u64, Vec<GraphPos>>,
+        total_positions: usize,
+    ) -> Self {
+        MinimizerIndex { params, table, total_positions }
+    }
+
+    /// Finds seed hits for a read: for each minimizer of `read`, every graph
+    /// position of that k-mer. Minimizers with more than `hard_hit_cap`
+    /// positions are skipped (Giraffe's repeat filter).
+    ///
+    /// Returns `(read offset, graph position)` pairs.
+    pub fn query(&self, read: &[u8], hard_hit_cap: usize) -> Vec<(u32, GraphPos)> {
+        let mut out = Vec::new();
+        for m in extract_minimizers(read, self.params) {
+            if let Some(positions) = self.table.get(&m.kmer) {
+                if positions.len() > hard_hit_cap {
+                    continue;
+                }
+                for &pos in positions {
+                    out.push((m.offset, pos));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_graph::pangenome::{PangenomeBuilder, Variant};
+    use proptest::prelude::*;
+
+    #[test]
+    fn short_sequence_has_no_minimizers() {
+        let params = MinimizerParams::new(5, 2);
+        assert!(extract_minimizers(b"ACGT", params).is_empty());
+        assert!(extract_minimizers(b"", params).is_empty());
+    }
+
+    #[test]
+    fn single_window_picks_min_hash() {
+        let params = MinimizerParams::new(3, 2);
+        let seq = b"ACGT"; // k-mers: ACG, CGT; one window of 2
+        let ms = extract_minimizers(seq, params);
+        assert_eq!(ms.len(), 1);
+        let k0 = pack(b"ACG");
+        let k1 = pack(b"CGT");
+        let expect = if hash_kmer(k0) <= hash_kmer(k1) { k0 } else { k1 };
+        assert_eq!(ms[0].kmer, expect);
+    }
+
+    #[test]
+    fn w_equals_one_reports_every_kmer() {
+        let params = MinimizerParams::new(4, 1);
+        let seq = b"ACGTACGTAC";
+        let ms = extract_minimizers(seq, params);
+        assert_eq!(ms.len(), seq.len() - 4 + 1);
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.offset as usize, i);
+            assert_eq!(m.kmer, pack(&seq[i..i + 4]));
+        }
+    }
+
+    #[test]
+    fn n_bases_suppress_overlapping_kmers() {
+        let params = MinimizerParams::new(3, 1);
+        let seq = b"ACGNACG";
+        let ms = extract_minimizers(seq, params);
+        // Valid k-mers: offsets 0 (ACG) and 4 (ACG) only.
+        let offsets: Vec<u32> = ms.iter().map(|m| m.offset).collect();
+        assert_eq!(offsets, vec![0, 4]);
+    }
+
+    #[test]
+    fn identical_kmer_run_reports_leftmost_per_window() {
+        // A run of identical bases: every k-mer hashes the same, and ties
+        // break to the leftmost k-mer of each window, so each of the 5
+        // windows reports a distinct offset.
+        let params = MinimizerParams::new(3, 2);
+        let ms = extract_minimizers(b"AAAAAAAA", params);
+        let offsets: Vec<u32> = ms.iter().map(|m| m.offset).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3, 4]);
+        assert!(ms.iter().all(|m| m.kmer == pack(b"AAA")));
+    }
+
+    fn pack(seq: &[u8]) -> u64 {
+        seq.iter()
+            .fold(0u64, |acc, &b| (acc << 2) | dna::encode_base(b) as u64)
+    }
+
+    fn sample_index() -> (mg_graph::Pangenome, MinimizerIndex) {
+        let p = PangenomeBuilder::new(
+            b"ACGTTGCAACGTACGTTGCATTGACCAGTTGACGTACCAGGTT".to_vec(),
+        )
+        .variants(vec![Variant::snp(10, b'A'), Variant::deletion(25, 2)])
+        .haplotypes(vec![vec![0, 0], vec![1, 0], vec![0, 1]])
+        .max_node_len(7)
+        .build()
+        .unwrap();
+        let params = MinimizerParams::new(7, 4);
+        let index = MinimizerIndex::build(
+            p.graph(),
+            p.paths().iter().map(|h| h.handles.as_slice()),
+            params,
+        );
+        (p, index)
+    }
+
+    #[test]
+    fn index_counts_are_consistent() {
+        let (_, index) = sample_index();
+        assert!(index.distinct_kmers() > 0);
+        let sum: usize = (0..0).len(); // placeholder to use total
+        let _ = sum;
+        assert!(index.total_positions() >= index.distinct_kmers());
+    }
+
+    #[test]
+    fn query_on_exact_haplotype_substring_hits_correct_positions() {
+        let (p, index) = sample_index();
+        let hap = p.paths()[0].sequence(p.graph());
+        let read = &hap[4..26];
+        let hits = index.query(read, 1000);
+        assert!(!hits.is_empty());
+        // Every hit's k-mer must actually occur at the claimed position.
+        let k = index.params().k;
+        for (read_off, pos) in &hits {
+            let mut spelled = Vec::new();
+            // Walk from the position along haplotype 0's handle chain.
+            let mut remaining = k;
+            let mut handle = pos.handle;
+            let mut off = pos.offset as usize;
+            'outer: while remaining > 0 {
+                let seq = p.graph().sequence(handle);
+                while off < seq.len() && remaining > 0 {
+                    spelled.push(seq[off]);
+                    off += 1;
+                    remaining -= 1;
+                }
+                if remaining > 0 {
+                    // Follow any successor that continues the haplotype; for
+                    // this test just take each successor and check one works.
+                    for &next in p.graph().successors(handle) {
+                        let test_seq = p.graph().sequence(next);
+                        let want = &read[*read_off as usize + (k - remaining)..*read_off as usize + k];
+                        if test_seq.len() >= remaining.min(want.len())
+                            && test_seq[..remaining.min(test_seq.len())]
+                                == want[..remaining.min(test_seq.len())]
+                        {
+                            handle = next;
+                            off = 0;
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+            }
+            if spelled.len() == k {
+                assert_eq!(
+                    &spelled[..],
+                    &read[*read_off as usize..*read_off as usize + k],
+                    "hit at {pos:?} spells the read k-mer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_complement_read_still_seeds() {
+        let (p, index) = sample_index();
+        let hap = p.paths()[1].sequence(p.graph());
+        let read = dna::reverse_complement(&hap[6..30]);
+        let hits = index.query(&read, 1000);
+        assert!(!hits.is_empty(), "reverse-strand read must produce seeds");
+        // All those hits are on reverse-orientation handles (for this
+        // forward-only pangenome).
+        assert!(hits.iter().any(|(_, pos)| pos.handle.orientation().is_reverse()));
+    }
+
+    #[test]
+    fn hard_hit_cap_filters_repeats() {
+        let p = PangenomeBuilder::new(vec![b'A'; 60])
+            .haplotypes(vec![vec![]])
+            .max_node_len(10)
+            .build()
+            .unwrap();
+        let params = MinimizerParams::new(5, 2);
+        let index = MinimizerIndex::build(
+            p.graph(),
+            p.paths().iter().map(|h| h.handles.as_slice()),
+            params,
+        );
+        // Poly-A k-mer occurs everywhere; a tight cap suppresses it.
+        let with_cap = index.query(&vec![b'A'; 30], 3);
+        assert!(with_cap.is_empty());
+        let without_cap = index.query(&vec![b'A'; 30], 10_000);
+        assert!(!without_cap.is_empty());
+    }
+
+    #[test]
+    fn positions_lookup() {
+        let (_, index) = sample_index();
+        let mut found = false;
+        for kmer in 0..(1u64 << 14) {
+            if let Some(ps) = index.positions(kmer) {
+                assert!(!ps.is_empty());
+                // Sorted and deduplicated.
+                assert!(ps.windows(2).all(|w| w[0] < w[1]));
+                found = true;
+                break;
+            }
+        }
+        assert!(found || index.distinct_kmers() == 0);
+    }
+
+    proptest! {
+        /// Minimizer positions are valid and ordered; each reported k-mer
+        /// matches the sequence at its offset.
+        #[test]
+        fn prop_minimizers_are_consistent(
+            seq in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..300),
+            k in 2usize..8,
+            w in 1usize..6,
+        ) {
+            let params = MinimizerParams::new(k, w);
+            let ms = extract_minimizers(&seq, params);
+            for m in &ms {
+                let off = m.offset as usize;
+                prop_assert!(off + k <= seq.len());
+                prop_assert_eq!(m.kmer, pack(&seq[off..off + k]));
+            }
+            // Offsets strictly increase.
+            prop_assert!(ms.windows(2).all(|p| p[0].offset < p[1].offset));
+            // Each window of w k-mers (when seq long enough) contains at
+            // least one reported minimizer.
+            if seq.len() >= k + w - 1 {
+                for window_start in 0..=(seq.len() + 1 - k - w) {
+                    let covered = ms.iter().any(|m| {
+                        let off = m.offset as usize;
+                        off >= window_start && off < window_start + w
+                    });
+                    prop_assert!(covered, "window at {} uncovered", window_start);
+                }
+            }
+        }
+
+        /// The minimizer set is a subset of what a naive per-window argmin
+        /// computes, and covers the same windows.
+        #[test]
+        fn prop_matches_naive(
+            seq in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 10..120),
+            k in 2usize..6,
+            w in 1usize..5,
+        ) {
+            let params = MinimizerParams::new(k, w);
+            let fast: Vec<(u32, u64)> = extract_minimizers(&seq, params)
+                .iter().map(|m| (m.offset, m.kmer)).collect();
+            // Naive: for each window, the k-mer with min (hash, offset).
+            let mut naive: Vec<(u32, u64)> = Vec::new();
+            if seq.len() >= k + w - 1 {
+                for ws in 0..=(seq.len() + 1 - k - w) {
+                    let best = (ws..ws + w)
+                        .min_by_key(|&i| (hash_kmer(pack(&seq[i..i + k])), i))
+                        .unwrap();
+                    let entry = (best as u32, pack(&seq[best..best + k]));
+                    if naive.last() != Some(&entry) {
+                        naive.push(entry);
+                    }
+                }
+            }
+            prop_assert_eq!(fast, naive);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! On-disk forms of the minimizer and distance indices.
+//!
+//! Giraffe ships its indices as standalone artifacts (`.min`, `.dist`)
+//! built once and memory-mapped at mapping time; these are the analogous
+//! container payloads so a pangenome's indices can be built once and
+//! shipped alongside the `.mgz`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use mg_support::container::{ContainerReader, ContainerWriter};
+use mg_support::varint::{self, Cursor};
+use mg_support::{Error, Result};
+
+use crate::minimizer::{GraphPos, MinimizerIndex, MinimizerParams};
+
+/// Container kind for minimizer index files.
+pub const MIN_KIND: [u8; 4] = *b"MGMI";
+/// Section tag for the minimizer payload.
+pub const TAG_MINIMIZERS: u32 = 0x0020;
+
+impl MinimizerIndex {
+    /// Serializes the index to a byte payload (sorted by k-mer, so the
+    /// encoding is canonical: equal indices produce equal bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let params = self.params();
+        varint::write_u64(&mut out, params.k as u64);
+        varint::write_u64(&mut out, params.w as u64);
+        let mut kmers: Vec<u64> = self.kmers().collect();
+        kmers.sort_unstable();
+        varint::write_u64(&mut out, kmers.len() as u64);
+        let mut prev_kmer = 0u64;
+        for kmer in kmers {
+            varint::write_u64(&mut out, kmer - prev_kmer);
+            prev_kmer = kmer;
+            let positions = self.positions(kmer).expect("kmer from iterator");
+            varint::write_u64(&mut out, positions.len() as u64);
+            for pos in positions {
+                varint::write_u64(&mut out, pos.handle.packed());
+                varint::write_u64(&mut out, pos.offset as u64);
+            }
+        }
+        out
+    }
+
+    /// Deserializes an index written by [`MinimizerIndex::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns codec errors and [`Error::Corrupt`] for invalid structure.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let mut cur = Cursor::new(data);
+        let k = cur.read_u64()? as usize;
+        let w = cur.read_u64()? as usize;
+        if !(1..=31).contains(&k) || w == 0 {
+            return Err(Error::Corrupt(format!("invalid minimizer params k={k} w={w}")));
+        }
+        let params = MinimizerParams::new(k, w);
+        let kmer_count = cur.read_u64()? as usize;
+        let mut table = std::collections::HashMap::with_capacity(kmer_count);
+        let mut total = 0usize;
+        let mut kmer = 0u64;
+        for _ in 0..kmer_count {
+            kmer += cur.read_u64()?;
+            let n = cur.read_u64()? as usize;
+            let mut positions = Vec::with_capacity(n);
+            for _ in 0..n {
+                let handle = mg_graph::Handle::from_gbwt(cur.read_u64()?)
+                    .ok_or_else(|| Error::Corrupt("minimizer position encodes endmarker".into()))?;
+                let offset = cur.read_u64()? as u32;
+                positions.push(GraphPos::new(handle, offset));
+            }
+            total += positions.len();
+            table.insert(kmer, positions);
+        }
+        if !cur.is_at_end() {
+            return Err(Error::Corrupt("trailing bytes after minimizer index".into()));
+        }
+        Ok(MinimizerIndex::from_parts(params, table, total))
+    }
+
+    /// Writes a `.min`-analog file.
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = BufWriter::new(File::create(path)?);
+        let mut writer = ContainerWriter::new(file, MIN_KIND)?;
+        writer.section(TAG_MINIMIZERS, &self.to_bytes())?;
+        writer.finish()?;
+        Ok(())
+    }
+
+    /// Reads a `.min`-analog file.
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem and format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let file = BufReader::new(File::open(path)?);
+        let mut reader = ContainerReader::new(file, MIN_KIND)?;
+        Self::from_bytes(&reader.expect_section(TAG_MINIMIZERS)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_graph::pangenome::{PangenomeBuilder, Variant};
+
+    fn sample_index() -> MinimizerIndex {
+        let p = PangenomeBuilder::new(b"ACGTTGCAACGTACGTTGCATTGACCAGTTGA".to_vec())
+            .variants(vec![Variant::snp(9, b'T')])
+            .haplotypes(vec![vec![0], vec![1]])
+            .max_node_len(7)
+            .build()
+            .unwrap();
+        MinimizerIndex::build(
+            p.graph(),
+            p.paths().iter().map(|h| h.handles.as_slice()),
+            MinimizerParams::new(7, 3),
+        )
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_queries() {
+        let index = sample_index();
+        let back = MinimizerIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.params(), index.params());
+        assert_eq!(back.distinct_kmers(), index.distinct_kmers());
+        assert_eq!(back.total_positions(), index.total_positions());
+        // Every query result identical.
+        let read = b"ACGTTGCAACGTACG";
+        assert_eq!(back.query(read, 100), index.query(read, 100));
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let a = sample_index();
+        let b = MinimizerIndex::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let index = sample_index();
+        let dir = std::env::temp_dir().join(format!("mg-min-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.min");
+        index.save(&path).unwrap();
+        let back = MinimizerIndex::load(&path).unwrap();
+        assert_eq!(back.to_bytes(), index.to_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let index = sample_index();
+        let mut bytes = index.to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(MinimizerIndex::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut bytes = Vec::new();
+        mg_support::varint::write_u64(&mut bytes, 99); // k = 99 invalid
+        mg_support::varint::write_u64(&mut bytes, 5);
+        mg_support::varint::write_u64(&mut bytes, 0);
+        assert!(MinimizerIndex::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! GAF output: the Graph Alignment Format Giraffe emits.
+//!
+//! GAF is the graph analog of PAF: one tab-separated line per alignment
+//! with the path written as `>`/`<`-oriented node steps. The parent
+//! pipeline renders its alignments as GAF so downstream pangenome tools
+//! (and eyeballs) can consume them.
+
+use std::fmt::Write as _;
+
+use mg_core::types::Extension;
+use mg_graph::{Handle, Orientation};
+
+use crate::align::Alignment;
+
+/// Renders one path as GAF step syntax (`>12<13>14`).
+pub fn path_to_gaf(path: &[Handle]) -> String {
+    let mut out = String::new();
+    for h in path {
+        let sign = match h.orientation() {
+            Orientation::Forward => '>',
+            Orientation::Reverse => '<',
+        };
+        let _ = write!(out, "{sign}{}", h.node());
+    }
+    out
+}
+
+/// Renders an alignment (plus the extension that produced it, for the path
+/// and read length) as a GAF line.
+///
+/// Columns: name, read length, read start, read end, strand, path, path
+/// length, path start, path end, matches, alignment block length, mapq,
+/// plus `AS`/`NM`/`pp` typed tags.
+pub fn alignment_to_gaf(
+    graph: &mg_graph::VariationGraph,
+    read_name: &str,
+    read_len: usize,
+    alignment: &Alignment,
+    extension: &Extension,
+) -> String {
+    let path = path_to_gaf(&extension.path);
+    let path_len: usize = extension
+        .path
+        .iter()
+        .map(|h| graph.node_len(h.node()))
+        .sum();
+    let block = (alignment.read_end - alignment.read_start) as usize;
+    let matches = block - alignment.mismatches as usize;
+    let path_start = extension.pos.offset as usize;
+    let path_end = (path_start + block).min(path_len);
+    let strand = match extension.pos.handle.orientation() {
+        Orientation::Forward => '+',
+        Orientation::Reverse => '-',
+    };
+    let mut line = format!(
+        "{read_name}\t{read_len}\t{}\t{}\t{strand}\t{path}\t{path_len}\t{path_start}\t{path_end}\t{matches}\t{block}\t{}",
+        alignment.read_start, alignment.read_end, alignment.mapq
+    );
+    let _ = write!(
+        line,
+        "\tAS:i:{}\tNM:i:{}\tpp:A:{}",
+        alignment.score,
+        alignment.mismatches,
+        if alignment.properly_paired { '1' } else { '0' }
+    );
+    if !alignment.haplotypes.is_empty() {
+        let ids: Vec<String> = alignment.haplotypes.iter().map(|h| h.to_string()).collect();
+        let _ = write!(line, "\thp:Z:{}", ids.join(","));
+    }
+    if let Some(cigar) = &alignment.tail_cigar {
+        let _ = write!(line, "\tcg:Z:{cigar}");
+    }
+    line
+}
+
+/// Renders a whole run (alignments zipped with their kernel extensions) as
+/// GAF text, one line per emitted alignment, unmapped reads skipped.
+pub fn run_to_gaf(graph: &mg_graph::VariationGraph, run: &crate::ParentRun, set_name: &str) -> String {
+    let mut out = String::new();
+    for (result, alignments) in run.kernel_results.iter().zip(&run.alignments) {
+        for alignment in alignments {
+            // Find the extension this alignment came from. The gapped tail
+            // fallback may have advanced read_end past the extension's, so
+            // match on start + position only.
+            let Some(extension) = result.extensions.iter().find(|e| {
+                e.read_start == alignment.read_start && e.pos == alignment.pos
+            }) else {
+                continue;
+            };
+            let read_len = run.dump.reads[result.read_id as usize].bases.len();
+            out.push_str(&alignment_to_gaf(
+                graph,
+                &format!("{set_name}.{}", result.read_id),
+                read_len,
+                alignment,
+                extension,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Parent, ParentOptions};
+    use mg_graph::NodeId;
+    use mg_workload::{InputSetSpec, SyntheticInput};
+
+    #[test]
+    fn path_syntax() {
+        let path = vec![
+            Handle::forward(NodeId::new(12)),
+            Handle::reverse(NodeId::new(13)),
+            Handle::forward(NodeId::new(14)),
+        ];
+        assert_eq!(path_to_gaf(&path), ">12<13>14");
+        assert_eq!(path_to_gaf(&[]), "");
+    }
+
+    #[test]
+    fn full_run_renders_valid_gaf() {
+        let input = SyntheticInput::generate(&InputSetSpec::tiny_for_tests(), 8);
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let run = parent.run(&reads, &ParentOptions::default());
+        let gaf = run_to_gaf(input.gbz.graph(), &run, "tiny");
+        assert!(!gaf.is_empty());
+        for line in gaf.lines() {
+            let cols: Vec<&str> = line.split('\t').collect();
+            assert!(cols.len() >= 12, "GAF line has {} columns: {line}", cols.len());
+            // Read length and coordinates are consistent.
+            let read_len: usize = cols[1].parse().unwrap();
+            let start: usize = cols[2].parse().unwrap();
+            let end: usize = cols[3].parse().unwrap();
+            assert!(start < end && end <= read_len, "{line}");
+            // Strand column and path syntax.
+            assert!(cols[4] == "+" || cols[4] == "-");
+            assert!(cols[5].starts_with('>') || cols[5].starts_with('<'));
+            // Matches never exceed the block length.
+            let matches: usize = cols[9].parse().unwrap();
+            let block: usize = cols[10].parse().unwrap();
+            assert!(matches <= block);
+            // Tags present.
+            assert!(line.contains("AS:i:"));
+            assert!(line.contains("NM:i:"));
+        }
+        // Every line corresponds to an emitted alignment.
+        assert_eq!(gaf.lines().count(), run.total_alignments());
+    }
+}
+
+#[cfg(test)]
+mod tail_gaf_tests {
+    use super::*;
+    use crate::{Parent, ParentOptions};
+    use mg_workload::{InputSetSpec, SyntheticInput};
+
+    #[test]
+    fn tail_extended_alignments_stay_in_gaf() {
+        // Error-dense reads force trimmed extensions + gapped tails; every
+        // emitted alignment must still render (the fallback changes
+        // read_end, which must not break extension matching).
+        let mut spec = InputSetSpec::tiny_for_tests();
+        spec.read_sim.error_rate = 0.04;
+        let input = SyntheticInput::generate(&spec, 29);
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let run = parent.run(&reads, &ParentOptions::default());
+        let gaf = run_to_gaf(input.gbz.graph(), &run, "e");
+        assert_eq!(gaf.lines().count(), run.total_alignments());
+        // At least one alignment used the gapped tail (cg tag present) for
+        // this error rate and seed; if not, the fallback never fired, which
+        // would itself be suspicious at 4% errors.
+        let tails = run
+            .alignments
+            .iter()
+            .flatten()
+            .filter(|a| a.tail_cigar.is_some())
+            .count();
+        if tails > 0 {
+            assert!(gaf.contains("cg:Z:"), "tail CIGARs must reach the GAF");
+        }
+    }
+}

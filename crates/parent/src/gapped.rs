@@ -1,0 +1,509 @@
+//! Gapped alignment: the fallback alignment phase.
+//!
+//! Gapless extension cannot cross indels. When the best extension leaves
+//! read bases uncovered, Giraffe hands the tails to a gapped aligner
+//! (dozeu/gssw banded Smith-Waterman). This module implements the same
+//! role: a banded global aligner with affine gap penalties (Gotoh's three
+//! matrices), used by the parent's post-processing to stitch uncovered read
+//! tails onto the graph walk.
+
+/// Scoring parameters (Giraffe's defaults: match 1, mismatch 4, gap open
+/// 6, gap extend 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapParams {
+    /// Score added per matching base.
+    pub match_score: i32,
+    /// Penalty subtracted per mismatching base.
+    pub mismatch: i32,
+    /// Penalty for opening a gap (first gapped base).
+    pub gap_open: i32,
+    /// Penalty for each additional gapped base.
+    pub gap_extend: i32,
+    /// Band half-width: cells with `|i - j| > band` are not computed.
+    pub band: usize,
+}
+
+impl Default for GapParams {
+    fn default() -> Self {
+        GapParams {
+            match_score: 1,
+            mismatch: 4,
+            gap_open: 6,
+            gap_extend: 1,
+            band: 16,
+        }
+    }
+}
+
+/// One CIGAR run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CigarOp {
+    /// Matching bases (`=`).
+    Match(u32),
+    /// Substitutions (`X`).
+    Mismatch(u32),
+    /// Bases present in the read but not the reference (`I`).
+    Insertion(u32),
+    /// Reference bases skipped by the read (`D`).
+    Deletion(u32),
+}
+
+impl CigarOp {
+    fn len(self) -> u32 {
+        match self {
+            CigarOp::Match(n) | CigarOp::Mismatch(n) | CigarOp::Insertion(n) | CigarOp::Deletion(n) => n,
+        }
+    }
+
+    fn symbol(self) -> char {
+        match self {
+            CigarOp::Match(_) => '=',
+            CigarOp::Mismatch(_) => 'X',
+            CigarOp::Insertion(_) => 'I',
+            CigarOp::Deletion(_) => 'D',
+        }
+    }
+}
+
+/// Renders a CIGAR string (`12=1X3I4=`).
+pub fn cigar_string(ops: &[CigarOp]) -> String {
+    ops.iter().map(|op| format!("{}{}", op.len(), op.symbol())).collect()
+}
+
+/// A finished gapped alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GappedAlignment {
+    /// Total alignment score.
+    pub score: i32,
+    /// Edit script, read against reference.
+    pub cigar: Vec<CigarOp>,
+}
+
+impl GappedAlignment {
+    /// Number of read bases consumed by the CIGAR.
+    pub fn read_len(&self) -> u32 {
+        self.cigar
+            .iter()
+            .map(|op| match op {
+                CigarOp::Match(n) | CigarOp::Mismatch(n) | CigarOp::Insertion(n) => *n,
+                CigarOp::Deletion(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Number of reference bases consumed by the CIGAR.
+    pub fn ref_len(&self) -> u32 {
+        self.cigar
+            .iter()
+            .map(|op| match op {
+                CigarOp::Match(n) | CigarOp::Mismatch(n) | CigarOp::Deletion(n) => *n,
+                CigarOp::Insertion(_) => 0,
+            })
+            .sum()
+    }
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Globally aligns `read` against `reference` inside a diagonal band.
+///
+/// Returns `None` when the length difference exceeds the band (the global
+/// path would leave the band) or either sequence is empty.
+pub fn banded_global(read: &[u8], reference: &[u8], params: &GapParams) -> Option<GappedAlignment> {
+    let (n, m) = (read.len(), reference.len());
+    if n == 0 || m == 0 || n.abs_diff(m) > params.band {
+        return None;
+    }
+    let band = params.band;
+    let width = 2 * band + 1;
+    let idx = |i: usize, j: usize| -> Option<usize> {
+        // Column j sits at offset j - i + band within row i's band window.
+        let lo = i.saturating_sub(band);
+        if j < lo || j > i + band || j > m {
+            None
+        } else {
+            Some(j + band - i)
+        }
+    };
+    // Three Gotoh matrices, band-compressed rows: M (diagonal), X (gap in
+    // reference: insertion), Y (gap in read: deletion).
+    let rows = n + 1;
+    let mut matrix_m = vec![NEG; rows * width];
+    let mut matrix_x = vec![NEG; rows * width];
+    let mut matrix_y = vec![NEG; rows * width];
+    // Tracebacks: 0 = from M, 1 = from X, 2 = from Y.
+    let mut back_m = vec![0u8; rows * width];
+    let mut back_x = vec![0u8; rows * width];
+    let mut back_y = vec![0u8; rows * width];
+
+    let at = |i: usize, k: usize| i * width + k;
+    matrix_m[at(0, band)] = 0;
+    // First row: deletions only.
+    for j in 1..=m.min(band) {
+        let k = idx(0, j).expect("in band");
+        matrix_y[at(0, k)] = -(params.gap_open + (j as i32 - 1) * params.gap_extend);
+        back_y[at(0, k)] = if j == 1 { 0 } else { 2 };
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let k = idx(i, j).expect("in band");
+            // X: gap in reference (consume read base i).
+            if let Some(pk) = idx(i - 1, j) {
+                let open = matrix_m[at(i - 1, pk)] - params.gap_open;
+                let extend = matrix_x[at(i - 1, pk)] - params.gap_extend;
+                if open >= extend {
+                    matrix_x[at(i, k)] = open;
+                    back_x[at(i, k)] = 0;
+                } else {
+                    matrix_x[at(i, k)] = extend;
+                    back_x[at(i, k)] = 1;
+                }
+            }
+            // Y: gap in read (consume reference base j).
+            if j >= 1 {
+                if let Some(pk) = idx(i, j - 1) {
+                    let open = matrix_m[at(i, pk)] - params.gap_open;
+                    let extend = matrix_y[at(i, pk)] - params.gap_extend;
+                    if open >= extend {
+                        matrix_y[at(i, k)] = open;
+                        back_y[at(i, k)] = 0;
+                    } else {
+                        matrix_y[at(i, k)] = extend;
+                        back_y[at(i, k)] = 2;
+                    }
+                }
+            }
+            // M: diagonal.
+            if j >= 1 {
+                if let Some(pk) = idx(i - 1, j - 1) {
+                    let sub = if read[i - 1] == reference[j - 1] {
+                        params.match_score
+                    } else {
+                        -params.mismatch
+                    };
+                    let from_m = matrix_m[at(i - 1, pk)];
+                    let from_x = matrix_x[at(i - 1, pk)];
+                    let from_y = matrix_y[at(i - 1, pk)];
+                    let (best, who) = if from_m >= from_x && from_m >= from_y {
+                        (from_m, 0)
+                    } else if from_x >= from_y {
+                        (from_x, 1)
+                    } else {
+                        (from_y, 2)
+                    };
+                    if best > NEG {
+                        matrix_m[at(i, k)] = best + sub;
+                        back_m[at(i, k)] = who;
+                    }
+                }
+            }
+        }
+    }
+
+    // Final cell.
+    let k_end = idx(n, m)?;
+    let (mut state, score) = {
+        let m_score = matrix_m[at(n, k_end)];
+        let x_score = matrix_x[at(n, k_end)];
+        let y_score = matrix_y[at(n, k_end)];
+        if m_score >= x_score && m_score >= y_score {
+            (0u8, m_score)
+        } else if x_score >= y_score {
+            (1, x_score)
+        } else {
+            (2, y_score)
+        }
+    };
+    if score <= NEG {
+        return None;
+    }
+
+    // Traceback.
+    let (mut i, mut j) = (n, m);
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let push = |ops: &mut Vec<CigarOp>, op: CigarOp| match (ops.last_mut(), op) {
+        (Some(CigarOp::Match(n)), CigarOp::Match(d)) => *n += d,
+        (Some(CigarOp::Mismatch(n)), CigarOp::Mismatch(d)) => *n += d,
+        (Some(CigarOp::Insertion(n)), CigarOp::Insertion(d)) => *n += d,
+        (Some(CigarOp::Deletion(n)), CigarOp::Deletion(d)) => *n += d,
+        _ => ops.push(op),
+    };
+    while i > 0 || j > 0 {
+        let k = idx(i, j).expect("traceback stays in band");
+        match state {
+            0 => {
+                let op = if read[i - 1] == reference[j - 1] {
+                    CigarOp::Match(1)
+                } else {
+                    CigarOp::Mismatch(1)
+                };
+                push(&mut ops_rev, op);
+                state = back_m[at(i, k)];
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                push(&mut ops_rev, CigarOp::Insertion(1));
+                state = back_x[at(i, k)];
+                i -= 1;
+            }
+            _ => {
+                push(&mut ops_rev, CigarOp::Deletion(1));
+                state = back_y[at(i, k)];
+                j -= 1;
+            }
+        }
+    }
+    ops_rev.reverse();
+    Some(GappedAlignment { score, cigar: ops_rev })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> GapParams {
+        GapParams::default()
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let a = banded_global(b"ACGTACGT", b"ACGTACGT", &p()).unwrap();
+        assert_eq!(a.score, 8);
+        assert_eq!(a.cigar, vec![CigarOp::Match(8)]);
+        assert_eq!(cigar_string(&a.cigar), "8=");
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = banded_global(b"ACGTACGT", b"ACGAACGT", &p()).unwrap();
+        assert_eq!(a.score, 7 - 4);
+        assert_eq!(cigar_string(&a.cigar), "3=1X4=");
+    }
+
+    #[test]
+    fn single_insertion_in_read() {
+        let a = banded_global(b"ACGTTACGT", b"ACGTACGT", &p()).unwrap();
+        // 8 matches, one 1-base gap: 8 - 6.
+        assert_eq!(a.score, 8 - 6);
+        assert_eq!(a.read_len(), 9);
+        assert_eq!(a.ref_len(), 8);
+        assert!(a.cigar.iter().any(|op| matches!(op, CigarOp::Insertion(1))));
+    }
+
+    #[test]
+    fn single_deletion_from_read() {
+        let a = banded_global(b"ACGACGT", b"ACGTACGT", &p()).unwrap();
+        assert_eq!(a.score, 7 - 6);
+        assert!(a.cigar.iter().any(|op| matches!(op, CigarOp::Deletion(1))));
+    }
+
+    #[test]
+    fn affine_gaps_prefer_one_long_gap() {
+        // Read missing 3 consecutive bases: one open + two extends beats
+        // three opens.
+        let a = banded_global(b"AAAATTTT", b"AAAACCCTTTT", &p()).unwrap();
+        assert_eq!(a.score, 8 - (6 + 2));
+        assert_eq!(cigar_string(&a.cigar), "4=3D4=");
+    }
+
+    #[test]
+    fn empty_or_out_of_band_inputs() {
+        assert!(banded_global(b"", b"ACGT", &p()).is_none());
+        assert!(banded_global(b"ACGT", b"", &p()).is_none());
+        // Length difference beyond the band.
+        let long = vec![b'A'; 100];
+        assert!(banded_global(b"ACGT", &long, &p()).is_none());
+    }
+
+    #[test]
+    fn cigar_lengths_partition_both_sequences() {
+        let read = b"ACGTGGTACCA";
+        let reference = b"ACGTGTACGCA";
+        let a = banded_global(read, reference, &p()).unwrap();
+        assert_eq!(a.read_len() as usize, read.len());
+        assert_eq!(a.ref_len() as usize, reference.len());
+    }
+
+    /// Unbanded reference implementation for cross-checking scores.
+    fn full_global(read: &[u8], reference: &[u8], params: &GapParams) -> i32 {
+        let (n, m) = (read.len(), reference.len());
+        let mut m_mat = vec![vec![NEG; m + 1]; n + 1];
+        let mut x_mat = vec![vec![NEG; m + 1]; n + 1];
+        let mut y_mat = vec![vec![NEG; m + 1]; n + 1];
+        m_mat[0][0] = 0;
+        for i in 1..=n {
+            x_mat[i][0] = -(params.gap_open + (i as i32 - 1) * params.gap_extend);
+        }
+        for j in 1..=m {
+            y_mat[0][j] = -(params.gap_open + (j as i32 - 1) * params.gap_extend);
+        }
+        for i in 1..=n {
+            for j in 0..=m {
+                if j >= 1 {
+                    let sub = if read[i - 1] == reference[j - 1] {
+                        params.match_score
+                    } else {
+                        -params.mismatch
+                    };
+                    let best = m_mat[i - 1][j - 1].max(x_mat[i - 1][j - 1]).max(y_mat[i - 1][j - 1]);
+                    if best > NEG {
+                        m_mat[i][j] = best + sub;
+                    }
+                    y_mat[i][j] = (m_mat[i][j - 1] - params.gap_open)
+                        .max(y_mat[i][j - 1] - params.gap_extend);
+                }
+                x_mat[i][j] =
+                    (m_mat[i - 1][j] - params.gap_open).max(x_mat[i - 1][j] - params.gap_extend);
+            }
+        }
+        m_mat[n][m].max(x_mat[n][m]).max(y_mat[n][m])
+    }
+
+    proptest! {
+        /// With a band at least as wide as both sequences, the banded score
+        /// equals the unbanded optimum, and the CIGAR reproduces it.
+        #[test]
+        fn prop_matches_unbanded_dp(
+            read in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..18),
+            reference in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..18),
+        ) {
+            let params = GapParams { band: 20, ..Default::default() };
+            let banded = banded_global(&read, &reference, &params).unwrap();
+            prop_assert_eq!(banded.score, full_global(&read, &reference, &params));
+            // CIGAR partitions both sequences.
+            prop_assert_eq!(banded.read_len() as usize, read.len());
+            prop_assert_eq!(banded.ref_len() as usize, reference.len());
+            // Recomputing the score from the CIGAR agrees.
+            let mut score = 0i32;
+            for op in &banded.cigar {
+                score += match *op {
+                    CigarOp::Match(n) => n as i32 * params.match_score,
+                    CigarOp::Mismatch(n) => -(n as i32) * params.mismatch,
+                    CigarOp::Insertion(n) | CigarOp::Deletion(n) => {
+                        -(params.gap_open + (n as i32 - 1) * params.gap_extend)
+                    }
+                };
+            }
+            prop_assert_eq!(score, banded.score);
+        }
+    }
+}
+
+/// Aligns an uncovered read tail against the graph continuation beyond an
+/// extension's walk.
+///
+/// The reference is spelled by following the extension's last handle
+/// greedily (first graph successor) until `tail.len() + band` bases are
+/// gathered. Returns the alignment plus the number of read bases it
+/// consumed, or `None` when no continuation exists or the aligner scores
+/// the tail negatively (keeping the trimmed gapless result is better).
+pub fn align_tail(
+    graph: &mg_graph::VariationGraph,
+    extension: &mg_core::types::Extension,
+    tail: &[u8],
+    params: &GapParams,
+) -> Option<(GappedAlignment, u32)> {
+    if tail.is_empty() {
+        return None;
+    }
+    let last = *extension.path.last()?;
+    // Bases of the last node already consumed by the extension: its length
+    // minus whatever the walk left unread. The walk consumed read bases
+    // from `pos.offset` across the whole path; the leftover on the last
+    // node is derivable from the covered span.
+    let covered = (extension.read_end - extension.read_start) as usize;
+    let path_before_last: usize = extension.path[..extension.path.len() - 1]
+        .iter()
+        .map(|h| graph.node_len(h.node()))
+        .sum::<usize>()
+        .saturating_sub(extension.pos.offset as usize);
+    let used_on_last = covered.saturating_sub(path_before_last);
+    // Spell the continuation: rest of the last node, then greedy first
+    // successors.
+    let want = tail.len() + params.band;
+    let mut reference = Vec::with_capacity(want);
+    let last_seq = graph.sequence(last);
+    if used_on_last < last_seq.len() {
+        reference.extend_from_slice(&last_seq[used_on_last..]);
+    }
+    let mut cursor = last;
+    while reference.len() < want {
+        let Some(&next) = graph.successors(cursor).first() else {
+            break;
+        };
+        reference.extend_from_slice(graph.sequence(next).as_ref());
+        cursor = next;
+    }
+    if reference.is_empty() {
+        return None;
+    }
+    reference.truncate(want);
+    // Global over the tail, semi-global over the reference: trim the
+    // reference to the tail's length window that fits the band.
+    let ref_len = reference.len().min(tail.len() + params.band);
+    let aligned = banded_global(tail, &reference[..ref_len.min(reference.len())], params)?;
+    (aligned.score > 0).then_some((aligned, tail.len() as u32))
+}
+
+#[cfg(test)]
+mod tail_tests {
+    use super::*;
+    use mg_core::types::Extension;
+    use mg_graph::pangenome::PangenomeBuilder;
+    use mg_graph::{Handle, NodeId};
+    use mg_index::GraphPos;
+
+    #[test]
+    fn tail_aligns_against_graph_continuation() {
+        // Linear graph AAAACCCCGGGGTTTT in 4-base nodes; extension covered
+        // the first 8 bases, tail = GGGGTTTT continues exactly.
+        let p = PangenomeBuilder::new(b"AAAACCCCGGGGTTTT".to_vec())
+            .haplotypes(vec![vec![]])
+            .max_node_len(4)
+            .build()
+            .unwrap();
+        let ext = Extension {
+            read_id: 0,
+            read_start: 0,
+            read_end: 8,
+            pos: GraphPos::new(Handle::forward(NodeId::new(1)), 0),
+            path: vec![Handle::forward(NodeId::new(1)), Handle::forward(NodeId::new(2))],
+            score: 8,
+            mismatches: 0,
+        };
+        let (aligned, consumed) =
+            align_tail(p.graph(), &ext, b"GGGGTTTT", &GapParams::default()).unwrap();
+        assert_eq!(consumed, 8);
+        assert!(aligned.score >= 6, "score {}", aligned.score);
+        assert!(matches!(aligned.cigar.first(), Some(CigarOp::Match(_))));
+    }
+
+    #[test]
+    fn dead_end_or_negative_tails_rejected() {
+        let p = PangenomeBuilder::new(b"AAAACCCC".to_vec())
+            .haplotypes(vec![vec![]])
+            .max_node_len(4)
+            .build()
+            .unwrap();
+        // Extension already at the graph's end: nothing to align against.
+        let ext = Extension {
+            read_id: 0,
+            read_start: 0,
+            read_end: 8,
+            pos: GraphPos::new(Handle::forward(NodeId::new(1)), 0),
+            path: vec![Handle::forward(NodeId::new(1)), Handle::forward(NodeId::new(2))],
+            score: 8,
+            mismatches: 0,
+        };
+        assert!(align_tail(p.graph(), &ext, b"TTTT", &GapParams::default()).is_none());
+        // Empty tail.
+        assert!(align_tail(p.graph(), &ext, b"", &GapParams::default()).is_none());
+        // Garbage tail scores negative against a real continuation.
+        let ext2 = Extension { read_end: 4, path: vec![Handle::forward(NodeId::new(1))], ..ext };
+        assert!(align_tail(p.graph(), &ext2, b"TTTT", &GapParams::default()).is_none());
+    }
+}

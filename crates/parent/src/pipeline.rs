@@ -1,0 +1,404 @@
+//! The parent pipeline: a Giraffe-like end-to-end mapper.
+//!
+//! Where the proxy starts from a seed dump, the parent starts from raw
+//! reads and runs the whole workflow the paper characterizes:
+//!
+//! 1. `parse_input` — read intake;
+//! 2. `minimizer_seeding` — minimizer lookup producing seeds;
+//! 3. `cluster_seeds` — the first critical function (shared with the proxy);
+//! 4. `process_until_threshold_c` — the second critical function (shared);
+//! 5. `score_extensions` / `emit_alignment` — post-processing;
+//! 6. `pair_check` — fragment consistency for paired workflows.
+//!
+//! Work is distributed by the VG-style batch scheduler. Every region is
+//! instrumented through [`mg_support::regions::RegionSink`], which is what
+//! regenerates Figures 2–4.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use mg_core::dump::SeedDump;
+use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
+use mg_core::{Mapper, MappingOptions};
+use mg_gbwt::{CachedGbwt, Gbz};
+use mg_index::MinimizerIndex;
+use mg_sched::{AnyScheduler, SchedulerKind};
+use mg_support::probe::{MemProbe, NoProbe};
+use mg_support::regions::{NullSink, RegionSink, RegionTimer};
+
+use crate::align::{align_read, pair_check, AlignParams, Alignment};
+use crate::rescue::{rescue_mate, RescueParams};
+
+/// Parent-pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParentOptions {
+    /// Kernel options (threads, batch, cache capacity, kernels). The
+    /// parent's scheduler defaults to the VG batch dispatcher.
+    pub mapping: MappingOptions,
+    /// Post-processing parameters.
+    pub align: AlignParams,
+    /// Seeds with more minimizer hits than this are dropped.
+    pub hard_hit_cap: usize,
+    /// Maximum mate-pair fragment distance (paired workflows).
+    pub max_fragment: u64,
+    /// Attempt mate rescue for half-mapped pairs (paired workflows).
+    pub enable_rescue: bool,
+    /// Rescue configuration.
+    pub rescue: RescueParams,
+}
+
+impl Default for ParentOptions {
+    fn default() -> Self {
+        ParentOptions {
+            mapping: MappingOptions {
+                scheduler: SchedulerKind::Vg,
+                ..Default::default()
+            },
+            align: AlignParams::default(),
+            hard_hit_cap: 64,
+            max_fragment: 1200,
+            enable_rescue: true,
+            rescue: RescueParams::default(),
+        }
+    }
+}
+
+/// Everything one parent run produces.
+#[derive(Debug, Clone)]
+pub struct ParentRun {
+    /// Raw kernel outputs (one per read) — the data the proxy must match
+    /// bit-for-bit in functional validation.
+    pub kernel_results: Vec<ReadResult>,
+    /// Post-processed alignments per read.
+    pub alignments: Vec<Vec<Alignment>>,
+    /// The captured proxy input: reads plus the seeds the parent computed,
+    /// exactly what miniGiraffe's `.bin` dumps hold.
+    pub dump: SeedDump,
+    /// Mates recovered by rescue (index = read id). Kept separate from
+    /// `kernel_results` so functional validation still compares the
+    /// un-rescued critical-function outputs, like the paper's capture
+    /// boundary.
+    pub rescued: Vec<Option<ReadResult>>,
+    /// Wall-clock time of the parallel mapping loop.
+    pub wall: Duration,
+}
+
+impl ParentRun {
+    /// Total alignments across reads.
+    pub fn total_alignments(&self) -> usize {
+        self.alignments.iter().map(|a| a.len()).sum()
+    }
+}
+
+/// The parent mapper: pangenome + minimizer index + distance index.
+pub struct Parent<'a> {
+    mapper: Mapper<'a>,
+    minimizer: &'a MinimizerIndex,
+    workflow: Workflow,
+}
+
+impl<'a> Parent<'a> {
+    /// Builds the parent from a pangenome and its minimizer index.
+    pub fn new(gbz: &'a Gbz, minimizer: &'a MinimizerIndex, workflow: Workflow) -> Self {
+        Parent {
+            mapper: Mapper::new(gbz),
+            minimizer,
+            workflow,
+        }
+    }
+
+    /// The shared kernel mapper.
+    pub fn mapper(&self) -> &Mapper<'a> {
+        &self.mapper
+    }
+
+    /// Maps one read end-to-end: seeding, kernels, post-processing.
+    /// Returns the captured [`ReadInput`] (the dump record), the raw kernel
+    /// result, and the alignments.
+    pub fn map_read_full<P: MemProbe>(
+        &self,
+        cache: &mut CachedGbwt<'_>,
+        read_id: u64,
+        bases: &[u8],
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+        probe: &mut P,
+    ) -> (ReadInput, ReadResult, Vec<Alignment>) {
+        let input = {
+            let _t = RegionTimer::start(sink, thread, "parse_input");
+            // Intake: validate/copy the read (standing in for FASTQ
+            // parsing, which the characterization excludes from kernels).
+            bases.to_vec()
+        };
+        let seeds: Vec<Seed> = {
+            let _t = RegionTimer::start(sink, thread, "minimizer_seeding");
+            // The seeding stage's memory traffic goes through the probe too:
+            // this is the work Giraffe interleaves with the critical
+            // functions, and it is what perturbs the parent's counters away
+            // from the proxy's in the paper's Table V.
+            probe.touch(0x6000_0000_0000 + read_id * 4096, input.len() as u32);
+            probe.instret(4 * input.len() as u64);
+            let seeds: Vec<Seed> = self
+                .minimizer
+                .query(&input, options.hard_hit_cap)
+                .into_iter()
+                .map(|(off, pos)| Seed::new(off, pos))
+                .collect();
+            probe.touch(
+                0x7000_0000_0000 + (read_id % 512) * 65536,
+                (seeds.len() * std::mem::size_of::<Seed>()).max(16) as u32,
+            );
+            probe.instret(20 * seeds.len() as u64 + 10);
+            seeds
+        };
+        let read_input = ReadInput { bases: input, seeds };
+        let result = self.mapper.map_read(
+            cache,
+            read_id,
+            &read_input,
+            &options.mapping,
+            sink,
+            thread,
+            probe,
+        );
+        let mut alignments = {
+            let _t = RegionTimer::start(sink, thread, "score_extensions");
+            align_read(&result, &options.align)
+        };
+        // Gapped fallback: when the best extension leaves a read tail
+        // uncovered, align the tail against the graph walk's continuation
+        // (Giraffe's alignment phase after seed-and-extend).
+        if let (Some(alignment), Some(extension)) =
+            (alignments.first_mut(), result.extensions.first())
+        {
+            let read_len = read_input.bases.len() as u32;
+            if alignment.read_end < read_len {
+                let _t = RegionTimer::start(sink, thread, "gapped_fallback");
+                let tail = &read_input.bases[alignment.read_end as usize..];
+                if let Some((gapped, consumed)) = crate::gapped::align_tail(
+                    self.mapper.gbz().graph(),
+                    extension,
+                    tail,
+                    &crate::gapped::GapParams::default(),
+                ) {
+                    alignment.score += gapped.score;
+                    alignment.read_end += consumed;
+                    alignment.tail_cigar = Some(crate::gapped::cigar_string(&gapped.cigar));
+                }
+            }
+        }
+        let alignments = alignments;
+        (read_input, result, alignments)
+    }
+
+    /// Runs the full pipeline over raw reads without instrumentation.
+    pub fn run(&self, reads: &[Vec<u8>], options: &ParentOptions) -> ParentRun {
+        self.run_with_sink(reads, options, &NullSink)
+    }
+
+    /// Runs the full pipeline, reporting regions to `sink`.
+    pub fn run_with_sink(
+        &self,
+        reads: &[Vec<u8>],
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+    ) -> ParentRun {
+        let n = reads.len();
+        let slots: Vec<OnceLock<(ReadInput, ReadResult, Vec<Alignment>)>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let scheduler: Box<dyn AnyScheduler> =
+            options.mapping.scheduler.build(options.mapping.batch_size);
+        let start = Instant::now();
+        scheduler.run_erased(n, options.mapping.threads.max(1), &|thread| {
+            let mut cache = CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity);
+            let slots = &slots;
+            Box::new(move |i| {
+                let out = self.map_read_full(
+                    &mut cache,
+                    i as u64,
+                    &reads[i],
+                    options,
+                    sink,
+                    thread,
+                    &mut NoProbe,
+                );
+                slots[i].set(out).expect("each read mapped once");
+            })
+        });
+        let mut dump_reads = Vec::with_capacity(n);
+        let mut kernel_results = Vec::with_capacity(n);
+        let mut alignments = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (input, result, aligns) = slot
+                .into_inner()
+                .unwrap_or_else(|| panic!("read {i} not mapped"));
+            dump_reads.push(input);
+            kernel_results.push(result);
+            alignments.push(aligns);
+        }
+        // Paired post-processing: rescue half-mapped pairs, then mate
+        // consistency via the distance index.
+        let mut rescued: Vec<Option<ReadResult>> = vec![None; n];
+        if self.workflow == Workflow::Paired && options.enable_rescue {
+            let _t = RegionTimer::start(sink, 0, "pair_rescue");
+            let mut cache =
+                CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity);
+            for pair_start in (0..n.saturating_sub(1)).step_by(2) {
+                let (a, b) = (pair_start, pair_start + 1);
+                let (mapped, unmapped) = match (
+                    alignments[a].is_empty(),
+                    alignments[b].is_empty(),
+                ) {
+                    (false, true) => (a, b),
+                    (true, false) => (b, a),
+                    _ => continue,
+                };
+                let anchor = alignments[mapped][0].pos;
+                if let Some(result) = rescue_mate(
+                    &self.mapper,
+                    self.minimizer,
+                    &mut cache,
+                    unmapped as u64,
+                    &dump_reads[unmapped],
+                    anchor,
+                    &options.mapping,
+                    &options.rescue,
+                    sink,
+                    0,
+                    &mut NoProbe,
+                ) {
+                    alignments[unmapped] = align_read(&result, &options.align);
+                    rescued[unmapped] = Some(result);
+                }
+            }
+        }
+        if self.workflow == Workflow::Paired {
+            let _t = RegionTimer::start(sink, 0, "pair_check");
+            let mut iter = alignments.chunks_mut(2);
+            for pair in &mut iter {
+                if pair.len() == 2 {
+                    let (first, second) = pair.split_at_mut(1);
+                    pair_check(
+                        self.mapper.gbz().graph(),
+                        self.mapper.distance_index(),
+                        &mut first[0],
+                        &mut second[0],
+                        options.max_fragment,
+                    );
+                }
+            }
+        }
+        let wall = start.elapsed();
+        ParentRun {
+            kernel_results,
+            alignments,
+            dump: SeedDump::new(self.workflow, dump_reads),
+            rescued,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::{run_mapping, validate};
+    use mg_perf::Profiler;
+    use mg_workload::{InputSetSpec, SyntheticInput};
+
+    fn tiny_input() -> SyntheticInput {
+        SyntheticInput::generate(&InputSetSpec::tiny_for_tests(), 123)
+    }
+
+    #[test]
+    fn parent_maps_synthetic_reads() {
+        let input = tiny_input();
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let run = parent.run(&reads, &ParentOptions::default());
+        assert_eq!(run.kernel_results.len(), reads.len());
+        assert_eq!(run.dump.reads.len(), reads.len());
+        // Most reads align.
+        let aligned = run.alignments.iter().filter(|a| !a.is_empty()).count();
+        assert!(aligned * 10 >= reads.len() * 6, "only {aligned}/{} aligned", reads.len());
+    }
+
+    #[test]
+    fn proxy_reproduces_parent_kernel_output_exactly() {
+        // The paper's functional validation: run the parent, capture its
+        // dump, feed the dump to the proxy, compare kernel outputs.
+        let input = tiny_input();
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let options = ParentOptions::default();
+        let run = parent.run(&reads, &options);
+        let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
+        let report = validate(&run.kernel_results, &proxy.per_read);
+        assert!(report.is_exact(), "validation failed: {report}");
+        assert!(report.matched > 0, "validation must compare something");
+    }
+
+    #[test]
+    fn parent_regions_cover_the_whole_workflow() {
+        let input = tiny_input();
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let profiler = Profiler::new();
+        let _ = parent.run_with_sink(&reads, &ParentOptions::default(), &profiler);
+        let regions: std::collections::HashSet<&str> = profiler
+            .region_summary()
+            .iter()
+            .map(|s| s.region)
+            .collect();
+        for expected in [
+            "parse_input",
+            "minimizer_seeding",
+            "cluster_seeds",
+            "process_until_threshold_c",
+            "score_extensions",
+        ] {
+            assert!(regions.contains(expected), "missing region {expected}");
+        }
+    }
+
+    #[test]
+    fn paired_workflow_runs_pair_check() {
+        let mut spec = InputSetSpec::tiny_for_tests();
+        spec.workflow = Workflow::Paired;
+        spec.reads = 20;
+        spec.read_sim.fragment_len = 300;
+        spec.read_sim.fragment_jitter = 30;
+        let input = SyntheticInput::generate(&spec, 5);
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, Workflow::Paired);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let profiler = Profiler::new();
+        let run = parent.run_with_sink(&reads, &ParentOptions::default(), &profiler);
+        assert_eq!(run.dump.workflow, Workflow::Paired);
+        let regions: Vec<&str> = profiler.region_summary().iter().map(|s| s.region).collect();
+        assert!(regions.contains(&"pair_check"));
+        // At least one pair is properly paired (mates from one fragment).
+        let proper = run
+            .alignments
+            .iter()
+            .flatten()
+            .filter(|a| a.properly_paired)
+            .count();
+        assert!(proper > 0, "no properly paired alignments");
+    }
+
+    #[test]
+    fn parent_parallel_matches_sequential() {
+        let input = tiny_input();
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let seq = parent.run(&reads, &ParentOptions::default());
+        let mut par_options = ParentOptions::default();
+        par_options.mapping.threads = 4;
+        par_options.mapping.batch_size = 3;
+        let par = parent.run(&reads, &par_options);
+        assert_eq!(seq.kernel_results, par.kernel_results);
+        assert_eq!(seq.alignments, par.alignments);
+        assert_eq!(seq.dump, par.dump);
+    }
+}

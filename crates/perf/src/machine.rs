@@ -1,0 +1,251 @@
+//! Machine models: the four evaluation platforms of Table II.
+//!
+//! We cannot run on four physical servers; instead each platform is a
+//! parameter set consumed by the cache simulator and the discrete-time
+//! multicore executor. Structural parameters (sockets, cores, SMT, cache
+//! sizes, frequency, DRAM) come straight from Table II; the per-machine
+//! cost coefficients (base CPI, miss penalties, SMT slowdown) are chosen to
+//! reproduce the paper's qualitative ranking: local-amd fastest with
+//! near-linear scaling (huge L3), chi-arm slowest but linear (no SMT, weak
+//! cores), both Intels plateauing at the SMT and socket boundaries.
+
+/// One evaluation platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Short name used in result tables ("local-intel", ...).
+    pub name: &'static str,
+    /// CPU vendor (for Table II output).
+    pub vendor: &'static str,
+    /// Processor model string.
+    pub processor: &'static str,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core (1 = no SMT).
+    pub threads_per_core: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// L1 data cache per core, KiB.
+    pub l1d_kb: usize,
+    /// L2 cache per core, KiB.
+    pub l2_kb: usize,
+    /// Shared L3 per socket, MiB.
+    pub l3_mb: f64,
+    /// DRAM capacity, GiB.
+    pub dram_gb: usize,
+    /// Average cycles per (abstract) instruction with all data in L1.
+    pub base_cpi: f64,
+    /// Extra cycles for an L1 miss that hits L2.
+    pub l2_penalty: f64,
+    /// Extra cycles for an L2 miss that hits L3.
+    pub l3_penalty: f64,
+    /// Extra cycles for an L3 miss (DRAM access).
+    pub mem_penalty: f64,
+    /// Combined throughput of two SMT threads on one core relative to one
+    /// thread (1.0 = SMT useless, 2.0 = perfect scaling).
+    pub smt_throughput: f64,
+    /// Multiplier on memory penalties when a thread runs on socket > 0
+    /// (remote L3/DRAM traffic).
+    pub cross_socket_factor: f64,
+}
+
+impl MachineModel {
+    /// local-intel: 2× Xeon 8260 (the host that also runs the parent).
+    pub fn local_intel() -> Self {
+        MachineModel {
+            name: "local-intel",
+            vendor: "Intel",
+            processor: "Xeon 8260",
+            sockets: 2,
+            cores_per_socket: 24,
+            threads_per_core: 2,
+            freq_ghz: 2.4,
+            l1d_kb: 32,
+            l2_kb: 1024,
+            l3_mb: 35.75,
+            dram_gb: 768,
+            base_cpi: 0.75,
+            l2_penalty: 10.0,
+            l3_penalty: 32.0,
+            mem_penalty: 190.0,
+            smt_throughput: 1.25,
+            cross_socket_factor: 1.45,
+        }
+    }
+
+    /// local-amd: 1× EPYC 9554 — the big-L3 machine.
+    pub fn local_amd() -> Self {
+        MachineModel {
+            name: "local-amd",
+            vendor: "AMD",
+            processor: "EPYC 9554",
+            sockets: 1,
+            cores_per_socket: 64,
+            threads_per_core: 2,
+            freq_ghz: 3.1,
+            l1d_kb: 32,
+            l2_kb: 1024,
+            l3_mb: 256.0,
+            dram_gb: 768,
+            base_cpi: 0.65,
+            l2_penalty: 9.0,
+            l3_penalty: 28.0,
+            mem_penalty: 160.0,
+            smt_throughput: 1.45,
+            cross_socket_factor: 1.0,
+        }
+    }
+
+    /// chi-arm: 2× Cavium ThunderX2 — weak cores, no SMT in the paper's
+    /// configuration, tiny L2.
+    pub fn chi_arm() -> Self {
+        MachineModel {
+            name: "chi-arm",
+            vendor: "Cavium",
+            processor: "ThunderX2 99xx",
+            sockets: 2,
+            cores_per_socket: 32,
+            threads_per_core: 1,
+            freq_ghz: 2.5,
+            l1d_kb: 32,
+            l2_kb: 256,
+            l3_mb: 64.0,
+            dram_gb: 256,
+            base_cpi: 1.55,
+            l2_penalty: 12.0,
+            l3_penalty: 38.0,
+            mem_penalty: 210.0,
+            smt_throughput: 1.0,
+            cross_socket_factor: 1.30,
+        }
+    }
+
+    /// chi-intel: 2× Xeon 8380.
+    pub fn chi_intel() -> Self {
+        MachineModel {
+            name: "chi-intel",
+            vendor: "Intel",
+            processor: "Xeon 8380",
+            sockets: 2,
+            cores_per_socket: 40,
+            threads_per_core: 2,
+            freq_ghz: 2.3,
+            l1d_kb: 48,
+            l2_kb: 1280,
+            l3_mb: 60.0,
+            dram_gb: 256,
+            base_cpi: 0.72,
+            l2_penalty: 10.0,
+            l3_penalty: 34.0,
+            mem_penalty: 185.0,
+            smt_throughput: 1.28,
+            cross_socket_factor: 1.45,
+        }
+    }
+
+    /// All four platforms in Table II order.
+    pub fn all() -> Vec<MachineModel> {
+        vec![
+            Self::local_intel(),
+            Self::local_amd(),
+            Self::chi_arm(),
+            Self::chi_intel(),
+        ]
+    }
+
+    /// Total hardware thread contexts (the autotuning thread count: 96,
+    /// 128, 64, 160).
+    pub fn total_threads(&self) -> usize {
+        self.sockets * self.cores_per_socket * self.threads_per_core
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Placement of logical thread `t` when `n` threads run: fill cores of
+    /// socket 0 first, then socket 1, then second SMT contexts. Returns
+    /// `(socket, core, smt_slot)`.
+    pub fn place_thread(&self, t: usize) -> (usize, usize, usize) {
+        let cores = self.total_cores();
+        let smt_slot = t / cores;
+        let core_index = t % cores;
+        let socket = core_index / self.cores_per_socket;
+        (socket, core_index % self.cores_per_socket, smt_slot)
+    }
+
+    /// Per-thread throughput factor when `threads_on_core` share one core.
+    pub fn smt_factor(&self, threads_on_core: usize) -> f64 {
+        if threads_on_core <= 1 {
+            1.0
+        } else {
+            self.smt_throughput / threads_on_core as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_thread_counts() {
+        assert_eq!(MachineModel::local_intel().total_threads(), 96);
+        assert_eq!(MachineModel::local_amd().total_threads(), 128);
+        assert_eq!(MachineModel::chi_arm().total_threads(), 64);
+        assert_eq!(MachineModel::chi_intel().total_threads(), 160);
+    }
+
+    #[test]
+    fn table2_structure() {
+        let m = MachineModel::local_intel();
+        assert_eq!(m.sockets, 2);
+        assert_eq!(m.cores_per_socket, 24);
+        assert_eq!(m.l3_mb, 35.75);
+        let amd = MachineModel::local_amd();
+        assert_eq!(amd.sockets, 1);
+        assert_eq!(amd.l3_mb, 256.0);
+        assert_eq!(MachineModel::chi_arm().threads_per_core, 1);
+        assert_eq!(MachineModel::chi_intel().l1d_kb, 48);
+    }
+
+    #[test]
+    fn placement_fills_cores_before_smt() {
+        let m = MachineModel::local_intel(); // 2 x 24 x 2
+        assert_eq!(m.place_thread(0), (0, 0, 0));
+        assert_eq!(m.place_thread(23), (0, 23, 0));
+        assert_eq!(m.place_thread(24), (1, 0, 0));
+        assert_eq!(m.place_thread(47), (1, 23, 0));
+        assert_eq!(m.place_thread(48), (0, 0, 1));
+        assert_eq!(m.place_thread(95), (1, 23, 1));
+    }
+
+    #[test]
+    fn smt_factor_behaviour() {
+        let m = MachineModel::local_amd();
+        assert_eq!(m.smt_factor(1), 1.0);
+        assert!(m.smt_factor(2) < 1.0);
+        assert!(m.smt_factor(2) > 0.5);
+        assert_eq!(MachineModel::chi_arm().smt_factor(2), 0.5);
+    }
+
+    #[test]
+    fn qualitative_ranking_encoded() {
+        // AMD has the fastest single-core profile and the biggest L3; ARM
+        // the weakest cores.
+        let amd = MachineModel::local_amd();
+        let arm = MachineModel::chi_arm();
+        assert!(amd.base_cpi < arm.base_cpi);
+        assert!(amd.l3_mb > MachineModel::chi_intel().l3_mb);
+        assert!(arm.l2_kb < amd.l2_kb);
+    }
+
+    #[test]
+    fn all_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            MachineModel::all().iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,580 @@
+//! Parallel schedulers for the mapping loop.
+//!
+//! The scheduler is one of miniGiraffe's three tuning parameters. The proxy
+//! ships the OpenMP-dynamic analog ([`DynamicScheduler`]) plus an in-house
+//! work-stealing scheduler ([`WorkStealingScheduler`]); the parent pipeline
+//! uses the VG-style main-thread dispatcher ([`VgScheduler`]). A plain
+//! static partitioner ([`StaticScheduler`]) rounds out the set for ablation.
+//!
+//! All schedulers run `n` independent tasks (reads to map) on `threads`
+//! worker threads with per-thread mutable state (each worker owns its
+//! `CachedGbwt`, like Giraffe's per-thread caches).
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_sched::{Scheduler, SchedulerKind, DynamicScheduler};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let scheduler = DynamicScheduler::new(64);
+//! let sum = AtomicU64::new(0);
+//! scheduler.run(1000, 4, |_thread| (), &|_state, i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! # let _ = SchedulerKind::Dynamic;
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `n` independent tasks across worker threads.
+///
+/// Implementors decide how indexes are distributed; every index in `0..n`
+/// is processed exactly once.
+pub trait Scheduler: Send + Sync {
+    /// A short stable name (used in result tables: `openmp-dynamic`,
+    /// `work-stealing`, ...).
+    fn name(&self) -> &'static str;
+
+    /// The batch size this scheduler hands to threads at a time (0 when the
+    /// scheduler has no batching notion).
+    fn batch_size(&self) -> usize;
+
+    /// Processes tasks `0..n` on `threads` threads.
+    ///
+    /// `init(thread_id)` builds the per-thread state; `task(&mut state, i)`
+    /// processes item `i`. With `threads <= 1` everything runs inline on
+    /// the calling thread.
+    fn run<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env;
+}
+
+/// Identifies a scheduler implementation; the tuning harness sweeps this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchedulerKind {
+    /// Contiguous equal chunks, no balancing.
+    Static,
+    /// Shared-counter dynamic batches (the OpenMP `schedule(dynamic)`
+    /// analog miniGiraffe defaults to).
+    Dynamic,
+    /// Equal pre-split plus round-robin batch stealing (the paper's
+    /// in-house scheduler).
+    WorkStealing,
+    /// VG-style: the main thread dispatches batches and processes one
+    /// itself when all workers are busy (the parent's scheduler).
+    Vg,
+}
+
+impl SchedulerKind {
+    /// All kinds, in sweep order.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Static,
+        SchedulerKind::Dynamic,
+        SchedulerKind::WorkStealing,
+        SchedulerKind::Vg,
+    ];
+
+    /// The two schedulers the paper's autotuning study sweeps.
+    pub const TUNED: [SchedulerKind; 2] = [SchedulerKind::Dynamic, SchedulerKind::WorkStealing];
+
+    /// Instantiates the scheduler with a batch size.
+    pub fn build(self, batch_size: usize) -> Box<dyn AnyScheduler> {
+        match self {
+            SchedulerKind::Static => Box::new(StaticScheduler),
+            SchedulerKind::Dynamic => Box::new(DynamicScheduler::new(batch_size)),
+            SchedulerKind::WorkStealing => Box::new(WorkStealingScheduler::new(batch_size)),
+            SchedulerKind::Vg => Box::new(VgScheduler::new(batch_size)),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchedulerKind::Static => "static",
+            SchedulerKind::Dynamic => "openmp-dynamic",
+            SchedulerKind::WorkStealing => "work-stealing",
+            SchedulerKind::Vg => "vg-batch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" => Ok(SchedulerKind::Static),
+            "openmp-dynamic" | "dynamic" | "openmp" => Ok(SchedulerKind::Dynamic),
+            "work-stealing" | "ws" => Ok(SchedulerKind::WorkStealing),
+            "vg-batch" | "vg" => Ok(SchedulerKind::Vg),
+            other => Err(format!("unknown scheduler {other:?}")),
+        }
+    }
+}
+
+/// Object-safe wrapper over [`Scheduler`] for loops whose concrete
+/// scheduler is picked at runtime (e.g. by the tuning sweep).
+pub trait AnyScheduler: Send + Sync {
+    /// See [`Scheduler::name`].
+    fn name(&self) -> &'static str;
+    /// See [`Scheduler::batch_size`].
+    fn batch_size(&self) -> usize;
+    /// Type-erased run: `make_worker(thread_id)` returns the closure that
+    /// processes one index on that thread.
+    fn run_erased<'env>(
+        &self,
+        n: usize,
+        threads: usize,
+        make_worker: &(dyn Fn(usize) -> Box<dyn FnMut(usize) + Send + 'env> + Sync + 'env),
+    );
+}
+
+impl<T: Scheduler> AnyScheduler for T {
+    fn name(&self) -> &'static str {
+        Scheduler::name(self)
+    }
+
+    fn batch_size(&self) -> usize {
+        Scheduler::batch_size(self)
+    }
+
+    fn run_erased<'env>(
+        &self,
+        n: usize,
+        threads: usize,
+        make_worker: &(dyn Fn(usize) -> Box<dyn FnMut(usize) + Send + 'env> + Sync + 'env),
+    ) {
+        self.run(
+            n,
+            threads,
+            |t| make_worker(t),
+            &|worker: &mut Box<dyn FnMut(usize) + Send + 'env>, i| worker(i),
+        );
+    }
+}
+
+fn run_inline<S, I>(n: usize, init: I, task: &(dyn Fn(&mut S, usize) + Sync))
+where
+    I: Fn(usize) -> S,
+{
+    let mut state = init(0);
+    for i in 0..n {
+        task(&mut state, i);
+    }
+}
+
+/// Contiguous equal chunks, one per thread. No balancing at all: the
+/// baseline the dynamic schedulers are measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticScheduler;
+
+impl Scheduler for StaticScheduler {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn batch_size(&self) -> usize {
+        0
+    }
+
+    fn run<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return run_inline(n, init, task);
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let start = (t * chunk).min(n);
+                let end = ((t + 1) * chunk).min(n);
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init(t);
+                    for i in start..end {
+                        task(&mut state, i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Dynamic batches off a shared atomic counter — the behaviour of OpenMP's
+/// `schedule(dynamic, batch)` that miniGiraffe uses by default.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicScheduler {
+    batch: usize,
+}
+
+impl DynamicScheduler {
+    /// Creates the scheduler; `batch` is clamped to at least 1.
+    pub fn new(batch: usize) -> Self {
+        DynamicScheduler { batch: batch.max(1) }
+    }
+}
+
+impl Scheduler for DynamicScheduler {
+    fn name(&self) -> &'static str {
+        "openmp-dynamic"
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn run<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return run_inline(n, init, task);
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cursor = &cursor;
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init(t);
+                    loop {
+                        let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + self.batch).min(n) {
+                            task(&mut state, i);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The paper's in-house scheduler: the range is pre-split evenly; each
+/// thread consumes its own share in `batch`-sized chunks through a
+/// per-thread atomic cursor, and when it runs dry it steals batches from
+/// victims round-robin with an atomic read-modify-write.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStealingScheduler {
+    batch: usize,
+}
+
+impl WorkStealingScheduler {
+    /// Creates the scheduler; `batch` is clamped to at least 1.
+    pub fn new(batch: usize) -> Self {
+        WorkStealingScheduler { batch: batch.max(1) }
+    }
+}
+
+impl Scheduler for WorkStealingScheduler {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn run<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return run_inline(n, init, task);
+        }
+        let chunk = n.div_ceil(threads);
+        let shares: Vec<(AtomicUsize, usize)> = (0..threads)
+            .map(|t| {
+                let start = (t * chunk).min(n);
+                let end = ((t + 1) * chunk).min(n);
+                (AtomicUsize::new(start), end)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let shares = &shares;
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init(t);
+                    // Own share first, then victims round-robin from t + 1.
+                    for v in 0..threads {
+                        let victim = (t + v) % threads;
+                        let (cursor, end) = &shares[victim];
+                        loop {
+                            let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
+                            if start >= *end {
+                                break;
+                            }
+                            for i in start..(start + self.batch).min(*end) {
+                                task(&mut state, i);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// VG-style batch dispatcher: worker threads pull batches from a bounded
+/// queue fed by the main thread; when every worker is busy (queue full) the
+/// main thread processes a batch itself, mirroring VG's task launcher that
+/// the workload characterization observed.
+#[derive(Debug, Clone, Copy)]
+pub struct VgScheduler {
+    batch: usize,
+}
+
+impl VgScheduler {
+    /// Creates the scheduler; `batch` is clamped to at least 1.
+    pub fn new(batch: usize) -> Self {
+        VgScheduler { batch: batch.max(1) }
+    }
+}
+
+impl Scheduler for VgScheduler {
+    fn name(&self) -> &'static str {
+        "vg-batch"
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn run<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return run_inline(n, init, task);
+        }
+        // The main thread is one of the `threads` contexts; spawn the rest
+        // as workers fed by a bounded channel.
+        let workers = threads - 1;
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, usize)>(workers.max(1));
+        std::thread::scope(|scope| {
+            for t in 0..workers {
+                let rx = rx.clone();
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init(t + 1);
+                    while let Ok((start, end)) = rx.recv() {
+                        for i in start..end {
+                            task(&mut state, i);
+                        }
+                    }
+                });
+            }
+            drop(rx);
+            // Main thread: dispatch batches; on backpressure, map a batch
+            // itself.
+            let mut state = init(0);
+            let mut next = 0usize;
+            while next < n {
+                let end = (next + self.batch).min(n);
+                match tx.try_send((next, end)) {
+                    Ok(()) => {}
+                    Err(crossbeam::channel::TrySendError::Full(_)) => {
+                        for i in next..end {
+                            task(&mut state, i);
+                        }
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                        unreachable!("workers outlive the dispatch loop")
+                    }
+                }
+                next = end;
+            }
+            drop(tx);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    fn all_schedulers() -> Vec<Box<dyn AnyScheduler>> {
+        SchedulerKind::ALL.iter().map(|k| k.build(16)).collect()
+    }
+
+    #[test]
+    fn every_index_processed_exactly_once() {
+        for sched in all_schedulers() {
+            for n in [0usize, 1, 7, 100, 1000] {
+                for threads in [1usize, 2, 4, 7] {
+                    let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                    let seen_ref = &seen;
+                    sched.run_erased(n, threads, &move |_t| {
+                        Box::new(move |i| {
+                            seen_ref[i].fetch_add(1, Ordering::Relaxed);
+                        })
+                    });
+                    for (i, c) in seen.iter().enumerate() {
+                        assert_eq!(
+                            c.load(Ordering::Relaxed),
+                            1,
+                            "{}: index {i} with n={n} threads={threads}",
+                            sched.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_thread_state_sums_to_total() {
+        for kind in SchedulerKind::ALL {
+            let counted = Mutex::new(0u64);
+            let counted_ref = &counted;
+            struct State<'a> {
+                count: u64,
+                sink: &'a Mutex<u64>,
+            }
+            impl State<'_> {
+                fn bump(&mut self) {
+                    self.count += 1;
+                }
+            }
+            impl Drop for State<'_> {
+                fn drop(&mut self) {
+                    *self.sink.lock().unwrap() += self.count;
+                }
+            }
+            kind.build(8).run_erased(500, 4, &move |_t| {
+                let mut state = State { count: 0, sink: counted_ref };
+                Box::new(move |_i| state.bump())
+            });
+            assert_eq!(*counted.lock().unwrap(), 500, "{kind}");
+        }
+    }
+
+    #[test]
+    fn dynamic_balances_skewed_work() {
+        // One heavy task must not serialize the rest: with dynamic batches
+        // of 1, fast threads take the remainder while one sleeps.
+        let sched = DynamicScheduler::new(1);
+        let done = AtomicU64::new(0);
+        sched.run(
+            64,
+            4,
+            |_t| (),
+            &|_s, i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn work_stealing_processes_all_with_uneven_shares() {
+        let processed = Mutex::new(vec![0u64; 4]);
+        let pb = &processed;
+        WorkStealingScheduler::new(4).run(
+            4001, // not divisible by 4: last share is short
+            4,
+            |t| t,
+            &|t, _i| {
+                pb.lock().unwrap()[*t] += 1;
+            },
+        );
+        assert_eq!(processed.lock().unwrap().iter().sum::<u64>(), 4001);
+    }
+
+    #[test]
+    fn vg_scheduler_two_threads() {
+        // threads = 2 means one worker + the dispatching main thread.
+        let seen = Mutex::new(vec![false; 300]);
+        let seen_ref = &seen;
+        VgScheduler::new(32).run(
+            300,
+            2,
+            |_t| (),
+            &|_s, i| {
+                let mut v = seen_ref.lock().unwrap();
+                assert!(!v[i], "index {i} processed twice");
+                v[i] = true;
+            },
+        );
+        assert!(seen.lock().unwrap().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn kind_display_and_parse_roundtrip() {
+        for kind in SchedulerKind::ALL {
+            let s = kind.to_string();
+            assert_eq!(s.parse::<SchedulerKind>().unwrap(), kind);
+        }
+        assert!("garbage".parse::<SchedulerKind>().is_err());
+        assert_eq!("ws".parse::<SchedulerKind>().unwrap(), SchedulerKind::WorkStealing);
+        assert_eq!("openmp".parse::<SchedulerKind>().unwrap(), SchedulerKind::Dynamic);
+    }
+
+    #[test]
+    fn batch_size_reported_and_clamped() {
+        assert_eq!(SchedulerKind::Dynamic.build(128).batch_size(), 128);
+        assert_eq!(SchedulerKind::WorkStealing.build(256).batch_size(), 256);
+        assert_eq!(SchedulerKind::Vg.build(512).batch_size(), 512);
+        assert_eq!(Scheduler::batch_size(&DynamicScheduler::new(0)), 1);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_in_order() {
+        let order = Mutex::new(Vec::new());
+        let tid = std::thread::current().id();
+        DynamicScheduler::new(8).run(
+            20,
+            1,
+            |_t| (),
+            &|_s, i| {
+                assert_eq!(std::thread::current().id(), tid);
+                order.lock().unwrap().push(i);
+            },
+        );
+        assert_eq!(*order.lock().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type shared by the low-level IO and codec routines.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding miniGiraffe binary formats.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying IO operation failed.
+    Io(std::io::Error),
+    /// The input ended in the middle of a value.
+    UnexpectedEof {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A varint ran longer than the maximum encodable width.
+    VarintOverflow,
+    /// A container section had an unknown or unexpected tag.
+    BadTag {
+        /// The tag that was found.
+        found: u32,
+        /// The tag that was expected, if a specific one was required.
+        expected: Option<u32>,
+    },
+    /// The container magic bytes did not match.
+    BadMagic,
+    /// A checksum did not match the stored value.
+    ChecksumMismatch {
+        /// Checksum stored in the container.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// A structural invariant of the decoded data was violated.
+    Corrupt(String),
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            Error::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            Error::BadTag { found, expected } => match expected {
+                Some(want) => write!(f, "bad section tag {found:#x}, expected {want:#x}"),
+                None => write!(f, "unknown section tag {found:#x}"),
+            },
+            Error::BadMagic => write!(f, "bad container magic"),
+            Error::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            ),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the low-level crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors: Vec<Error> = vec![
+            Error::Io(std::io::Error::other("boom")),
+            Error::UnexpectedEof { context: "record" },
+            Error::VarintOverflow,
+            Error::BadTag {
+                found: 7,
+                expected: Some(9),
+            },
+            Error::BadTag {
+                found: 7,
+                expected: None,
+            },
+            Error::BadMagic,
+            Error::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            Error::Corrupt("x".into()),
+            Error::UnsupportedVersion(99),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let e: Error = std::io::Error::other("boom").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

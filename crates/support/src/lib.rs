@@ -1,0 +1,37 @@
+//! Low-level substrate for the miniGiraffe reproduction.
+//!
+//! This crate provides the succinct data structures and binary IO that the
+//! GBWT ([`mg-gbwt`]) and the rest of the stack are built on:
+//!
+//! - [`bits::BitVec`]: a plain bit vector with O(1) rank and O(log n) select,
+//!   used for record boundaries and sparse marks.
+//! - [`bits::IntVec`]: a bit-packed vector of fixed-width integers, used for
+//!   node identifiers and offsets inside compressed records.
+//! - [`varint`]: LEB128-style variable-length integers with ZigZag support,
+//!   the byte-level encoding of GBWT records.
+//! - [`rle`]: run-length encoding of `(symbol, run)` pairs used by the GBWT
+//!   body.
+//! - [`container`]: a tagged, checksummed binary container format — the
+//!   skeleton of the `.mgz` (GBZ-analog) file format and of seed dumps.
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_support::bits::BitVec;
+//!
+//! let mut bv = BitVec::new(100);
+//! bv.set(3, true);
+//! bv.set(97, true);
+//! assert_eq!(bv.rank1(98), 2);
+//! assert_eq!(bv.select1(1), Some(97));
+//! ```
+
+pub mod bits;
+pub mod container;
+pub mod error;
+pub mod probe;
+pub mod regions;
+pub mod rle;
+pub mod varint;
+
+pub use error::{Error, Result};

@@ -1,0 +1,332 @@
+//! Statistics for the evaluation: geometric means and one-way ANOVA.
+//!
+//! The paper reports geometric-mean speedups (§VII-B) and an Analysis of
+//! Variance attributing makespan variation to each tuning parameter, with
+//! p-values from the F distribution. Both are implemented here from
+//! scratch (log-gamma via Lanczos, the regularized incomplete beta via
+//! Lentz's continued fraction).
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes style).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry that converges fastest.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_gamma_swap(a, b, x)
+    }
+}
+
+fn ln_gamma_swap(a: f64, b: f64, x: f64) -> f64 {
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Right-tail p-value of the F distribution: `P(F(d1, d2) > f)`.
+pub fn f_distribution_p_value(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 1.0;
+    }
+    // P(F > f) = I_{d2 / (d2 + d1 f)}(d2/2, d1/2).
+    incomplete_beta(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f)).clamp(0.0, 1.0)
+}
+
+/// The outcome of a one-way ANOVA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anova {
+    /// The F statistic (between-group variance over within-group variance).
+    pub f_statistic: f64,
+    /// Between-group degrees of freedom (groups − 1).
+    pub df_between: f64,
+    /// Within-group degrees of freedom (N − groups).
+    pub df_within: f64,
+    /// Right-tail p-value.
+    pub p_value: f64,
+}
+
+impl Anova {
+    /// Whether the effect is significant at the 0.05 level (the paper's
+    /// criterion: capacity p = 0.047 significant; batch 0.878 and scheduler
+    /// 0.859 not).
+    pub fn is_significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// One-way ANOVA over `groups` of observations.
+///
+/// Returns `None` when fewer than two groups have data or every
+/// observation is identical (no variance to attribute).
+pub fn one_way_anova(groups: &[Vec<f64>]) -> Option<Anova> {
+    let groups: Vec<&Vec<f64>> = groups.iter().filter(|g| !g.is_empty()).collect();
+    let k = groups.len();
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+    if k < 2 || n <= k {
+        return None;
+    }
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n as f64;
+    let ss_between: f64 = groups
+        .iter()
+        .map(|g| {
+            let mean: f64 = g.iter().sum::<f64>() / g.len() as f64;
+            g.len() as f64 * (mean - grand_mean).powi(2)
+        })
+        .sum();
+    let ss_within: f64 = groups
+        .iter()
+        .map(|g| {
+            let mean: f64 = g.iter().sum::<f64>() / g.len() as f64;
+            g.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        })
+        .sum();
+    let df_between = (k - 1) as f64;
+    let df_within = (n - k) as f64;
+    let noise_floor = f64::EPSILON * grand_mean.abs().max(1.0);
+    if ss_within <= noise_floor {
+        // No within-group variance: identical data everywhere is
+        // unanalysable, but distinct group means with zero noise are an
+        // infinitely significant effect.
+        if ss_between <= noise_floor {
+            return None;
+        }
+        return Some(Anova {
+            f_statistic: f64::INFINITY,
+            df_between,
+            df_within,
+            p_value: 0.0,
+        });
+    }
+    let f = (ss_between / df_between) / (ss_within / df_within);
+    Some(Anova {
+        f_statistic: f,
+        df_between,
+        df_within,
+        p_value: f_distribution_p_value(f, df_between, df_within),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 8.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_reference_values() {
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.1, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10, "x={x}");
+        }
+        // I_x(2, 2) = x^2 (3 - 2x).
+        for x in [0.2, 0.5, 0.8] {
+            let expect = x * x * (3.0 - 2.0 * x);
+            assert!((incomplete_beta(2.0, 2.0, x) - expect).abs() < 1e-10);
+        }
+        assert_eq!(incomplete_beta(3.0, 4.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(3.0, 4.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn f_p_value_reference_values() {
+        // From standard F tables: P(F(1, 10) > 4.96) ≈ 0.050.
+        let p = f_distribution_p_value(4.96, 1.0, 10.0);
+        assert!((p - 0.050).abs() < 0.002, "p={p}");
+        // P(F(2, 20) > 3.49) ≈ 0.050.
+        let p = f_distribution_p_value(3.49, 2.0, 20.0);
+        assert!((p - 0.050).abs() < 0.002, "p={p}");
+        // Degenerate cases.
+        assert_eq!(f_distribution_p_value(0.0, 3.0, 5.0), 1.0);
+        assert!(f_distribution_p_value(1000.0, 3.0, 50.0) < 1e-6);
+    }
+
+    #[test]
+    fn anova_detects_group_effect() {
+        // Clearly separated groups.
+        let groups = vec![
+            vec![10.0, 10.5, 9.8, 10.2],
+            vec![20.1, 19.8, 20.4, 20.0],
+            vec![30.2, 29.9, 30.1, 30.3],
+        ];
+        let anova = one_way_anova(&groups).unwrap();
+        assert!(anova.f_statistic > 100.0);
+        assert!(anova.p_value < 1e-6);
+        assert!(anova.is_significant());
+    }
+
+    #[test]
+    fn anova_sees_no_effect_in_noise() {
+        // Same distribution in every group.
+        let groups = vec![
+            vec![10.0, 11.0, 9.0, 10.5, 9.5],
+            vec![10.2, 10.8, 9.2, 10.4, 9.6],
+            vec![9.9, 10.9, 9.1, 10.6, 9.4],
+        ];
+        let anova = one_way_anova(&groups).unwrap();
+        assert!(!anova.is_significant(), "p={}", anova.p_value);
+    }
+
+    #[test]
+    fn anova_degenerate_cases() {
+        assert!(one_way_anova(&[]).is_none());
+        assert!(one_way_anova(&[vec![1.0, 2.0]]).is_none());
+        // Zero variance everywhere: unanalysable.
+        assert!(one_way_anova(&[vec![1.0, 1.0], vec![1.0, 1.0]]).is_none());
+        // Zero within-group variance but distinct means: infinitely
+        // significant, not None.
+        let separated = one_way_anova(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        assert!(separated.f_statistic.is_infinite());
+        assert_eq!(separated.p_value, 0.0);
+        assert!(separated.is_significant());
+        // Empty groups are ignored.
+        let a = one_way_anova(&[vec![1.0, 2.0], vec![], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(a.df_between, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incomplete_beta_is_cdf(a in 0.5f64..20.0, b in 0.5f64..20.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            let ilo = incomplete_beta(a, b, lo);
+            let ihi = incomplete_beta(a, b, hi);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ilo));
+            prop_assert!(ihi + 1e-9 >= ilo, "monotone: I({lo})={ilo} I({hi})={ihi}");
+        }
+
+        #[test]
+        fn prop_geomean_between_min_and_max(values in proptest::collection::vec(0.01f64..1000.0, 1..30)) {
+            let g = geometric_mean(&values);
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(0.0, f64::max);
+            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        }
+
+        #[test]
+        fn prop_f_p_value_decreases_in_f(d1 in 1.0f64..10.0, d2 in 2.0f64..50.0, f1 in 0.01f64..10.0, f2 in 0.01f64..10.0) {
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(f_distribution_p_value(hi, d1, d2) <= f_distribution_p_value(lo, d1, d2) + 1e-9);
+        }
+    }
+}

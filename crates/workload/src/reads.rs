@@ -1,0 +1,274 @@
+//! Short-read simulation.
+//!
+//! Samples reads from haplotype path sequences — forward or reverse strand,
+//! single- or paired-end — and injects sequencing errors, standing in for
+//! the Illumina FASTQ inputs of Table III.
+
+use mg_graph::dna;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the read simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadSimParams {
+    /// Read length in bases (Giraffe targets 50–300 bp short reads).
+    pub read_len: usize,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// Per-base probability of an unreadable base (`N`).
+    pub n_rate: f64,
+    /// Mean fragment length for paired-end simulation.
+    pub fragment_len: usize,
+    /// Fragment length jitter (uniform ±).
+    pub fragment_jitter: usize,
+}
+
+impl Default for ReadSimParams {
+    fn default() -> Self {
+        ReadSimParams {
+            read_len: 148,
+            error_rate: 0.002,
+            n_rate: 0.0005,
+            fragment_len: 420,
+            fragment_jitter: 60,
+        }
+    }
+}
+
+/// A simulated read with its provenance (for analyses, not given to the
+/// mapper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatedRead {
+    /// The read bases as sequenced.
+    pub bases: Vec<u8>,
+    /// Index of the source haplotype.
+    pub haplotype: usize,
+    /// Offset of the read's first base in the haplotype sequence (on the
+    /// forward strand of the haplotype).
+    pub origin: usize,
+    /// Whether the read is the reverse complement of the haplotype segment.
+    pub reverse: bool,
+    /// Number of injected errors (substitutions + Ns).
+    pub errors: u32,
+}
+
+/// Samples `count` single-end reads from `haplotype_seqs`.
+///
+/// Haplotypes are chosen round-robin so coverage is even; position and
+/// strand are random.
+pub fn simulate_single(
+    haplotype_seqs: &[Vec<u8>],
+    count: usize,
+    params: &ReadSimParams,
+    seed: u64,
+) -> Vec<SimulatedRead> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EAD_0001);
+    let mut reads = Vec::with_capacity(count);
+    let usable: Vec<usize> = haplotype_seqs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.len() >= params.read_len)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!usable.is_empty(), "no haplotype long enough for read_len");
+    for i in 0..count {
+        let hap = usable[i % usable.len()];
+        reads.push(sample_read(&mut rng, haplotype_seqs, hap, params));
+    }
+    reads
+}
+
+/// Samples `pairs` read pairs (2 × `pairs` reads). Mates come from the two
+/// ends of a fragment; the second mate is reverse-complemented, matching
+/// Illumina paired-end chemistry.
+pub fn simulate_paired(
+    haplotype_seqs: &[Vec<u8>],
+    pairs: usize,
+    params: &ReadSimParams,
+    seed: u64,
+) -> Vec<SimulatedRead> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EAD_0002);
+    let mut reads = Vec::with_capacity(pairs * 2);
+    let min_len = params.fragment_len + params.fragment_jitter;
+    let usable: Vec<usize> = haplotype_seqs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.len() >= min_len)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!usable.is_empty(), "no haplotype long enough for fragments");
+    for i in 0..pairs {
+        let hap = usable[i % usable.len()];
+        let seq = &haplotype_seqs[hap];
+        let jitter = rng.random_range(0..=2 * params.fragment_jitter) as i64
+            - params.fragment_jitter as i64;
+        let frag_len = ((params.fragment_len as i64 + jitter) as usize)
+            .clamp(params.read_len, seq.len());
+        let start = rng.random_range(0..=seq.len() - frag_len);
+        // R1: forward from fragment start.
+        let r1 = finish_read(
+            &mut rng,
+            seq[start..start + params.read_len.min(frag_len)].to_vec(),
+            hap,
+            start,
+            false,
+            params,
+        );
+        // R2: reverse complement from fragment end.
+        let r2_start = start + frag_len - params.read_len.min(frag_len);
+        let r2_seq =
+            dna::reverse_complement(&seq[r2_start..r2_start + params.read_len.min(frag_len)]);
+        let r2 = finish_read(&mut rng, r2_seq, hap, r2_start, true, params);
+        reads.push(r1);
+        reads.push(r2);
+    }
+    reads
+}
+
+fn sample_read(
+    rng: &mut StdRng,
+    haplotype_seqs: &[Vec<u8>],
+    hap: usize,
+    params: &ReadSimParams,
+) -> SimulatedRead {
+    let seq = &haplotype_seqs[hap];
+    let start = rng.random_range(0..=seq.len() - params.read_len);
+    let reverse = rng.random::<bool>();
+    let bases = if reverse {
+        dna::reverse_complement(&seq[start..start + params.read_len])
+    } else {
+        seq[start..start + params.read_len].to_vec()
+    };
+    finish_read(rng, bases, hap, start, reverse, params)
+}
+
+fn finish_read(
+    rng: &mut StdRng,
+    mut bases: Vec<u8>,
+    hap: usize,
+    origin: usize,
+    reverse: bool,
+    params: &ReadSimParams,
+) -> SimulatedRead {
+    let mut errors = 0u32;
+    for b in bases.iter_mut() {
+        let roll = rng.random::<f64>();
+        if roll < params.n_rate {
+            *b = b'N';
+            errors += 1;
+        } else if roll < params.n_rate + params.error_rate {
+            let current = *b;
+            *b = loop {
+                let candidate = dna::BASES[rng.random_range(0..4)];
+                if candidate != current {
+                    break candidate;
+                }
+            };
+            errors += 1;
+        }
+    }
+    SimulatedRead {
+        bases,
+        haplotype: hap,
+        origin,
+        reverse,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn haps() -> Vec<Vec<u8>> {
+        vec![
+            mg_workload_test_genome(2000, 1),
+            mg_workload_test_genome(1800, 2),
+        ]
+    }
+
+    fn mg_workload_test_genome(len: usize, seed: u64) -> Vec<u8> {
+        crate::genome::random_genome(
+            &crate::genome::GenomeParams { len, repeat_fraction: 0.0, repeat_len: 1 },
+            seed,
+        )
+    }
+
+    #[test]
+    fn single_reads_have_correct_length_and_origin() {
+        let haps = haps();
+        let params = ReadSimParams { read_len: 100, error_rate: 0.0, n_rate: 0.0, ..Default::default() };
+        let reads = simulate_single(&haps, 50, &params, 7);
+        assert_eq!(reads.len(), 50);
+        for r in &reads {
+            assert_eq!(r.bases.len(), 100);
+            assert_eq!(r.errors, 0);
+            // With no errors, the read matches its origin exactly.
+            let segment = &haps[r.haplotype][r.origin..r.origin + 100];
+            if r.reverse {
+                assert_eq!(r.bases, mg_graph::dna::reverse_complement(segment));
+            } else {
+                assert_eq!(r.bases, segment);
+            }
+        }
+        // Round-robin covers both haplotypes.
+        assert!(reads.iter().any(|r| r.haplotype == 0));
+        assert!(reads.iter().any(|r| r.haplotype == 1));
+    }
+
+    #[test]
+    fn error_rate_injects_errors() {
+        let haps = haps();
+        let params = ReadSimParams { read_len: 120, error_rate: 0.1, n_rate: 0.01, ..Default::default() };
+        let reads = simulate_single(&haps, 100, &params, 11);
+        let total_errors: u32 = reads.iter().map(|r| r.errors).sum();
+        // Expect ~ 0.11 * 120 * 100 = 1320; allow a wide band.
+        assert!(total_errors > 600, "errors {total_errors}");
+        assert!(total_errors < 2600, "errors {total_errors}");
+        assert!(reads.iter().any(|r| r.bases.contains(&b'N')));
+    }
+
+    #[test]
+    fn paired_reads_come_in_mate_pairs() {
+        let haps = haps();
+        let params = ReadSimParams {
+            read_len: 100,
+            error_rate: 0.0,
+            n_rate: 0.0,
+            fragment_len: 300,
+            fragment_jitter: 40,
+        };
+        let reads = simulate_paired(&haps, 20, &params, 3);
+        assert_eq!(reads.len(), 40);
+        for pair in reads.chunks(2) {
+            let (r1, r2) = (&pair[0], &pair[1]);
+            assert_eq!(r1.haplotype, r2.haplotype);
+            assert!(!r1.reverse);
+            assert!(r2.reverse);
+            // Mates bracket a fragment: R2 starts at or after R1.
+            assert!(r2.origin >= r1.origin);
+            assert!(r2.origin - r1.origin <= 300 + 40);
+            // R2 is the reverse complement of its haplotype segment.
+            let segment = &haps[r2.haplotype][r2.origin..r2.origin + 100];
+            assert_eq!(r2.bases, mg_graph::dna::reverse_complement(segment));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let haps = haps();
+        let params = ReadSimParams::default();
+        let a = simulate_single(&haps, 30, &params, 99);
+        let b = simulate_single(&haps, 30, &params, 99);
+        assert_eq!(a, b);
+        let c = simulate_single(&haps, 30, &params, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "long enough")]
+    fn rejects_too_short_haplotypes() {
+        let short = vec![b"ACGT".to_vec()];
+        simulate_single(&short, 1, &ReadSimParams::default(), 0);
+    }
+}

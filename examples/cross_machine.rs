@@ -1,0 +1,68 @@
+//! Cross-machine scaling (paper §VII-A): replay measured per-read costs on
+//! the four Table II machine models and watch how the same workload scales
+//! on each.
+//!
+//! ```sh
+//! cargo run --release --example cross_machine
+//! ```
+
+use minigiraffe::core::{Mapper, MappingOptions};
+use minigiraffe::perf::{collect_features, simulate, MachineModel, SimSched};
+use minigiraffe::workload::{InputSetSpec, SyntheticInput};
+
+fn main() {
+    let spec = InputSetSpec::c_hprc().scaled(0.25);
+    println!("generating input set {} ({} reads)...", spec.name, spec.reads);
+    let input = SyntheticInput::generate(&spec, 3);
+    let mapper = Mapper::new(&input.gbz);
+
+    // Measure per-read task costs once, from real kernel executions.
+    println!("profiling per-read kernel costs...");
+    let workload = collect_features(
+        &mapper,
+        &input.dump,
+        &MappingOptions::default(),
+        60.0,
+        spec.name,
+    );
+    println!(
+        "  {} measured tasks, {:.0} instructions total, {:.0} bytes/task mean",
+        workload.tasks.len(),
+        workload.total_instructions() as f64,
+        workload.mean_bytes()
+    );
+    // Tile the measured costs to a paper-scale read count so batches
+    // (512 reads each) outnumber threads and scheduling is meaningful.
+    let workload = workload.tiled((800_000 / workload.tasks.len()).max(1));
+    println!("  tiled to {} simulated reads", workload.tasks.len());
+
+    // Replay on each machine across thread counts.
+    println!("\n{:<12} {:>8} {:>12} {:>9}", "machine", "threads", "makespan", "speedup");
+    for machine in MachineModel::all() {
+        let t1 = simulate(&machine, &workload, 1, SimSched::Dynamic { batch: 512 })
+            .makespan_s
+            .expect("fits in memory");
+        let mut threads = 1usize;
+        while threads <= machine.total_threads() {
+            let out = simulate(&machine, &workload, threads, SimSched::Dynamic { batch: 512 });
+            let makespan = out.makespan_s.expect("fits in memory");
+            println!(
+                "{:<12} {:>8} {:>10.4}s {:>8.1}x",
+                machine.name,
+                threads,
+                makespan,
+                t1 / makespan
+            );
+            threads *= 4;
+        }
+        let full = machine.total_threads();
+        let out = simulate(&machine, &workload, full, SimSched::Dynamic { batch: 512 });
+        println!(
+            "{:<12} {:>8} {:>10.4}s {:>8.1}x  (all contexts)",
+            machine.name,
+            full,
+            out.makespan_s.unwrap(),
+            t1 / out.makespan_s.unwrap()
+        );
+    }
+}

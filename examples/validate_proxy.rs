@@ -1,0 +1,45 @@
+//! Functional validation (paper §VI-a): run the Giraffe-like parent,
+//! capture its seed dump at the critical-function boundary, replay it with
+//! the proxy, and verify the outputs match 100% in both directions.
+//!
+//! ```sh
+//! cargo run --release --example validate_proxy
+//! ```
+
+use minigiraffe::core::{run_mapping, validate};
+use minigiraffe::parent::{Parent, ParentOptions};
+use minigiraffe::workload::{InputSetSpec, SyntheticInput};
+
+fn main() {
+    let spec = InputSetSpec::b_yeast().scaled(0.05);
+    println!("generating input set {} ({} reads)...", spec.name, spec.reads);
+    let input = SyntheticInput::generate(&spec, 7);
+
+    // Parent: full pipeline from raw reads (seeding -> kernels ->
+    // post-processing), exporting the dump the proxy consumes.
+    let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+    let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+    let options = ParentOptions::default();
+    println!("running parent pipeline over {} raw reads...", reads.len());
+    let run = parent.run(&reads, &options);
+    println!(
+        "parent: {} kernel extensions, {} alignments, dump with {} seeds",
+        run.kernel_results.iter().map(|r| r.extensions.len()).sum::<usize>(),
+        run.total_alignments(),
+        run.dump.total_seeds()
+    );
+
+    // Proxy: the captured dump through the same kernels, standalone.
+    println!("running miniGiraffe proxy on the captured dump...");
+    let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
+
+    // Validation: (1) every expected match found, (2) nothing extra.
+    let report = validate(&run.kernel_results, &proxy.per_read);
+    println!("validation: {report}");
+    if report.is_exact() {
+        println!("PASS: 100% match between proxy and parent outputs");
+    } else {
+        println!("FAIL: proxy diverged from the parent");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,405 @@
+//! The miniGiraffe command-line proxy application.
+//!
+//! Mirrors the paper's standalone executable: it loads a pangenome
+//! (`.mgz`) and a seed dump (`.bin`), runs the mapping kernels under the
+//! configured scheduler/batch/capacity, and writes the raw extension
+//! results. Extra subcommands cover workload generation, dump export via
+//! the parent pipeline, and output validation.
+//!
+//! ```sh
+//! minigiraffe generate --input-set A-human --out data/
+//! minigiraffe map data/A-human.bin data/A-human.mgz --threads 4 --batch 512 --capacity 256
+//! minigiraffe validate data/A-human.bin data/A-human.mgz data/expected.csv
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use minigiraffe::core::{run_mapping, Mapper, MappingOptions, SeedDump};
+use minigiraffe::gbwt::Gbz;
+use minigiraffe::perf::Profiler;
+use minigiraffe::sched::SchedulerKind;
+use minigiraffe::workload::{InputSetSpec, SyntheticInput};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("map") => cmd_map(&args[1..]),
+        Some("parent") => cmd_parent(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+miniGiraffe: a pangenomic mapping proxy application
+
+USAGE:
+  minigiraffe generate --input-set <A-human|B-yeast|C-HPRC|D-HPRC|tiny>
+                       [--seed N] [--scale F] --out <dir>
+      Synthesize an input set: writes <set>.mgz (pangenome) and
+      <set>.bin (reads + seeds).
+
+  minigiraffe map <seeds.bin> <pangenome.mgz>
+                  [--threads N] [--batch N] [--capacity N]
+                  [--scheduler static|dynamic|ws|vg]
+                  [--instrument <timeline.csv>] [--out <results.csv>]
+      Run the proxy kernels; prints a summary and optionally writes
+      per-extension results and a region timeline.
+
+  minigiraffe parent <reads.fastq> <pangenome.mgz>
+                     [--threads N] [--batch N] [--capacity N]
+                     [--gaf <out.gaf>] [--dump <seeds.bin>]
+      Run the full Giraffe-like parent pipeline on raw reads: seeding,
+      kernels, post-processing. Optionally writes GAF alignments and
+      the seed dump the proxy consumes.
+
+  minigiraffe validate <seeds.bin> <pangenome.mgz> <expected.csv>
+      Map the dump and compare against an expected-output CSV
+      (written by `map --out`); exits nonzero on any mismatch.
+
+  minigiraffe tune <seeds.bin> <pangenome.mgz>
+                   [--threads N] [--subsample F] [--repeats N]
+      Exhaustively sweep scheduler x batch size x CachedGBWT capacity on
+      this machine (the paper's autotuning study) and report the best
+      configuration against Giraffe's defaults.
+
+  minigiraffe info <pangenome.mgz | seeds.bin>
+      Print structural statistics of a data file.
+";
+
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, std::collections::HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| format!("invalid --{name} {raw:?}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_parent(args: &[String]) -> Result<(), String> {
+    use minigiraffe::core::Workflow;
+    use minigiraffe::index::{MinimizerIndex, MinimizerParams};
+    use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions};
+
+    let (positional, flags) = parse_flags(args)?;
+    let [reads_path, gbz_path] = &positional[..] else {
+        return Err("expected <reads.fastq> <pangenome.mgz>".into());
+    };
+    let reads = minigiraffe::workload::fastq::load_read_bases(reads_path)
+        .map_err(|e| format!("loading {reads_path}: {e}"))?;
+    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
+    // Rebuild the minimizer index from the GBWT's haplotype paths (forward
+    // sequences; the index adds the reverse orientation itself).
+    eprintln!("building minimizer index from {} haplotypes...", gbz.gbwt().path_count());
+    let mut paths = Vec::new();
+    for p in 0..gbz.gbwt().path_count() {
+        let seq_id = if gbz.gbwt().is_bidirectional() { 2 * p } else { p };
+        let symbols = gbz.gbwt().sequence(seq_id).map_err(|e| e.to_string())?;
+        let handles: Vec<minigiraffe::graph::Handle> = symbols
+            .into_iter()
+            .map(|s| minigiraffe::graph::Handle::from_gbwt(s).expect("real symbol"))
+            .collect();
+        paths.push(handles);
+    }
+    let index = MinimizerIndex::build(
+        gbz.graph(),
+        paths.iter().map(|p| p.as_slice()),
+        MinimizerParams::default(),
+    );
+    let options = ParentOptions {
+        mapping: options_from_flags(&flags)?,
+        ..Default::default()
+    };
+    let parent = Parent::new(&gbz, &index, Workflow::Single);
+    eprintln!("mapping {} reads...", reads.len());
+    let run = parent.run(&reads, &options);
+    let aligned = run.alignments.iter().filter(|a| !a.is_empty()).count();
+    println!(
+        "aligned {aligned}/{} reads ({} alignments) in {:.3}s",
+        reads.len(),
+        run.total_alignments(),
+        run.wall.as_secs_f64()
+    );
+    if let Some(gaf) = flags.get("gaf") {
+        std::fs::write(gaf, run_to_gaf(gbz.graph(), &run, "read"))
+            .map_err(|e| format!("writing {gaf}: {e}"))?;
+        println!("wrote alignments to {gaf}");
+    }
+    if let Some(dump) = flags.get("dump") {
+        run.dump.save(dump).map_err(|e| format!("writing {dump}: {e}"))?;
+        println!("wrote seed dump to {dump}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let set = flags
+        .get("input-set")
+        .ok_or("--input-set is required")?
+        .as_str();
+    let spec = match set {
+        "A-human" => InputSetSpec::a_human(),
+        "B-yeast" => InputSetSpec::b_yeast(),
+        "C-HPRC" => InputSetSpec::c_hprc(),
+        "D-HPRC" => InputSetSpec::d_hprc(),
+        "tiny" => InputSetSpec::tiny_for_tests(),
+        other => return Err(format!("unknown input set {other:?}")),
+    };
+    let seed: u64 = flag(&flags, "seed", 42)?;
+    let scale: f64 = flag(&flags, "scale", 1.0)?;
+    let out: PathBuf = flags.get("out").ok_or("--out is required")?.into();
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let spec = spec.scaled(scale);
+    eprintln!("generating {} ({} reads, seed {seed})...", spec.name, spec.reads);
+    let input = SyntheticInput::generate(&spec, seed);
+    let gbz_path = out.join(format!("{}.mgz", spec.name));
+    let dump_path = out.join(format!("{}.bin", spec.name));
+    let fastq_path = out.join(format!("{}.fastq", spec.name));
+    input.gbz.save(&gbz_path).map_err(|e| e.to_string())?;
+    input.dump.save(&dump_path).map_err(|e| e.to_string())?;
+    minigiraffe::workload::fastq::save_reads_fastq(&fastq_path, &input.sim_reads, spec.name)
+        .map_err(|e| e.to_string())?;
+    println!("wrote {}", gbz_path.display());
+    println!("wrote {}", dump_path.display());
+    println!("wrote {}", fastq_path.display());
+    Ok(())
+}
+
+fn load_inputs(positional: &[String]) -> Result<(SeedDump, Gbz), String> {
+    let [dump_path, gbz_path] = positional else {
+        return Err("expected <seeds.bin> <pangenome.mgz>".into());
+    };
+    let dump = SeedDump::load(dump_path).map_err(|e| format!("loading {dump_path}: {e}"))?;
+    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
+    Ok((dump, gbz))
+}
+
+fn options_from_flags(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<MappingOptions, String> {
+    let scheduler: SchedulerKind = match flags.get("scheduler") {
+        Some(raw) => raw.parse()?,
+        None => SchedulerKind::Dynamic,
+    };
+    Ok(MappingOptions {
+        threads: flag(flags, "threads", 1)?,
+        batch_size: flag(flags, "batch", 512)?,
+        cache_capacity: flag(flags, "capacity", 256)?,
+        scheduler,
+        ..Default::default()
+    })
+}
+
+fn results_csv(results: &minigiraffe::core::MappingResults) -> String {
+    let mut out = String::from("read_id,read_start,read_end,handle,offset,score,mismatches\n");
+    for read in &results.per_read {
+        for e in &read.extensions {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                e.read_id,
+                e.read_start,
+                e.read_end,
+                e.pos.handle.packed(),
+                e.pos.offset,
+                e.score,
+                e.mismatches
+            ));
+        }
+    }
+    out
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let (dump, gbz) = load_inputs(&positional)?;
+    let options = options_from_flags(&flags)?;
+    eprintln!(
+        "mapping {} reads ({} seeds) with {} threads, batch {}, capacity {}, {} scheduler",
+        dump.reads.len(),
+        dump.total_seeds(),
+        options.threads,
+        options.batch_size,
+        options.cache_capacity,
+        options.scheduler
+    );
+    let mapper = Mapper::new(&gbz);
+    let results = if let Some(timeline) = flags.get("instrument") {
+        let profiler = Profiler::new();
+        let results = mapper.run_with_sink(&dump, &options, &profiler);
+        std::fs::write(timeline, profiler.timeline_csv())
+            .map_err(|e| format!("writing {timeline}: {e}"))?;
+        eprintln!("wrote region timeline to {timeline}");
+        results
+    } else {
+        mapper.run(&dump, &options)
+    };
+    println!(
+        "mapped {:.2}% of reads; {} extensions; makespan {:.3}s",
+        results.mapped_fraction() * 100.0,
+        results.total_extensions(),
+        results.wall.as_secs_f64()
+    );
+    println!(
+        "CachedGBWT: {} hits / {} misses ({:.1}% hit rate), {} rehashes",
+        results.cache.hits,
+        results.cache.misses,
+        results.cache.hit_rate() * 100.0,
+        results.cache.rehashes
+    );
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, results_csv(&results)).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote extensions to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let [dump_path, gbz_path, expected_path] = &positional[..] else {
+        return Err("expected <seeds.bin> <pangenome.mgz> <expected.csv>".into());
+    };
+    let (dump, gbz) = load_inputs(&[dump_path.clone(), gbz_path.clone()])?;
+    let options = options_from_flags(&flags)?;
+    let results = run_mapping(&dump, &gbz, &options);
+    let actual = results_csv(&results);
+    let expected = std::fs::read_to_string(expected_path)
+        .map_err(|e| format!("reading {expected_path}: {e}"))?;
+    // Order-independent comparison of the CSV rows (multiset).
+    fn canon(s: &str) -> Vec<&str> {
+        let mut rows: Vec<&str> = s.lines().skip(1).filter(|l| !l.is_empty()).collect();
+        rows.sort_unstable();
+        rows
+    }
+    let (want, got) = (canon(&expected), canon(&actual));
+    let missing = want.iter().filter(|r| !got.contains(r)).count();
+    let extra = got.iter().filter(|r| !want.contains(r)).count();
+    println!(
+        "expected {} extensions, produced {}; missing {missing}, extra {extra}",
+        want.len(),
+        got.len()
+    );
+    if missing == 0 && extra == 0 {
+        println!("PASS: 100% match");
+        Ok(())
+    } else {
+        Err("outputs differ from expected".into())
+    }
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    use minigiraffe::tuning::{run_host_sweep, ParamSpace, TuningPoint};
+
+    let (positional, flags) = parse_flags(args)?;
+    let (dump, gbz) = load_inputs(&positional)?;
+    let threads: usize = flag(&flags, "threads", 4)?;
+    let subsample: f64 = flag(&flags, "subsample", 0.1)?;
+    let repeats: usize = flag(&flags, "repeats", 2)?;
+    let dump = dump.subsample(subsample);
+    let space = ParamSpace::default();
+    eprintln!(
+        "sweeping {} configurations over {} reads with {threads} threads ({repeats} repeats)...",
+        space.len(),
+        dump.reads.len()
+    );
+    let sweep = run_host_sweep(&gbz, &dump, threads, &space, repeats, &MappingOptions::default());
+    let best = sweep.best();
+    println!(
+        "best:    {}  {:.4}s",
+        best.point, best.makespan_s
+    );
+    match sweep.find(TuningPoint::default_config()) {
+        Some(default) => println!(
+            "default: {}  {:.4}s  (tuning speedup {:.2}x)",
+            default.point,
+            default.makespan_s,
+            default.makespan_s / best.makespan_s
+        ),
+        None => println!("default configuration not in the sweep space"),
+    }
+    let (sched, batch, capacity) = sweep.anova_by_parameter();
+    for (name, a) in [("scheduler", sched), ("batch", batch), ("capacity", capacity)] {
+        if let Some(a) = a {
+            println!(
+                "anova {name:<9} F={:<8.2} p={:.3} {}",
+                a.f_statistic,
+                a.p_value,
+                if a.is_significant() { "(significant)" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (positional, _) = parse_flags(args)?;
+    let [path] = &positional[..] else {
+        return Err("expected one data file".into());
+    };
+    if path.ends_with(".mgz") {
+        let gbz = Gbz::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+        println!("pangenome {path}");
+        println!("  nodes:        {}", gbz.graph().node_count());
+        println!("  edges:        {}", gbz.graph().edge_count());
+        println!("  sequence:     {} bp", gbz.graph().total_sequence_len());
+        println!("  haplotypes:   {}", gbz.gbwt().path_count());
+        println!("  gbwt visits:  {}", gbz.gbwt().total_visits());
+        println!("  compressed:   {} bytes", gbz.gbwt().compressed_bytes());
+        let stats = gbz.gbwt().statistics();
+        println!("  bwt runs:     {} ({:.2}/record)", stats.total_runs, stats.avg_runs_per_record);
+        println!("  bytes/visit:  {:.2}", stats.bytes_per_visit);
+    } else {
+        let dump = SeedDump::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+        println!("seed dump {path}");
+        println!("  workflow:     {}", dump.workflow);
+        println!("  reads:        {}", dump.reads.len());
+        println!("  bases:        {}", dump.total_bases());
+        println!("  seeds:        {}", dump.total_seeds());
+        let mean = if dump.reads.is_empty() {
+            0.0
+        } else {
+            dump.total_seeds() as f64 / dump.reads.len() as f64
+        };
+        println!("  seeds/read:   {mean:.1}");
+    }
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration tests spanning the whole workspace: synthetic
+//! pangenome -> GBZ -> seeding -> proxy/parent mapping -> validation.
+
+use minigiraffe::core::{run_mapping, validate, Mapper, MappingOptions};
+use minigiraffe::gbwt::Gbz;
+use minigiraffe::parent::{Parent, ParentOptions};
+use minigiraffe::sched::SchedulerKind;
+use minigiraffe::workload::{InputSetSpec, SyntheticInput};
+
+fn tiny(seed: u64) -> SyntheticInput {
+    SyntheticInput::generate(&InputSetSpec::tiny_for_tests(), seed)
+}
+
+#[test]
+fn proxy_matches_parent_on_every_input_workflow() {
+    // Single- and paired-end workflows, several seeds: the proxy must
+    // reproduce the parent's kernel output exactly (paper §VI-a).
+    for seed in [1u64, 77] {
+        for paired in [false, true] {
+            let mut spec = InputSetSpec::tiny_for_tests();
+            if paired {
+                spec.workflow = minigiraffe::core::Workflow::Paired;
+                spec.reads = 30;
+                spec.read_sim.fragment_len = 250;
+                spec.read_sim.fragment_jitter = 25;
+            }
+            let input = SyntheticInput::generate(&spec, seed);
+            let parent = Parent::new(&input.gbz, &input.minimizer_index, spec.workflow);
+            let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+            let options = ParentOptions::default();
+            let run = parent.run(&reads, &options);
+            let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
+            let report = validate(&run.kernel_results, &proxy.per_read);
+            assert!(
+                report.is_exact(),
+                "seed {seed} paired {paired}: {report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gbz_file_roundtrip_preserves_mapping_results() {
+    let input = tiny(9);
+    let dir = std::env::temp_dir().join(format!("mg-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gbz_path = dir.join("pangenome.mgz");
+    let dump_path = dir.join("seeds.bin");
+    input.gbz.save(&gbz_path).unwrap();
+    input.dump.save(&dump_path).unwrap();
+
+    let gbz = Gbz::load(&gbz_path).unwrap();
+    let dump = minigiraffe::core::SeedDump::load(&dump_path).unwrap();
+    let from_disk = run_mapping(&dump, &gbz, &MappingOptions::default());
+    let from_memory = run_mapping(&input.dump, &input.gbz, &MappingOptions::default());
+    assert_eq!(from_disk.per_read, from_memory.per_read);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn results_invariant_under_all_tuning_parameters() {
+    // Tuning parameters change performance, never results.
+    let input = tiny(21);
+    let reference = run_mapping(&input.dump, &input.gbz, &MappingOptions::default());
+    for scheduler in SchedulerKind::ALL {
+        for (threads, batch, capacity) in [(1, 16, 0), (3, 4, 64), (4, 1000, 8192)] {
+            let options = MappingOptions {
+                threads,
+                batch_size: batch,
+                cache_capacity: capacity,
+                scheduler,
+                ..Default::default()
+            };
+            let got = run_mapping(&input.dump, &input.gbz, &options);
+            assert_eq!(
+                got.per_read, reference.per_read,
+                "{scheduler} threads={threads} batch={batch} capacity={capacity}"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_cache_baseline_misses_everything_but_matches() {
+    let input = tiny(33);
+    let cached = run_mapping(&input.dump, &input.gbz, &MappingOptions::default());
+    let uncached = run_mapping(
+        &input.dump,
+        &input.gbz,
+        &MappingOptions { cache_capacity: 0, ..Default::default() },
+    );
+    assert_eq!(cached.per_read, uncached.per_read);
+    assert_eq!(uncached.cache.hits, 0);
+    assert!(uncached.cache.misses > cached.cache.misses);
+}
+
+#[test]
+fn most_error_free_reads_map_perfectly() {
+    let mut spec = InputSetSpec::tiny_for_tests();
+    spec.read_sim.error_rate = 0.0;
+    spec.read_sim.n_rate = 0.0;
+    let input = SyntheticInput::generate(&spec, 5);
+    let results = run_mapping(&input.dump, &input.gbz, &MappingOptions::default());
+    let read_len = spec.read_sim.read_len as u32;
+    let perfect = results
+        .per_read
+        .iter()
+        .filter(|r| r.has_perfect_match(read_len))
+        .count();
+    // Nearly all clean reads should align full-length somewhere (the rare
+    // exceptions fall in seed-free windows).
+    assert!(
+        perfect * 10 >= results.per_read.len() * 8,
+        "{perfect}/{} perfect",
+        results.per_read.len()
+    );
+}
+
+#[test]
+fn extensions_are_faithful_walks() {
+    // Every reported extension must spell a real walk: path edges exist,
+    // and the claimed mismatch count matches a re-comparison of the read
+    // against the path sequence.
+    let input = tiny(55);
+    let results = run_mapping(&input.dump, &input.gbz, &MappingOptions::default());
+    let graph = input.gbz.graph();
+    for (read, result) in input.dump.reads.iter().zip(&results.per_read) {
+        for ext in &result.extensions {
+            // Path edges exist in the graph.
+            for pair in ext.path.windows(2) {
+                assert!(
+                    graph.has_edge(pair[0], pair[1]),
+                    "read {}: path edge {} -> {} missing",
+                    result.read_id,
+                    pair[0],
+                    pair[1]
+                );
+            }
+            // Re-spell the path from the start position and compare.
+            assert_eq!(ext.path.first().copied(), Some(ext.pos.handle));
+            let mut spelled = Vec::new();
+            for (i, &h) in ext.path.iter().enumerate() {
+                let seq = graph.sequence(h);
+                let from = if i == 0 { ext.pos.offset as usize } else { 0 };
+                spelled.extend_from_slice(&seq[from.min(seq.len())..]);
+            }
+            let span = &read.bases[ext.read_start as usize..ext.read_end as usize];
+            assert!(
+                spelled.len() >= span.len(),
+                "read {}: path too short",
+                result.read_id
+            );
+            let mismatches = span
+                .iter()
+                .zip(&spelled[..span.len()])
+                .filter(|(a, b)| a != b)
+                .count() as u32;
+            assert_eq!(
+                mismatches, ext.mismatches,
+                "read {}: mismatch count diverges",
+                result.read_id
+            );
+            // Score consistency.
+            let matches = span.len() as i32 - mismatches as i32;
+            assert_eq!(ext.score, matches - 4 * mismatches as i32);
+        }
+    }
+}
+
+#[test]
+fn mapper_reuse_is_consistent() {
+    let input = tiny(66);
+    let mapper = Mapper::new(&input.gbz);
+    let a = mapper.run(&input.dump, &MappingOptions::default());
+    let b = mapper.run(&input.dump, &MappingOptions::default());
+    assert_eq!(a.per_read, b.per_read);
+}
