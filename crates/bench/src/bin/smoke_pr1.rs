@@ -1,0 +1,159 @@
+//! Throughput smoke test for the zero-allocation + worker-pool PR.
+//!
+//! Maps a synthetic dump with the paper's default tuning point (batch 512,
+//! capacity 256, openmp-dynamic) two ways:
+//!
+//! * **baseline** — the pre-pool pipeline shape: throwaway scheduler
+//!   threads, a cold `CachedGbwt` per thread per run, and the allocating
+//!   `map_read` wrapper (fresh kernel scratch per read);
+//! * **pooled** — `Mapper::run` on the persistent worker pool with warm
+//!   caches and reused scratch.
+//!
+//! Prints both rates and writes `BENCH_PR1.json` (under `MG_OUT`, default
+//! the working directory) with reads/sec and allocations-per-read from the
+//! counting global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mg_bench::Ctx;
+use mg_core::{Mapper, MappingOptions};
+use mg_gbwt::CachedGbwt;
+use mg_support::probe::NoProbe;
+use mg_support::regions::NullSink;
+use mg_workload::{InputSetSpec, SyntheticInput};
+
+/// Counts heap allocations (allocs + reallocs) so the harness can report
+/// per-read allocation pressure in both modes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One baseline run: the exact work `run_with_sink` did before the pool
+/// existed.
+fn run_baseline(mapper: &Mapper<'_>, input: &SyntheticInput, options: &MappingOptions) {
+    let dump = &input.dump;
+    let n = dump.reads.len();
+    let scheduler = options.scheduler.build(options.batch_size);
+    scheduler.run_erased(n, options.threads.max(1), &|thread| {
+        let mut cache = CachedGbwt::new(input.gbz.gbwt(), options.cache_capacity);
+        Box::new(move |i| {
+            let result = mapper.map_read(
+                &mut cache,
+                i as u64,
+                &dump.reads[i],
+                options,
+                &NullSink,
+                thread,
+                &mut NoProbe,
+            );
+            std::hint::black_box(result.extensions.len());
+        })
+    });
+}
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let input = ctx.generate(&InputSetSpec::b_yeast());
+    let reads = input.dump.reads.len();
+    let options = MappingOptions::default(); // 512 batch / 256 capacity / openmp-dynamic
+    let reps = 5usize;
+
+    let mapper = Mapper::new(&input.gbz);
+
+    // Baseline: every run pays thread construction, cold caches, and
+    // per-read scratch allocation.
+    run_baseline(&mapper, &input, &options); // untimed warm-up of page cache etc.
+    let alloc_mark = allocs();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_baseline(&mapper, &input, &options);
+    }
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    let baseline_allocs_per_read =
+        (allocs() - alloc_mark) as f64 / (reads * reps) as f64;
+
+    // Pooled: first run warms the per-thread caches, then steady state.
+    std::hint::black_box(mapper.run(&input.dump, &options));
+    let alloc_mark = allocs();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(mapper.run(&input.dump, &options).total_extensions());
+    }
+    let pooled_secs = t0.elapsed().as_secs_f64();
+    let pooled_allocs_per_read = (allocs() - alloc_mark) as f64 / (reads * reps) as f64;
+
+    let baseline_rps = (reads * reps) as f64 / baseline_secs;
+    let pooled_rps = (reads * reps) as f64 / pooled_secs;
+    let speedup = pooled_rps / baseline_rps;
+
+    println!("input           : {} ({reads} reads, {reps} reps)", InputSetSpec::b_yeast().name);
+    println!("config          : {} / batch {} / capacity {}", options.scheduler, options.batch_size, options.cache_capacity);
+    println!("baseline        : {baseline_rps:>12.0} reads/s   {baseline_allocs_per_read:>8.1} allocs/read");
+    println!("pooled          : {pooled_rps:>12.0} reads/s   {pooled_allocs_per_read:>8.1} allocs/read");
+    println!("speedup         : {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"input\": \"{}\",\n",
+            "  \"reads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"scheduler\": \"{}\",\n",
+            "  \"batch_size\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"baseline_reads_per_sec\": {:.2},\n",
+            "  \"pooled_reads_per_sec\": {:.2},\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"baseline_allocs_per_read\": {:.2},\n",
+            "  \"pooled_allocs_per_read\": {:.2},\n",
+            "  \"debug_assertions\": {}\n",
+            "}}\n"
+        ),
+        InputSetSpec::b_yeast().name,
+        reads,
+        reps,
+        options.scheduler,
+        options.batch_size,
+        options.cache_capacity,
+        options.threads,
+        baseline_rps,
+        pooled_rps,
+        speedup,
+        baseline_allocs_per_read,
+        pooled_allocs_per_read,
+        cfg!(debug_assertions),
+    );
+    let out = std::env::var_os("MG_OUT").map(std::path::PathBuf::from).unwrap_or_default();
+    let path = out.join("BENCH_PR1.json");
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    file.write_all(json.as_bytes()).expect("write BENCH_PR1.json");
+    println!("wrote {}", path.display());
+}

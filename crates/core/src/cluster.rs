@@ -52,15 +52,16 @@ pub struct Cluster {
 }
 
 /// Union-find over seed indices.
+#[derive(Debug, Default)]
 struct UnionFind {
     parent: Vec<u32>,
 }
 
 impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-        }
+    /// Reinitializes for `n` elements, reusing the allocation.
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -88,13 +89,24 @@ impl UnionFind {
     }
 }
 
+/// Reusable per-thread storage of the clustering kernel: the position-sort
+/// order, the union-find, the distance-query scratch, the component
+/// gathering buffer, and the per-cluster offset buffer. A worker holds one
+/// and reuses it for every read it maps.
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    order: Vec<usize>,
+    uf: UnionFind,
+    dist: DistanceScratch,
+    rooted: Vec<(usize, usize)>,
+    offsets: Vec<u32>,
+}
+
 /// Clusters the seeds of one read.
 ///
-/// Seeds are sorted by their linearized graph position; each seed is
-/// checked against the next `neighbor_window` seeds with the distance-index
-/// prefilter and an exact bounded distance query, and close pairs are
-/// unioned. Clusters come back sorted by score (descending), ties broken by
-/// first seed index — a deterministic order regardless of thread count.
+/// Convenience wrapper over [`cluster_seeds_with_scratch`] that allocates a
+/// fresh [`ClusterScratch`]; loops should hold one scratch and call the
+/// `_with_scratch` variant.
 pub fn cluster_seeds<P: MemProbe>(
     graph: &mg_graph::VariationGraph,
     dist: &DistanceIndex,
@@ -103,14 +115,36 @@ pub fn cluster_seeds<P: MemProbe>(
     params: &ClusterParams,
     probe: &mut P,
 ) -> Vec<Cluster> {
+    let mut scratch = ClusterScratch::default();
+    cluster_seeds_with_scratch(graph, dist, seeds, read_len, params, probe, &mut scratch)
+}
+
+/// [`cluster_seeds`] reusing caller-provided scratch storage.
+///
+/// Seeds are sorted by their linearized graph position; each seed is
+/// checked against the next `neighbor_window` seeds with the distance-index
+/// prefilter and an exact bounded distance query, and close pairs are
+/// unioned. Clusters come back sorted by score (descending), ties broken by
+/// first seed index — a deterministic order regardless of thread count.
+pub fn cluster_seeds_with_scratch<P: MemProbe>(
+    graph: &mg_graph::VariationGraph,
+    dist: &DistanceIndex,
+    seeds: &[Seed],
+    read_len: u32,
+    params: &ClusterParams,
+    probe: &mut P,
+    scratch: &mut ClusterScratch,
+) -> Vec<Cluster> {
     if seeds.is_empty() {
         return Vec::new();
     }
-    probe.touch(REGION_SEEDS, (seeds.len() * std::mem::size_of::<Seed>()) as u32);
+    probe.touch(REGION_SEEDS, std::mem::size_of_val(seeds) as u32);
     probe.instret(seeds.len() as u64 * 4);
 
     // Sort indices by linearized position so nearby seeds are adjacent.
-    let mut order: Vec<usize> = (0..seeds.len()).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..seeds.len());
     let linear = |s: &Seed| -> (u32, u64, u64) {
         let node = s.pos.handle.node();
         (
@@ -122,9 +156,9 @@ pub fn cluster_seeds<P: MemProbe>(
     order.sort_unstable_by_key(|&i| (linear(&seeds[i]), seeds[i].read_offset));
     probe.instret((seeds.len() as f64 * (seeds.len() as f64).log2().max(1.0)) as u64);
 
-    let mut uf = UnionFind::new(seeds.len());
+    let uf = &mut scratch.uf;
+    uf.reset(seeds.len());
     let limit = params.distance_limit;
-    let mut scratch = DistanceScratch::default();
     for (rank, &i) in order.iter().enumerate() {
         for &j in order.iter().skip(rank + 1).take(params.neighbor_window) {
             // Transitivity: pairs already clustered need no distance query
@@ -151,7 +185,7 @@ pub fn cluster_seeds<P: MemProbe>(
             // Exact check, either direction.
             probe.instret(40);
             if dist
-                .min_undirected_distance_with(graph, a, b, limit, &mut scratch)
+                .min_undirected_distance_with(graph, a, b, limit, &mut scratch.dist)
                 .is_some_and(|d| d <= limit)
             {
                 uf.union(i, j);
@@ -161,7 +195,9 @@ pub fn cluster_seeds<P: MemProbe>(
 
     // Gather components: sort (root, index) pairs and slice into groups —
     // no per-read hash map on the hot path.
-    let mut rooted: Vec<(usize, usize)> = (0..seeds.len()).map(|i| (uf.find(i), i)).collect();
+    let rooted = &mut scratch.rooted;
+    rooted.clear();
+    rooted.extend((0..seeds.len()).map(|i| (uf.find(i), i)));
     rooted.sort_unstable();
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut start = 0;
@@ -172,7 +208,7 @@ pub fn cluster_seeds<P: MemProbe>(
             end += 1;
         }
         let members: Vec<usize> = rooted[start..end].iter().map(|&(_, i)| i).collect();
-        clusters.push(score_cluster(seeds, members, read_len, params));
+        clusters.push(score_cluster(seeds, members, read_len, params, &mut scratch.offsets));
         start = end;
     }
     clusters.sort_by(|a, b| {
@@ -185,16 +221,23 @@ pub fn cluster_seeds<P: MemProbe>(
     clusters
 }
 
-fn score_cluster(seeds: &[Seed], members: Vec<usize>, read_len: u32, params: &ClusterParams) -> Cluster {
+fn score_cluster(
+    seeds: &[Seed],
+    members: Vec<usize>,
+    read_len: u32,
+    params: &ClusterParams,
+    offsets: &mut Vec<u32>,
+) -> Cluster {
     // Score: number of distinct read offsets (distinct minimizers).
-    let mut offsets: Vec<u32> = members.iter().map(|&i| seeds[i].read_offset).collect();
+    offsets.clear();
+    offsets.extend(members.iter().map(|&i| seeds[i].read_offset));
     offsets.sort_unstable();
     offsets.dedup();
     let score = offsets.len() as f64;
     // Coverage: union of [offset, offset + k) intervals over the read.
     let mut covered = 0u64;
     let mut cursor = 0u32;
-    for &off in &offsets {
+    for &off in offsets.iter() {
         let start = off.max(cursor);
         let end = (off + params.kmer_len).min(read_len.max(off));
         if end > start {
@@ -364,7 +407,8 @@ mod tests {
 
     #[test]
     fn union_find_chains_compress() {
-        let mut uf = UnionFind::new(5);
+        let mut uf = UnionFind::default();
+        uf.reset(5);
         uf.union(0, 1);
         uf.union(1, 2);
         uf.union(3, 4);

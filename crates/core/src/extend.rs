@@ -77,8 +77,12 @@ impl Default for ProcessParams {
     }
 }
 
-/// One DFS frame of a directional walk.
-#[derive(Debug, Clone)]
+/// Sentinel path-arena index: the frame is still on the anchor node.
+const NO_PATH: u32 = u32::MAX;
+
+/// One DFS frame of a directional walk. `Copy`: the walked path lives in
+/// the scratch arena as a parent-pointer chain, not in the frame.
+#[derive(Debug, Clone, Copy)]
 struct Frame {
     state: BidirState,
     handle: Handle,
@@ -86,28 +90,68 @@ struct Frame {
     consumed: u32,
     score: i32,
     mismatches: u32,
-    path: Vec<Handle>,
+    /// Arena index of the last node entered, or [`NO_PATH`] on the anchor.
+    path: u32,
 }
 
 /// Result of walking one direction from the anchor: the best-scoring
 /// prefix seen (also used as the running best during the walk).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct DirectionResult {
     score: i32,
     /// Read bases consumed in this direction.
     consumed: u32,
     mismatches: u32,
-    path: Vec<Handle>,
+    /// Arena index of the best prefix's last node ([`NO_PATH`]: anchor only).
+    path: u32,
     state: BidirState,
+}
+
+/// Reusable per-thread storage of the extension kernel.
+///
+/// The DFS over haplotype-consistent branches keeps its frame stack, the
+/// walked paths (a parent-pointer arena instead of one `Vec<Handle>` clone
+/// per frame), the branch enumeration buffers, and the per-cluster anchor
+/// list here. A worker allocates one `ExtendScratch` and reuses it for
+/// every read it maps, so the hot kernel performs no per-frame — and after
+/// warm-up, no per-read — heap allocation beyond the returned extensions.
+#[derive(Debug, Default)]
+pub struct ExtendScratch {
+    /// DFS frame stack of the current directional walk.
+    stack: Vec<Frame>,
+    /// Path arena: `(parent index or NO_PATH, handle entered)`. Paths are
+    /// reconstructed by chasing parents only when a walk finishes.
+    arena: Vec<(u32, Handle)>,
+    /// Branch states enumerated at the current node boundary.
+    branches: Vec<(BidirState, Handle)>,
+    /// Per-edge visit counts before/inside the current range.
+    before: Vec<u64>,
+    counts: Vec<u64>,
+    /// Reconstructed paths of the two directional walks, in walk order.
+    left_path: Vec<Handle>,
+    right_path: Vec<Handle>,
+    /// Deduplicated anchors of the cluster being processed.
+    anchors: Vec<Seed>,
+}
+
+/// Reconstructs a walk path from the arena's parent chain into `out`, in
+/// walk order (anchor outward).
+fn reconstruct_path(arena: &[(u32, Handle)], mut idx: u32, out: &mut Vec<Handle>) {
+    out.clear();
+    while idx != NO_PATH {
+        let (parent, handle) = arena[idx as usize];
+        out.push(handle);
+        idx = parent;
+    }
+    out.reverse();
 }
 
 /// Extends one seed bidirectionally; returns `None` when the anchor is not
 /// on any haplotype.
 ///
-/// The walk extends right from the anchor first (including the anchor
-/// base), then left from the resulting haplotype state, each direction
-/// keeping its best-scoring prefix. Mismatch budget is shared: the left
-/// walk gets whatever the right walk left over.
+/// Convenience wrapper over [`extend_seed_with_scratch`] that allocates a
+/// fresh [`ExtendScratch`]; loops should hold one scratch and call the
+/// `_with_scratch` variant.
 pub fn extend_seed<P: MemProbe>(
     graph: &VariationGraph,
     cache: &mut CachedGbwt<'_>,
@@ -116,6 +160,27 @@ pub fn extend_seed<P: MemProbe>(
     seed: Seed,
     params: &ExtendParams,
     probe: &mut P,
+) -> Option<Extension> {
+    let mut scratch = ExtendScratch::default();
+    extend_seed_with_scratch(graph, cache, read, read_id, seed, params, probe, &mut scratch)
+}
+
+/// [`extend_seed`] reusing caller-provided scratch storage.
+///
+/// The walk extends right from the anchor first (including the anchor
+/// base), then left from the resulting haplotype state, each direction
+/// keeping its best-scoring prefix. Mismatch budget is shared: the left
+/// walk gets whatever the right walk left over.
+#[allow(clippy::too_many_arguments)]
+pub fn extend_seed_with_scratch<P: MemProbe>(
+    graph: &VariationGraph,
+    cache: &mut CachedGbwt<'_>,
+    read: &[u8],
+    read_id: u64,
+    seed: Seed,
+    params: &ExtendParams,
+    probe: &mut P,
+    scratch: &mut ExtendScratch,
 ) -> Option<Extension> {
     let anchor = seed.pos;
     if seed.read_offset as usize >= read.len() {
@@ -139,54 +204,73 @@ pub fn extend_seed<P: MemProbe>(
 
     // Right: consume read[read_offset..], graph bases from anchor.offset.
     let right = walk(
-        Dir::Right, graph, cache, read, seed, init, params, params.max_mismatches, probe,
+        Dir::Right, graph, cache, read, seed, init, params, params.max_mismatches, probe, scratch,
     );
+    // The left walk reuses (and clears) the arena, so materialize the right
+    // path first.
+    let mut right_path = std::mem::take(&mut scratch.right_path);
+    reconstruct_path(&scratch.arena, right.path, &mut right_path);
     let budget_left = params.max_mismatches - right.mismatches.min(params.max_mismatches);
     // Left: consume read[..read_offset] backwards, graph bases left of the
     // anchor, continuing the haplotype state of the chosen right prefix.
     let left = walk(
-        Dir::Left, graph, cache, read, seed, right.state, params, budget_left, probe,
+        Dir::Left, graph, cache, read, seed, right.state, params, budget_left, probe, scratch,
     );
+    let mut left_path = std::mem::take(&mut scratch.left_path);
+    reconstruct_path(&scratch.arena, left.path, &mut left_path);
 
-    let read_start = seed.read_offset - left.consumed;
-    let read_end = seed.read_offset + right.consumed;
-    if read_end <= read_start {
-        return None;
-    }
-    // Start position: `left.consumed` bases before the anchor, on the first
-    // node of the left path (or the anchor node).
-    let (start_handle, start_offset) = start_position(graph, anchor, &left);
-    let mut path: Vec<Handle> = left.path.iter().rev().copied().collect();
-    path.push(anchor.handle);
-    path.extend_from_slice(&right.path);
-    Some(Extension {
-        read_id,
-        read_start,
-        read_end,
-        pos: GraphPos::new(start_handle, start_offset),
-        path,
-        score: left.score + right.score,
-        mismatches: left.mismatches + right.mismatches,
-    })
+    let result = (|| {
+        let read_start = seed.read_offset - left.consumed;
+        let read_end = seed.read_offset + right.consumed;
+        if read_end <= read_start {
+            return None;
+        }
+        // Start position: `left.consumed` bases before the anchor, on the
+        // first node of the left path (or the anchor node).
+        let (start_handle, start_offset) =
+            start_position(graph, anchor, left.consumed, &left_path);
+        let mut path: Vec<Handle> =
+            Vec::with_capacity(left_path.len() + 1 + right_path.len());
+        path.extend(left_path.iter().rev().copied());
+        path.push(anchor.handle);
+        path.extend_from_slice(&right_path);
+        Some(Extension {
+            read_id,
+            read_start,
+            read_end,
+            pos: GraphPos::new(start_handle, start_offset),
+            path,
+            score: left.score + right.score,
+            mismatches: left.mismatches + right.mismatches,
+        })
+    })();
+    scratch.right_path = right_path;
+    scratch.left_path = left_path;
+    result
 }
 
 /// Computes the graph position of the extension's first read base.
-fn start_position(graph: &VariationGraph, anchor: GraphPos, left: &DirectionResult) -> (Handle, u32) {
-    if left.path.is_empty() {
-        (anchor.handle, anchor.offset - left.consumed)
+fn start_position(
+    graph: &VariationGraph,
+    anchor: GraphPos,
+    left_consumed: u32,
+    left_path: &[Handle],
+) -> (Handle, u32) {
+    if left_path.is_empty() {
+        (anchor.handle, anchor.offset - left_consumed)
     } else {
         // The left walk consumed `anchor.offset` bases on the anchor node
-        // and then walked into `left.path`; the final node holds the rest.
-        let mut remaining = left.consumed - anchor.offset;
-        for (i, &h) in left.path.iter().enumerate() {
+        // and then walked into `left_path`; the final node holds the rest.
+        let mut remaining = left_consumed - anchor.offset;
+        for (i, &h) in left_path.iter().enumerate() {
             let len = graph.node_len(h.node()) as u32;
             if remaining <= len {
                 return (h, len - remaining);
             }
-            debug_assert!(i + 1 < left.path.len(), "left walk accounting");
+            debug_assert!(i + 1 < left_path.len(), "left walk accounting");
             remaining -= len;
         }
-        let last = *left.path.last().expect("nonempty path");
+        let last = *left_path.last().expect("nonempty path");
         (last, 0)
     }
 }
@@ -216,16 +300,19 @@ fn walk<P: MemProbe>(
     params: &ExtendParams,
     budget: u32,
     probe: &mut P,
+    scratch: &mut ExtendScratch,
 ) -> DirectionResult {
     let mut best = DirectionResult {
         score: 0,
         consumed: 0,
         mismatches: 0,
-        path: Vec::new(),
+        path: NO_PATH,
         state: init,
     };
     let mut steps = 0usize;
-    let mut stack = vec![Frame {
+    scratch.arena.clear();
+    scratch.stack.clear();
+    scratch.stack.push(Frame {
         state: init,
         handle: seed.pos.handle,
         // Bases consumed within the current node, counted in walk order.
@@ -233,15 +320,15 @@ fn walk<P: MemProbe>(
         consumed: 0,
         score: 0,
         mismatches: 0,
-        path: Vec::new(),
-    }];
-    while let Some(mut frame) = stack.pop() {
+        path: NO_PATH,
+    });
+    while let Some(mut frame) = scratch.stack.pop() {
         // How many bases this node offers in walk order, and the graph
         // offset of the c-th of them. The anchor node only offers the span
         // on the walk's side of the anchor (inclusive of the anchor base on
         // the right, exclusive on the left).
         let node_len = graph.node_len(frame.handle.node());
-        let on_anchor = frame.path.is_empty();
+        let on_anchor = frame.path == NO_PATH;
         let avail = match (dir, on_anchor) {
             (Dir::Right, true) => node_len - seed.pos.offset as usize,
             (Dir::Left, true) => seed.pos.offset as usize,
@@ -277,19 +364,21 @@ fn walk<P: MemProbe>(
             if frame.node_off >= avail {
                 // Node exhausted: branch over haplotype-consistent edges.
                 if steps < params.max_branch_steps {
-                    for (next_state, next_handle) in
-                        branch_states(cache, &frame.state, dir == Dir::Left, &mut steps, params, probe)
-                    {
-                        let mut path = frame.path.clone();
-                        path.push(next_handle);
-                        stack.push(Frame {
+                    branch_states_into(
+                        cache, &frame.state, dir == Dir::Left, &mut steps, params, probe,
+                        &mut scratch.branches, &mut scratch.before, &mut scratch.counts,
+                    );
+                    for bi in 0..scratch.branches.len() {
+                        let (next_state, next_handle) = scratch.branches[bi];
+                        scratch.arena.push((frame.path, next_handle));
+                        scratch.stack.push(Frame {
                             state: next_state,
                             handle: next_handle,
                             node_off: 0,
                             consumed: frame.consumed,
                             score: frame.score,
                             mismatches: frame.mismatches,
-                            path,
+                            path: (scratch.arena.len() - 1) as u32,
                         });
                     }
                 }
@@ -321,46 +410,44 @@ fn walk<P: MemProbe>(
             if frame.score > best.score
                 || (frame.score == best.score && frame.consumed > best.consumed)
             {
-                update_best(&mut best, &frame);
+                // Plain scalar copy: the best path is just an arena index.
+                best = DirectionResult {
+                    score: frame.score,
+                    consumed: frame.consumed,
+                    mismatches: frame.mismatches,
+                    path: frame.path,
+                    state: frame.state,
+                };
             }
         }
     }
     best
 }
 
-/// Records `frame` as the new best prefix; the path (stable within a node)
-/// is cloned only when it actually differs, so the per-matching-base
-/// updates on the hot path stay allocation-free.
-fn update_best(best: &mut DirectionResult, frame: &Frame) {
-    best.score = frame.score;
-    best.consumed = frame.consumed;
-    best.mismatches = frame.mismatches;
-    best.state = frame.state;
-    if best.path != frame.path {
-        best.path.clear();
-        best.path.extend_from_slice(&frame.path);
-    }
-}
-
 /// Enumerates the haplotype-consistent branch states at a node boundary
-/// with a single run scan of the current record and no record clone.
-/// `backward` selects the direction: `false` extends the pattern forward
-/// (successors of the forward node), `true` extends it backward
-/// (predecessors via the backward record, states returned un-flipped).
-fn branch_states<P: MemProbe>(
+/// with a single run scan of the current record and no record clone,
+/// writing them into `out` (cleared first; `before`/`counts` are the
+/// per-edge count buffers). `backward` selects the direction: `false`
+/// extends the pattern forward (successors of the forward node), `true`
+/// extends it backward (predecessors via the backward record, states
+/// returned un-flipped).
+#[allow(clippy::too_many_arguments)]
+fn branch_states_into<P: MemProbe>(
     cache: &mut CachedGbwt<'_>,
     state: &BidirState,
     backward: bool,
     steps: &mut usize,
     params: &ExtendParams,
     probe: &mut P,
-) -> Vec<(BidirState, Handle)> {
+    out: &mut Vec<(BidirState, Handle)>,
+    before: &mut Vec<u64>,
+    counts: &mut Vec<u64>,
+) {
+    out.clear();
     let look = if backward { state.flipped() } else { *state };
     let record = cache.record_with_probe(look.forward.node, probe);
     probe.instret(6 + 2 * record.runs.len() as u64);
-    let (before, counts) =
-        record.range_counts_with_prefix(look.forward.start, look.forward.end);
-    let mut out = Vec::new();
+    record.range_counts_with_prefix_into(look.forward.start, look.forward.end, before, counts);
     for (i, edge) in record.edges.iter().enumerate() {
         if *steps >= params.max_branch_steps {
             break;
@@ -369,7 +456,7 @@ fn branch_states<P: MemProbe>(
             continue;
         }
         *steps += 1;
-        let next = record_extend_forward_with_counts(record, &look, i, &before, &counts);
+        let next = record_extend_forward_with_counts(record, &look, i, before, counts);
         if next.is_empty() {
             continue;
         }
@@ -381,12 +468,15 @@ fn branch_states<P: MemProbe>(
             out.push((next, handle));
         }
     }
-    out
 }
 
 /// Processes a read's clusters best-first, extending each cluster's seeds
 /// until the threshold policy says stop (the `process_until_threshold_c`
 /// driver).
+///
+/// Convenience wrapper over [`process_until_threshold_with_scratch`] that
+/// allocates a fresh [`ExtendScratch`]; loops should hold one scratch and
+/// call the `_with_scratch` variant.
 #[allow(clippy::too_many_arguments)]
 pub fn process_until_threshold<P: MemProbe>(
     graph: &VariationGraph,
@@ -399,6 +489,26 @@ pub fn process_until_threshold<P: MemProbe>(
     process: &ProcessParams,
     probe: &mut P,
 ) -> Vec<Extension> {
+    let mut scratch = ExtendScratch::default();
+    process_until_threshold_with_scratch(
+        graph, cache, read, read_id, seeds, clusters, extend, process, probe, &mut scratch,
+    )
+}
+
+/// [`process_until_threshold`] reusing caller-provided scratch storage.
+#[allow(clippy::too_many_arguments)]
+pub fn process_until_threshold_with_scratch<P: MemProbe>(
+    graph: &VariationGraph,
+    cache: &mut CachedGbwt<'_>,
+    read: &[u8],
+    read_id: u64,
+    seeds: &[Seed],
+    clusters: &[Cluster],
+    extend: &ExtendParams,
+    process: &ProcessParams,
+    probe: &mut P,
+    scratch: &mut ExtendScratch,
+) -> Vec<Extension> {
     let mut extensions: Vec<Extension> = Vec::new();
     let best_cluster_score = clusters.first().map_or(0.0, |c| c.score);
     for cluster in clusters.iter().take(process.max_clusters) {
@@ -407,11 +517,17 @@ pub fn process_until_threshold<P: MemProbe>(
         }
         // Deduplicate exact anchor duplicates (the same read offset hitting
         // the same graph position via several minimizers).
-        let mut anchors: Vec<Seed> = cluster.seeds.iter().map(|&i| seeds[i]).collect();
-        anchors.sort_unstable();
-        anchors.dedup();
-        for anchor in anchors {
-            if let Some(ext) = extend_seed(graph, cache, read, read_id, anchor, extend, probe) {
+        scratch.anchors.clear();
+        scratch.anchors.extend(cluster.seeds.iter().map(|&i| seeds[i]));
+        scratch.anchors.sort_unstable();
+        scratch.anchors.dedup();
+        // Index loop: each anchor is copied out so the scratch can be lent
+        // to the extension below.
+        for ai in 0..scratch.anchors.len() {
+            let anchor = scratch.anchors[ai];
+            if let Some(ext) = extend_seed_with_scratch(
+                graph, cache, read, read_id, anchor, extend, probe, scratch,
+            ) {
                 if ext.score >= process.min_extension_score {
                     extensions.push(ext);
                 }
@@ -713,11 +829,12 @@ mod tests {
         // Best is the perfect full-length match.
         assert_eq!(exts[0].score, 16);
         assert_eq!(exts[0].read_id, 7);
-        // The two same-span anchors deduplicated.
-        let spans: Vec<_> = exts.iter().map(|e| (e.read_start, e.read_end, e.pos)).collect();
-        let mut dedup = spans.clone();
-        dedup.dedup();
-        assert_eq!(spans, dedup);
+        // The two same-span anchors deduplicated: no adjacent repeats.
+        let span = |e: &Extension| (e.read_start, e.read_end, e.pos);
+        assert!(
+            exts.windows(2).all(|w| span(&w[0]) != span(&w[1])),
+            "duplicate span survived dedup"
+        );
     }
 
     #[test]

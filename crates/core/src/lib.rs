@@ -55,9 +55,12 @@ pub mod pipeline;
 pub mod types;
 pub mod validate;
 
-pub use cluster::{cluster_seeds, Cluster, ClusterParams};
+pub use cluster::{cluster_seeds, cluster_seeds_with_scratch, Cluster, ClusterParams, ClusterScratch};
 pub use dump::SeedDump;
-pub use extend::{extend_seed, process_until_threshold, ExtendParams, ProcessParams};
-pub use pipeline::{run_mapping, Mapper, MappingOptions, MappingResults};
+pub use extend::{
+    extend_seed, extend_seed_with_scratch, process_until_threshold,
+    process_until_threshold_with_scratch, ExtendParams, ExtendScratch, ProcessParams,
+};
+pub use pipeline::{run_mapping, MapScratch, Mapper, MappingOptions, MappingResults};
 pub use types::{Extension, ExtensionKey, ReadInput, ReadResult, Seed, Workflow};
 pub use validate::{validate, ValidationReport};

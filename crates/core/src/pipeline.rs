@@ -8,15 +8,27 @@
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use mg_gbwt::{CacheStats, CachedGbwt, Gbz};
+use mg_gbwt::{CacheState, CacheStats, CachedGbwt, Gbz};
 use mg_index::DistanceIndex;
-use mg_sched::SchedulerKind;
+use mg_sched::{PoolCell, PoolTask, SchedulerKind, WorkerPool};
 use mg_support::probe::{MemProbe, NoProbe};
 use mg_support::regions::{NullSink, RegionSink, RegionTimer};
 
-use crate::cluster::{cluster_seeds, ClusterParams};
-use crate::extend::{process_until_threshold, ExtendParams, ProcessParams};
+use crate::cluster::{cluster_seeds_with_scratch, ClusterParams, ClusterScratch};
+use crate::extend::{process_until_threshold_with_scratch, ExtendParams, ExtendScratch, ProcessParams};
 use crate::types::{ReadInput, ReadResult};
+
+/// Reusable per-thread buffers for the two hot kernels.
+///
+/// A worker thread keeps one of these alive across every read it maps, so
+/// the DFS stack, path arena, union-find, and decode buffers reach a steady
+/// state after the first few reads and the per-read heap traffic drops to
+/// amortized O(1).
+#[derive(Debug, Default)]
+pub struct MapScratch {
+    cluster: ClusterScratch,
+    extend: ExtendScratch,
+}
 
 /// All knobs of a mapping run.
 ///
@@ -117,6 +129,10 @@ impl MappingResults {
 pub struct Mapper<'a> {
     gbz: &'a Gbz,
     dist: DistanceIndex,
+    /// Persistent worker threads plus per-thread warm state (cache storage
+    /// and kernel scratch), reused by every `run` on this mapper. Runs on
+    /// the same mapper serialize on this lock.
+    pool: std::sync::Mutex<WorkerPool>,
 }
 
 impl<'a> Mapper<'a> {
@@ -125,6 +141,7 @@ impl<'a> Mapper<'a> {
         Mapper {
             gbz,
             dist: DistanceIndex::build(gbz.graph()),
+            pool: std::sync::Mutex::new(WorkerPool::new()),
         }
     }
 
@@ -140,6 +157,9 @@ impl<'a> Mapper<'a> {
 
     /// Maps a single read with caller-provided cache, sink, and probe: the
     /// exact per-read work both pipelines share.
+    ///
+    /// Allocates throwaway scratch; hot paths should hold a [`MapScratch`]
+    /// and call [`Mapper::map_read_with_scratch`] instead.
     #[allow(clippy::too_many_arguments)]
     pub fn map_read<P: MemProbe>(
         &self,
@@ -151,24 +171,52 @@ impl<'a> Mapper<'a> {
         thread: usize,
         probe: &mut P,
     ) -> ReadResult {
+        let mut scratch = MapScratch::default();
+        self.map_read_with_scratch(
+            cache,
+            read_id,
+            input,
+            options,
+            sink,
+            thread,
+            probe,
+            &mut scratch,
+        )
+    }
+
+    /// [`Mapper::map_read`] with caller-owned kernel scratch, reused across
+    /// reads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_read_with_scratch<P: MemProbe>(
+        &self,
+        cache: &mut CachedGbwt<'_>,
+        read_id: u64,
+        input: &ReadInput,
+        options: &MappingOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+        probe: &mut P,
+        scratch: &mut MapScratch,
+    ) -> ReadResult {
         let read_len = input.bases.len() as u32;
         let mut cluster_params = options.cluster;
         // Giraffe derives the clustering limit from the read length.
         cluster_params.distance_limit = cluster_params.distance_limit.max(read_len as u64);
         let clusters = {
             let _t = RegionTimer::start(sink, thread, "cluster_seeds");
-            cluster_seeds(
+            cluster_seeds_with_scratch(
                 self.gbz.graph(),
                 &self.dist,
                 &input.seeds,
                 read_len,
                 &cluster_params,
                 probe,
+                &mut scratch.cluster,
             )
         };
         let extensions = {
             let _t = RegionTimer::start(sink, thread, "process_until_threshold_c");
-            process_until_threshold(
+            process_until_threshold_with_scratch(
                 self.gbz.graph(),
                 cache,
                 &input.bases,
@@ -178,6 +226,7 @@ impl<'a> Mapper<'a> {
                 &options.extend,
                 &options.process,
                 probe,
+                &mut scratch.extend,
             )
         };
         ReadResult { read_id, extensions }
@@ -200,19 +249,34 @@ impl<'a> Mapper<'a> {
         let slots: Vec<OnceLock<ReadResult>> = (0..n).map(|_| OnceLock::new()).collect();
         let stats: StatsCollector = std::sync::Mutex::new(Vec::new());
         let scheduler = options.scheduler.build(options.batch_size);
+        let mut pool = self.pool.lock().unwrap();
         let start = Instant::now();
-        scheduler.run_erased(n, options.threads.max(1), &|thread| {
-            let mut worker = Worker {
-                cache: CachedGbwt::new(self.gbz.gbwt(), options.cache_capacity),
-                stats: &stats,
+        scheduler.run_pooled_erased(&mut pool, n, options.threads.max(1), &|thread, cell| {
+            // Warm-start from whatever this pool thread kept from the last
+            // run; `with_state` rebinds the cache storage warm when the
+            // pangenome and capacity are unchanged, cold otherwise.
+            let persist = match cell.downcast_mut::<ThreadPersist>() {
+                Some(p) => std::mem::take(p),
+                None => ThreadPersist::default(),
             };
-            let slots = &slots;
-            Box::new(move |i| {
-                let result = worker.map(self, i, &dump.reads[i], options, sink, thread);
-                slots[i].set(result).expect("each read mapped once");
+            Box::new(PooledWorker {
+                mapper: self,
+                dump,
+                options,
+                sink,
+                thread,
+                slots: &slots,
+                stats: &stats,
+                cache: CachedGbwt::with_state(
+                    self.gbz.gbwt(),
+                    options.cache_capacity,
+                    persist.cache,
+                ),
+                scratch: persist.scratch,
             })
         });
         let wall = start.elapsed();
+        drop(pool);
         let per_read = slots
             .into_iter()
             .enumerate()
@@ -237,32 +301,52 @@ impl<'a> Mapper<'a> {
 
 type StatsCollector = std::sync::Mutex<Vec<CacheStats>>;
 
-/// Per-thread mapping state: owns the thread's `CachedGbwt` and pushes its
-/// final statistics to the collector when the worker winds down. Method
-/// calls force the closure to capture the worker as a whole, so the `Drop`
-/// reliably runs at thread teardown.
-struct Worker<'g, 's> {
+/// What a pool thread keeps between runs: its cache storage (rebound warm
+/// when the pangenome and capacity match) and the kernel scratch buffers.
+#[derive(Default)]
+struct ThreadPersist {
+    cache: CacheState,
+    scratch: MapScratch,
+}
+
+/// Per-thread mapping state for one run: owns the thread's `CachedGbwt`
+/// and scratch, maps the reads the scheduler assigns it, and at `finish`
+/// pushes its cache statistics to the collector and stashes the warm state
+/// back into the thread's pool cell for the next run.
+struct PooledWorker<'e, 'g, S: RegionSink + ?Sized> {
+    mapper: &'e Mapper<'g>,
+    dump: &'e crate::dump::SeedDump,
+    options: &'e MappingOptions,
+    sink: &'e S,
+    thread: usize,
+    slots: &'e [OnceLock<ReadResult>],
+    stats: &'e StatsCollector,
     cache: CachedGbwt<'g>,
-    stats: &'s StatsCollector,
+    scratch: MapScratch,
 }
 
-impl Worker<'_, '_> {
-    fn map(
-        &mut self,
-        mapper: &Mapper<'_>,
-        i: usize,
-        input: &ReadInput,
-        options: &MappingOptions,
-        sink: &(impl RegionSink + ?Sized),
-        thread: usize,
-    ) -> ReadResult {
-        mapper.map_read(&mut self.cache, i as u64, input, options, sink, thread, &mut NoProbe)
+impl<S: RegionSink + ?Sized> PoolTask for PooledWorker<'_, '_, S> {
+    fn run(&mut self, i: usize) {
+        let result = self.mapper.map_read_with_scratch(
+            &mut self.cache,
+            i as u64,
+            &self.dump.reads[i],
+            self.options,
+            self.sink,
+            self.thread,
+            &mut NoProbe,
+            &mut self.scratch,
+        );
+        self.slots[i].set(result).expect("each read mapped once");
     }
-}
 
-impl Drop for Worker<'_, '_> {
-    fn drop(&mut self) {
-        self.stats.lock().unwrap().push(self.cache.stats());
+    fn finish(self: Box<Self>, cell: &mut PoolCell) {
+        let this = *self;
+        this.stats.lock().unwrap().push(this.cache.stats());
+        *cell = Box::new(ThreadPersist {
+            cache: this.cache.into_state(),
+            scratch: this.scratch,
+        });
     }
 }
 
@@ -342,6 +426,10 @@ mod tests {
         let gbz = sample_gbz();
         let dump = sample_dump(&gbz, 30);
         let base = run_mapping(&dump, &gbz, &MappingOptions::default());
+        // One mapper for every configuration: its worker pool and warm
+        // per-thread caches persist across heterogeneous runs and must
+        // never change results.
+        let mapper = Mapper::new(&gbz);
         for threads in [2usize, 4] {
             for kind in SchedulerKind::ALL {
                 let options = MappingOptions {
@@ -350,13 +438,48 @@ mod tests {
                     batch_size: 4,
                     ..Default::default()
                 };
-                let got = run_mapping(&dump, &gbz, &options);
+                let got = mapper.run(&dump, &options);
                 assert_eq!(
                     got.per_read, base.per_read,
                     "scheduler {kind} with {threads} threads diverged"
                 );
             }
         }
+    }
+
+    #[test]
+    fn pool_warms_cache_across_runs() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 10);
+        let mapper = Mapper::new(&gbz);
+        let options = MappingOptions::default();
+        let first = mapper.run(&dump, &options);
+        let second = mapper.run(&dump, &options);
+        assert_eq!(first.per_read, second.per_read);
+        assert!(first.cache.misses > 0, "first run decodes at least once");
+        assert_eq!(second.cache.misses, 0, "second run should hit the warmed cache");
+        assert!(second.cache.hits > 0);
+    }
+
+    #[test]
+    fn changing_capacity_rebuilds_cold_but_identical() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 10);
+        let mapper = Mapper::new(&gbz);
+        let warm = mapper.run(&dump, &MappingOptions::default());
+        let resized = mapper.run(
+            &dump,
+            &MappingOptions { cache_capacity: 8, ..Default::default() },
+        );
+        assert_eq!(warm.per_read, resized.per_read);
+        // A different capacity must not inherit the warm table: the run
+        // decodes again, exactly like a fresh mapper at that capacity.
+        let fresh = run_mapping(
+            &dump,
+            &gbz,
+            &MappingOptions { cache_capacity: 8, ..Default::default() },
+        );
+        assert_eq!(resized.cache, fresh.cache);
     }
 
     #[test]

@@ -68,8 +68,28 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct CachedGbwt<'a> {
     gbwt: &'a Gbwt,
-    /// Open-addressing table: `slots[i]` holds `(symbol + 1, record)`;
-    /// key 0 means empty.
+    state: CacheState,
+}
+
+/// The detachable storage of a [`CachedGbwt`]: table, statistics, and the
+/// identity of the index it was warmed against.
+///
+/// A persistent worker pool keeps one `CacheState` per thread across `run()`
+/// calls and rebinds it with [`CachedGbwt::with_state`]. When the next run
+/// maps against the same index (same [`Gbwt::uid`]) with the same configured
+/// capacity, the warmed table carries over and only the statistics reset;
+/// otherwise the state is rebuilt cold (reusing its allocations).
+#[derive(Debug, Default)]
+pub struct CacheState {
+    /// [`Gbwt::uid`] of the index this table was filled from (0 = never
+    /// bound; uids start at 1).
+    gbwt_uid: u64,
+    /// The capacity the cache was configured with (pre-rounding), so a
+    /// tuning sweep that varies the capacity never reuses a table built
+    /// under a different setting.
+    initial_capacity: usize,
+    /// Open-addressing table: `keys[i]` holds `symbol + 1`; key 0 means
+    /// empty.
     keys: Vec<u64>,
     values: Vec<DecodedRecord>,
     capacity: usize,
@@ -78,8 +98,36 @@ pub struct CachedGbwt<'a> {
     /// When `true` every lookup decompresses (capacity 0: the "no caching
     /// structure" baseline of the paper's Figure 6).
     disabled: bool,
-    /// Scratch slot for disabled-mode lookups.
+    /// Recycled decode target: disabled-mode lookups and cache misses
+    /// decompress into this, reusing its buffers.
     scratch: DecodedRecord,
+}
+
+impl CacheState {
+    /// Reinitializes for `uid` and `initial_capacity`, keeping allocations
+    /// where possible.
+    fn reset_for(&mut self, uid: u64, initial_capacity: usize) {
+        self.gbwt_uid = uid;
+        self.initial_capacity = initial_capacity;
+        self.stats = CacheStats::default();
+        self.len = 0;
+        if initial_capacity == 0 {
+            self.disabled = true;
+            self.capacity = 0;
+            self.keys.clear();
+            self.values.clear();
+            return;
+        }
+        self.disabled = false;
+        self.capacity = initial_capacity.max(8).next_power_of_two();
+        self.keys.clear();
+        self.keys.resize(self.capacity, 0);
+        for v in &mut self.values {
+            v.clear();
+        }
+        self.values.resize(self.capacity, DecodedRecord::empty());
+        self.values.truncate(self.capacity);
+    }
 }
 
 /// Maximum load factor before growing (num/den).
@@ -92,34 +140,31 @@ impl<'a> CachedGbwt<'a> {
     /// entirely: every lookup decompresses the record (Figure 6's
     /// no-cache baseline).
     pub fn new(gbwt: &'a Gbwt, initial_capacity: usize) -> Self {
-        if initial_capacity == 0 {
-            return CachedGbwt {
-                gbwt,
-                keys: Vec::new(),
-                values: Vec::new(),
-                capacity: 0,
-                len: 0,
-                stats: CacheStats::default(),
-                disabled: true,
-                scratch: DecodedRecord::empty(),
-            };
+        CachedGbwt::with_state(gbwt, initial_capacity, CacheState::default())
+    }
+
+    /// Rebinds a detached [`CacheState`] to `gbwt`. If `state` was warmed
+    /// against the same index (by [`Gbwt::uid`]) with the same configured
+    /// capacity, the cached records carry over and only statistics reset;
+    /// otherwise the state is rebuilt cold.
+    pub fn with_state(gbwt: &'a Gbwt, initial_capacity: usize, mut state: CacheState) -> Self {
+        if state.gbwt_uid == gbwt.uid() && state.initial_capacity == initial_capacity {
+            state.stats = CacheStats::default();
+        } else {
+            state.reset_for(gbwt.uid(), initial_capacity);
         }
-        let capacity = initial_capacity.max(8).next_power_of_two();
-        CachedGbwt {
-            gbwt,
-            keys: vec![0; capacity],
-            values: vec![DecodedRecord::empty(); capacity],
-            capacity,
-            len: 0,
-            stats: CacheStats::default(),
-            disabled: false,
-            scratch: DecodedRecord::empty(),
-        }
+        CachedGbwt { gbwt, state }
+    }
+
+    /// Detaches the storage so a pooled worker can keep it warm for the
+    /// next run (see [`CachedGbwt::with_state`]).
+    pub fn into_state(self) -> CacheState {
+        self.state
     }
 
     /// Returns `true` when caching is disabled (capacity 0).
     pub fn is_disabled(&self) -> bool {
-        self.disabled
+        self.state.disabled
     }
 
     /// The wrapped index.
@@ -129,34 +174,34 @@ impl<'a> CachedGbwt<'a> {
 
     /// Current table capacity (slots).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.state.capacity
     }
 
     /// Number of cached records.
     pub fn len(&self) -> usize {
-        self.len
+        self.state.len
     }
 
     /// Returns `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.state.len == 0
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.state.stats
     }
 
     /// Resets statistics (the cache contents stay).
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+        self.state.stats = CacheStats::default();
     }
 
     #[inline]
     fn slot_of(&self, symbol: u64) -> usize {
         // Fibonacci hashing over the symbol.
         let h = symbol.wrapping_mul(0x9E3779B97F4A7C15);
-        (h >> (64 - self.capacity.trailing_zeros())) as usize
+        (h >> (64 - self.state.capacity.trailing_zeros())) as usize
     }
 
     /// Looks up the record of `symbol`, decompressing and inserting on miss.
@@ -171,79 +216,84 @@ impl<'a> CachedGbwt<'a> {
         symbol: u64,
         probe: &mut P,
     ) -> &DecodedRecord {
-        if self.disabled {
-            self.stats.misses += 1;
-            self.scratch = self.gbwt.record_with_probe(symbol, probe);
-            return &self.scratch;
+        if self.state.disabled {
+            self.state.stats.misses += 1;
+            self.gbwt
+                .record_into_with_probe(symbol, probe, &mut self.state.scratch);
+            return &self.state.scratch;
         }
         let key = symbol + 1;
         let mut slot = self.slot_of(symbol);
         loop {
             probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
             probe.instret(3);
-            if self.keys[slot] == key {
-                self.stats.hits += 1;
+            if self.state.keys[slot] == key {
+                self.state.stats.hits += 1;
                 // A hit is a pointer chase: the slot line plus the record
                 // header. (The caller's scan of edges/runs is charged by the
                 // kernels themselves, identically for hits and misses.)
                 probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES + 8, 64);
-                return &self.values[slot];
+                return &self.state.values[slot];
             }
-            if self.keys[slot] == 0 {
+            if self.state.keys[slot] == 0 {
                 break;
             }
-            slot = (slot + 1) & (self.capacity - 1);
+            slot = (slot + 1) & (self.state.capacity - 1);
         }
-        // Miss: decompress and insert.
-        self.stats.misses += 1;
-        let record = self.gbwt.record_with_probe(symbol, probe);
-        if (self.len + 1) * LOAD_DEN > self.capacity * LOAD_NUM {
+        // Miss: decompress into the recycled scratch record, then swap it
+        // into the table slot (the displaced empty record becomes the next
+        // decode target).
+        self.state.stats.misses += 1;
+        self.gbwt
+            .record_into_with_probe(symbol, probe, &mut self.state.scratch);
+        if (self.state.len + 1) * LOAD_DEN > self.state.capacity * LOAD_NUM {
             self.grow(probe);
             slot = self.slot_of(symbol);
-            while self.keys[slot] != 0 {
-                slot = (slot + 1) & (self.capacity - 1);
+            while self.state.keys[slot] != 0 {
+                slot = (slot + 1) & (self.state.capacity - 1);
             }
         }
-        self.keys[slot] = key;
-        self.values[slot] = record;
-        self.len += 1;
+        self.state.keys[slot] = key;
+        std::mem::swap(&mut self.state.values[slot], &mut self.state.scratch);
+        self.state.len += 1;
         probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
-        &self.values[slot]
+        &self.state.values[slot]
     }
 
     /// Doubles the table and reinserts every entry (the expensive rehash the
     /// paper's capacity tuning avoids).
     fn grow<P: MemProbe>(&mut self, probe: &mut P) {
-        let old_keys = std::mem::replace(&mut self.keys, vec![0; self.capacity * 2]);
+        let old_keys = std::mem::replace(&mut self.state.keys, vec![0; self.state.capacity * 2]);
         let old_values = std::mem::replace(
-            &mut self.values,
-            vec![DecodedRecord::empty(); self.capacity * 2],
+            &mut self.state.values,
+            vec![DecodedRecord::empty(); self.state.capacity * 2],
         );
-        self.capacity *= 2;
-        self.stats.rehashes += 1;
+        self.state.capacity *= 2;
+        self.state.stats.rehashes += 1;
         for (key, value) in old_keys.into_iter().zip(old_values) {
             if key == 0 {
                 continue;
             }
-            self.stats.rehashed_slots += 1;
+            self.state.stats.rehashed_slots += 1;
             // Rehash cost: read the old slot, write the new one.
             probe.instret(6);
             let mut slot = self.slot_of(key - 1);
-            while self.keys[slot] != 0 {
-                slot = (slot + 1) & (self.capacity - 1);
+            while self.state.keys[slot] != 0 {
+                slot = (slot + 1) & (self.state.capacity - 1);
             }
             probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
-            self.keys[slot] = key;
-            self.values[slot] = value;
+            self.state.keys[slot] = key;
+            self.state.values[slot] = value;
         }
     }
 
     /// Approximate heap footprint of the cache in bytes (drives the memory
     /// pressure model in the simulated-machine experiments).
     pub fn heap_bytes(&self) -> usize {
-        self.keys.capacity() * 8
-            + self.values.capacity() * std::mem::size_of::<DecodedRecord>()
+        self.state.keys.capacity() * 8
+            + self.state.values.capacity() * std::mem::size_of::<DecodedRecord>()
             + self
+                .state
                 .values
                 .iter()
                 .map(|v| v.edges.capacity() * 16 + v.runs.capacity() * 16)
@@ -358,6 +408,59 @@ mod tests {
         cache.reset_stats();
         assert_eq!(cache.stats(), CacheStats::default());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn warm_state_carries_over_for_same_index_and_capacity() {
+        let g = chain_gbwt(8);
+        let mut cache = CachedGbwt::new(&g, 64);
+        for sym in 2..g.alphabet_size() {
+            let _ = cache.record(sym);
+        }
+        let warmed_len = cache.len();
+        assert!(warmed_len > 0);
+        let state = cache.into_state();
+
+        let mut cache = CachedGbwt::with_state(&g, 64, state);
+        // Contents carried over, statistics reset.
+        assert_eq!(cache.len(), warmed_len);
+        assert_eq!(cache.stats(), CacheStats::default());
+        for sym in 2..g.alphabet_size() {
+            assert_eq!(*cache.record(sym), g.record(sym), "symbol {sym}");
+        }
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(cache.stats().hits, g.alphabet_size() - 2);
+    }
+
+    #[test]
+    fn state_rebuilds_cold_for_different_index_or_capacity() {
+        let g1 = chain_gbwt(8);
+        let g2 = chain_gbwt(8); // identical content, different uid
+        assert_ne!(g1.uid(), g2.uid());
+
+        let mut cache = CachedGbwt::new(&g1, 64);
+        let _ = cache.record(2);
+        let state = cache.into_state();
+        let mut cache = CachedGbwt::with_state(&g2, 64, state);
+        assert_eq!(cache.len(), 0);
+        let _ = cache.record(2);
+        assert_eq!(cache.stats().misses, 1);
+
+        // Same index, different configured capacity: also cold, and the
+        // behavior (including rehash statistics) matches a fresh cache.
+        let state = cache.into_state();
+        let cache = CachedGbwt::with_state(&g1, 8, state);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), CachedGbwt::new(&g1, 8).capacity());
+
+        // Capacity 0 after a warm run: disabled mode.
+        let state = cache.into_state();
+        let mut cache = CachedGbwt::with_state(&g1, 0, state);
+        assert!(cache.is_disabled());
+        let _ = cache.record(2);
+        let _ = cache.record(2);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 0);
     }
 
     #[test]

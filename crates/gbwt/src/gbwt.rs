@@ -1,10 +1,15 @@
 //! The GBWT index: compressed records plus the queries Giraffe relies on.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mg_support::probe::MemProbe;
 use mg_support::varint::{self, Cursor};
 use mg_support::{Error, Result};
 
 use crate::record::{DecodedRecord, ENDMARKER};
+
+/// Monotonic source of [`Gbwt::uid`] values.
+static NEXT_GBWT_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Logical address region of the compressed record blob (see
 /// [`mg_support::probe`]).
@@ -191,7 +196,7 @@ pub struct GbwtStatistics {
 /// let state = gbwt.extend(&state, Handle::forward(NodeId::new(2)).to_gbwt());
 /// assert_eq!(state.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Gbwt {
     records: Vec<u8>,
     /// Byte offsets of each record in `records`, indexed by `symbol - 2`;
@@ -206,7 +211,27 @@ pub struct Gbwt {
     /// Sequence id of each ending visit, addressed by the endmarker-edge
     /// offsets (grouped by final node symbol ascending).
     end_ids: Vec<u64>,
+    /// Process-unique identity for warm-cache reuse (see [`Gbwt::uid`]).
+    /// Excluded from equality: two indexes with identical content compare
+    /// equal even though their uids differ.
+    uid: u64,
 }
+
+impl PartialEq for Gbwt {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.offsets == other.offsets
+            && self.endmarker == other.endmarker
+            && self.sequence_count == other.sequence_count
+            && self.path_count == other.path_count
+            && self.bidirectional == other.bidirectional
+            && self.alphabet_size == other.alphabet_size
+            && self.total_visits == other.total_visits
+            && self.end_ids == other.end_ids
+    }
+}
+
+impl Eq for Gbwt {}
 
 impl Gbwt {
     /// Assembles an index from its parts (used by [`crate::GbwtBuilder`]).
@@ -232,7 +257,17 @@ impl Gbwt {
             alphabet_size,
             total_visits,
             end_ids,
+            uid: NEXT_GBWT_UID.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// A process-unique identity for this index value, assigned at
+    /// construction (clones share it, since their content is identical).
+    /// Per-thread record caches record the uid they were warmed against so
+    /// a persistent worker pool can tell whether a retained cache still
+    /// matches the index of the next run.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of indexed sequences (paths × 2 when bidirectional).
@@ -282,9 +317,24 @@ impl Gbwt {
     /// Unknown symbols yield an empty record, mirroring how Giraffe treats
     /// nodes absent from every haplotype.
     pub fn record_with_probe<P: MemProbe>(&self, symbol: u64, probe: &mut P) -> DecodedRecord {
+        let mut record = DecodedRecord::empty();
+        self.record_into_with_probe(symbol, probe, &mut record);
+        record
+    }
+
+    /// Like [`Gbwt::record_with_probe`], but decompresses into `out`,
+    /// reusing its edge and run allocations. The record cache routes every
+    /// miss through this so steady-state decoding recycles storage.
+    pub fn record_into_with_probe<P: MemProbe>(
+        &self,
+        symbol: u64,
+        probe: &mut P,
+        out: &mut DecodedRecord,
+    ) {
         if !self.has_record(symbol) {
             probe.instret(2);
-            return DecodedRecord::empty();
+            out.clear();
+            return;
         }
         let idx = (symbol - 2) as usize;
         let start = self.offsets[idx] as usize;
@@ -296,11 +346,10 @@ impl Gbwt {
         // Offset-table lookup.
         probe.touch(REGION_RECORDS + idx as u64 * 8, 16);
         let mut cur = Cursor::new(&self.records[start..end]);
-        let record = DecodedRecord::decode(&mut cur).expect("internal record is valid");
-        // Decompression cost scales with the encoded size: varint decoding,
-        // run expansion, and allocation dominate a cold record access.
+        out.decode_into(&mut cur).expect("internal record is valid");
+        // Decompression cost scales with the encoded size: varint decoding
+        // and run expansion dominate a cold record access.
         probe.instret(40 + 14 * (end - start) as u64);
-        record
     }
 
     /// Decompresses the record of `symbol` without instrumentation.
@@ -594,6 +643,7 @@ impl Gbwt {
             alphabet_size,
             total_visits,
             end_ids,
+            uid: NEXT_GBWT_UID.fetch_add(1, Ordering::Relaxed),
         })
     }
 }

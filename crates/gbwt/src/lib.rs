@@ -41,7 +41,7 @@ pub mod gbz;
 pub mod record;
 
 pub use build::GbwtBuilder;
-pub use cache::{CacheStats, CachedGbwt};
+pub use cache::{CacheState, CacheStats, CachedGbwt};
 pub use gbwt::{BidirState, Gbwt, GbwtStatistics, SearchState};
 pub use gbz::Gbz;
 pub use record::{DecodedRecord, RecordEdge, ENDMARKER};

@@ -69,6 +69,13 @@ impl DecodedRecord {
         DecodedRecord::default()
     }
 
+    /// Resets to the empty record, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.runs.clear();
+        self.total = 0;
+    }
+
     /// Number of haplotype visits at this node.
     pub fn total_visits(&self) -> u64 {
         self.total
@@ -191,10 +198,29 @@ impl DecodedRecord {
     /// inside it. The hot path of bidirectional extension calls this once
     /// per node boundary instead of scanning the runs per edge.
     pub fn range_counts_with_prefix(&self, start: u64, end: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut before = Vec::new();
+        let mut inside = Vec::new();
+        self.range_counts_with_prefix_into(start, end, &mut before, &mut inside);
+        (before, inside)
+    }
+
+    /// Like [`DecodedRecord::range_counts_with_prefix`], but writes into
+    /// caller-provided buffers (cleared and resized to the edge count). The
+    /// extension kernel keeps two such buffers in its per-thread scratch so
+    /// the innermost branch enumeration allocates nothing.
+    pub fn range_counts_with_prefix_into(
+        &self,
+        start: u64,
+        end: u64,
+        before: &mut Vec<u64>,
+        inside: &mut Vec<u64>,
+    ) {
         let end = end.min(self.total);
         let start = start.min(end);
-        let mut before = vec![0u64; self.edges.len()];
-        let mut inside = vec![0u64; self.edges.len()];
+        before.clear();
+        before.resize(self.edges.len(), 0);
+        inside.clear();
+        inside.resize(self.edges.len(), 0);
         let mut pos = 0u64;
         for run in &self.runs {
             let run_start = pos;
@@ -217,7 +243,6 @@ impl DecodedRecord {
                 break;
             }
         }
-        (before, inside)
     }
 
     /// Successor symbols excluding the endmarker, in ascending order.
@@ -251,32 +276,64 @@ impl DecodedRecord {
     /// Returns decoding errors and [`Error::Corrupt`] if a run names a
     /// nonexistent edge.
     pub fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let mut rec = DecodedRecord::empty();
+        rec.decode_into(cur)?;
+        Ok(rec)
+    }
+
+    /// Decodes a record into `self`, reusing the edge and run allocations.
+    /// This is the cache-miss path of [`crate::cache::CachedGbwt`]: records
+    /// are decompressed into recycled storage instead of fresh vectors.
+    ///
+    /// On error `self` is left cleared (an empty record).
+    ///
+    /// # Errors
+    ///
+    /// Returns decoding errors and [`Error::Corrupt`] if a run names a
+    /// nonexistent edge.
+    pub fn decode_into(&mut self, cur: &mut Cursor<'_>) -> Result<()> {
+        self.edges.clear();
+        self.runs.clear();
+        self.total = 0;
         let edge_count = cur.read_u64()? as usize;
-        let mut edges = Vec::with_capacity(edge_count);
+        self.edges.reserve(edge_count);
         let mut prev = 0u64;
         for i in 0..edge_count {
             let delta = cur.read_u64()?;
             let offset = cur.read_u64()?;
             if i > 0 && delta == 0 {
+                self.edges.clear();
                 return Err(Error::Corrupt("record edges must be strictly increasing".into()));
             }
-            let symbol = prev
-                .checked_add(delta)
-                .ok_or_else(|| Error::Corrupt("edge symbol overflow".into()))?;
-            edges.push(RecordEdge { symbol, offset });
+            let symbol = match prev.checked_add(delta) {
+                Some(s) => s,
+                None => {
+                    self.edges.clear();
+                    return Err(Error::Corrupt("edge symbol overflow".into()));
+                }
+            };
+            self.edges.push(RecordEdge { symbol, offset });
             prev = symbol;
         }
         let run_count = cur.read_u64()? as usize;
-        let runs = rle::decode_runs_packed(cur, run_count)?;
-        for run in &runs {
+        if let Err(e) = rle::decode_runs_packed_into(cur, run_count, &mut self.runs) {
+            self.edges.clear();
+            self.runs.clear();
+            return Err(e);
+        }
+        for run in &self.runs {
             if run.symbol as usize >= edge_count {
+                let bad = run.symbol;
+                self.edges.clear();
+                self.runs.clear();
                 return Err(Error::Corrupt(format!(
-                    "run references edge {} of {edge_count}",
-                    run.symbol
+                    "run references edge {bad} of {edge_count}"
                 )));
             }
         }
-        Ok(DecodedRecord::new(edges, runs))
+        debug_assert!(self.edges.windows(2).all(|w| w[0].symbol < w[1].symbol));
+        self.total = self.runs.iter().map(|r| r.len).sum();
+        Ok(())
     }
 
     /// Approximate decoded size in bytes (used by the cache simulator to
@@ -375,6 +432,45 @@ mod tests {
         let back = DecodedRecord::decode(&mut cur).unwrap();
         assert_eq!(rec, back);
         assert!(cur.is_at_end());
+    }
+
+    #[test]
+    fn decode_into_reuses_and_matches_decode() {
+        let rec = sample_record();
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        // Seed the target with junk capacity; decode_into must fully replace
+        // the contents while reusing the allocations.
+        let mut target = DecodedRecord::new(
+            vec![RecordEdge { symbol: 1, offset: 9 }, RecordEdge { symbol: 3, offset: 9 }],
+            vec![Run::new(0, 5), Run::new(1, 5), Run::new(0, 5)],
+        );
+        target.decode_into(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(target, rec);
+        // A failed decode leaves the target cleared, not half-written.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 1); // one edge
+        varint::write_u64(&mut bytes, 4); // symbol delta
+        varint::write_u64(&mut bytes, 0); // offset
+        varint::write_u64(&mut bytes, 1); // one run
+        bytes.push(0); // generic scheme
+        varint::write_u64(&mut bytes, 3); // edge index 3: invalid
+        varint::write_u64(&mut bytes, 0); // run len 1
+        assert!(target.decode_into(&mut Cursor::new(&bytes)).is_err());
+        assert!(target.is_empty());
+        assert_eq!(target, DecodedRecord::empty());
+    }
+
+    #[test]
+    fn range_counts_with_prefix_into_reuses_buffers() {
+        let rec = sample_record();
+        let mut before = vec![99u64; 10];
+        let mut inside = vec![99u64; 10];
+        rec.range_counts_with_prefix_into(1, 6, &mut before, &mut inside);
+        let (b, i) = rec.range_counts_with_prefix(1, 6);
+        assert_eq!(before, b);
+        assert_eq!(inside, i);
+        assert_eq!(inside, rec.range_counts(1, 6));
     }
 
     #[test]

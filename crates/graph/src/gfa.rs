@@ -59,6 +59,9 @@ pub fn pangenome_to_gfa(pangenome: &Pangenome) -> String {
 /// Errors are [`mg_support::Error::Corrupt`] with the offending line number.
 type ParseResult<T> = mg_support::Result<T>;
 
+/// Named paths as parsed from `P` lines: `(name, oriented steps)`.
+pub type NamedPaths = Vec<(String, Vec<crate::Handle>)>;
+
 /// Parses GFA 1.0 text into a graph plus named paths.
 ///
 /// Supports the subset the writer emits — `H`, `S`, `L` (with `0M`
@@ -70,7 +73,7 @@ type ParseResult<T> = mg_support::Result<T>;
 /// Returns [`mg_support::Error::Corrupt`] for malformed lines, unknown
 /// record types, non-integer segment names, dangling links, or paths
 /// referencing missing segments.
-pub fn parse_gfa(text: &str) -> ParseResult<(VariationGraph, Vec<(String, Vec<crate::Handle>)>)> {
+pub fn parse_gfa(text: &str) -> ParseResult<(VariationGraph, NamedPaths)> {
     use mg_support::Error;
 
     let corrupt = |lineno: usize, message: &str| -> Error {

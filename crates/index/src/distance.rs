@@ -119,9 +119,9 @@ impl DistanceIndex {
             }
         }
         // Unreached nodes keep offset_min = MAX; normalize for safety.
-        for v in 0..n {
-            if offset_min[v] == u64::MAX {
-                offset_min[v] = 0;
+        for offset in offset_min.iter_mut() {
+            if *offset == u64::MAX {
+                *offset = 0;
             }
         }
         let mut cyclic = uses_reverse;
@@ -341,7 +341,7 @@ mod tests {
         (p, d)
     }
 
-    fn pos(p: &mg_graph::Pangenome, node: u64, orient: Orientation, off: u32) -> GraphPos {
+    fn pos(_p: &mg_graph::Pangenome, node: u64, orient: Orientation, off: u32) -> GraphPos {
         GraphPos::new(Handle::new(NodeId::new(node), orient), off)
     }
 

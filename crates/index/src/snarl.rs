@@ -629,7 +629,6 @@ mod tests {
         /// answers, it must agree exactly with the bounded Dijkstra.
         #[test]
         fn prop_chain_distances_match_dijkstra(seed in 0u64..500) {
-            use mg_workload_free_genome as _;
             let reference: Vec<u8> = {
                 let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
                 let mut next = move || {
@@ -679,8 +678,4 @@ mod tests {
             }
         }
     }
-
-    // Silence an unused-import style hook in the proptest body above.
-    #[allow(dead_code)]
-    mod mg_workload_free_genome {}
 }

@@ -115,6 +115,7 @@ impl<'a> Parent<'a> {
     /// Maps one read end-to-end: seeding, kernels, post-processing.
     /// Returns the captured [`ReadInput`] (the dump record), the raw kernel
     /// result, and the alignments.
+    #[allow(clippy::too_many_arguments)]
     pub fn map_read_full<P: MemProbe>(
         &self,
         cache: &mut CachedGbwt<'_>,

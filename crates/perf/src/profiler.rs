@@ -128,7 +128,7 @@ impl Profiler {
                 share: if grand == 0 { 0.0 } else { total_us as f64 / grand as f64 },
             })
             .collect();
-        shares.sort_by(|a, b| b.total_us.cmp(&a.total_us));
+        shares.sort_by_key(|s| std::cmp::Reverse(s.total_us));
         shares
     }
 

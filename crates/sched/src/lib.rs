@@ -25,6 +25,12 @@
 //! # let _ = SchedulerKind::Dynamic;
 //! ```
 
+mod pool;
+
+pub use pool::{PoolCell, PoolTask, WorkerPool};
+
+use pool::{Launch, ScopeLaunch};
+
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,6 +62,29 @@ pub trait Scheduler: Send + Sync {
     ) where
         S: Send,
         I: Fn(usize) -> S + Sync + 'env;
+
+    /// Processes tasks `0..n` on a persistent [`WorkerPool`] instead of
+    /// throwaway scoped threads.
+    ///
+    /// Dispatch is identical to [`Scheduler::run`]; the difference is where
+    /// per-thread state lives. `init(thread_id, cell)` builds the run state
+    /// (pulling warm pieces out of the thread's persistent [`PoolCell`] if
+    /// it wants), and `fini(thread_id, state, cell)` runs after the
+    /// thread's last task so warm state can be stashed back for the next
+    /// run. With `threads <= 1` everything runs inline on the calling
+    /// thread against cell 0.
+    fn run_pooled<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env;
 }
 
 /// Identifies a scheduler implementation; the tuning harness sweeps this.
@@ -138,6 +167,18 @@ pub trait AnyScheduler: Send + Sync {
         threads: usize,
         make_worker: &(dyn Fn(usize) -> Box<dyn FnMut(usize) + Send + 'env> + Sync + 'env),
     );
+
+    /// Type-erased [`Scheduler::run_pooled`]: `make_task(thread_id, cell)`
+    /// builds the per-thread [`PoolTask`] on its pool thread, with the
+    /// thread's persistent cell available to warm-start from; the task's
+    /// `finish` gets the cell back after the thread's last index.
+    fn run_pooled_erased<'env>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        make_task: &(dyn Fn(usize, &mut PoolCell) -> Box<dyn PoolTask + 'env> + Sync + 'env),
+    );
 }
 
 impl<T: Scheduler> AnyScheduler for T {
@@ -162,15 +203,22 @@ impl<T: Scheduler> AnyScheduler for T {
             &|worker: &mut Box<dyn FnMut(usize) + Send + 'env>, i| worker(i),
         );
     }
-}
 
-fn run_inline<S, I>(n: usize, init: I, task: &(dyn Fn(&mut S, usize) + Sync))
-where
-    I: Fn(usize) -> S,
-{
-    let mut state = init(0);
-    for i in 0..n {
-        task(&mut state, i);
+    fn run_pooled_erased<'env>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        make_task: &(dyn Fn(usize, &mut PoolCell) -> Box<dyn PoolTask + 'env> + Sync + 'env),
+    ) {
+        self.run_pooled(
+            pool,
+            n,
+            threads,
+            |t, cell: &mut PoolCell| make_task(t, cell),
+            &|task: &mut Box<dyn PoolTask + 'env>, i| task.run(i),
+            |_t, task: Box<dyn PoolTask + 'env>, cell: &mut PoolCell| task.finish(cell),
+        );
     }
 }
 
@@ -178,6 +226,36 @@ where
 /// baseline the dynamic schedulers are measured against.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StaticScheduler;
+
+impl StaticScheduler {
+    fn drive<'env, S, I, F>(
+        &self,
+        launch: &mut dyn Launch,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return drive_inline(launch, n, &init, task, &fini);
+        }
+        let chunk = n.div_ceil(threads);
+        launch.launch(threads, &|t, cell| {
+            let mut state = init(t, cell);
+            let start = (t * chunk).min(n);
+            let end = ((t + 1) * chunk).min(n);
+            for i in start..end {
+                task(&mut state, i);
+            }
+            fini(t, state, cell);
+        });
+    }
+}
 
 impl Scheduler for StaticScheduler {
     fn name(&self) -> &'static str {
@@ -198,24 +276,57 @@ impl Scheduler for StaticScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        if threads <= 1 || n == 0 {
-            return run_inline(n, init, task);
-        }
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let start = (t * chunk).min(n);
-                let end = ((t + 1) * chunk).min(n);
-                let init = &init;
-                scope.spawn(move || {
-                    let mut state = init(t);
-                    for i in start..end {
-                        task(&mut state, i);
-                    }
-                });
-            }
-        });
+        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
     }
+
+    fn run_pooled<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, init, task, fini);
+    }
+}
+
+/// Shared `threads <= 1 || n == 0` path: one body on thread 0 processes
+/// everything in order.
+fn drive_inline<'env, S>(
+    launch: &mut dyn Launch,
+    n: usize,
+    init: &(dyn Fn(usize, &mut PoolCell) -> S + Sync + 'env),
+    task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    fini: &(dyn Fn(usize, S, &mut PoolCell) + Sync + 'env),
+) where
+    S: Send,
+{
+    launch.launch(1, &|t, cell| {
+        let mut state = init(t, cell);
+        for i in 0..n {
+            task(&mut state, i);
+        }
+        fini(t, state, cell);
+    });
+}
+
+/// Adapts a pool-less `init` (no cell access) for `drive`.
+fn unpooled_init<'env, S, I>(init: I) -> impl Fn(usize, &mut PoolCell) -> S + Sync + 'env
+where
+    I: Fn(usize) -> S + Sync + 'env,
+{
+    move |t, _cell| init(t)
+}
+
+/// A `fini` that just drops the run state.
+fn unpooled_fini<S>() -> impl Fn(usize, S, &mut PoolCell) + Sync {
+    |_t, state, _cell| drop(state)
 }
 
 /// Dynamic batches off a shared atomic counter — the behaviour of OpenMP's
@@ -229,6 +340,40 @@ impl DynamicScheduler {
     /// Creates the scheduler; `batch` is clamped to at least 1.
     pub fn new(batch: usize) -> Self {
         DynamicScheduler { batch: batch.max(1) }
+    }
+}
+
+impl DynamicScheduler {
+    fn drive<'env, S, I, F>(
+        &self,
+        launch: &mut dyn Launch,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return drive_inline(launch, n, &init, task, &fini);
+        }
+        let cursor = AtomicUsize::new(0);
+        launch.launch(threads, &|t, cell| {
+            let mut state = init(t, cell);
+            loop {
+                let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + self.batch).min(n) {
+                    task(&mut state, i);
+                }
+            }
+            fini(t, state, cell);
+        });
     }
 }
 
@@ -251,28 +396,23 @@ impl Scheduler for DynamicScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        if threads <= 1 || n == 0 {
-            return run_inline(n, init, task);
-        }
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let cursor = &cursor;
-                let init = &init;
-                scope.spawn(move || {
-                    let mut state = init(t);
-                    loop {
-                        let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for i in start..(start + self.batch).min(n) {
-                            task(&mut state, i);
-                        }
-                    }
-                });
-            }
-        });
+        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, init, task, fini);
     }
 }
 
@@ -289,6 +429,52 @@ impl WorkStealingScheduler {
     /// Creates the scheduler; `batch` is clamped to at least 1.
     pub fn new(batch: usize) -> Self {
         WorkStealingScheduler { batch: batch.max(1) }
+    }
+}
+
+impl WorkStealingScheduler {
+    fn drive<'env, S, I, F>(
+        &self,
+        launch: &mut dyn Launch,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return drive_inline(launch, n, &init, task, &fini);
+        }
+        let chunk = n.div_ceil(threads);
+        let shares: Vec<(AtomicUsize, usize)> = (0..threads)
+            .map(|t| {
+                let start = (t * chunk).min(n);
+                let end = ((t + 1) * chunk).min(n);
+                (AtomicUsize::new(start), end)
+            })
+            .collect();
+        launch.launch(threads, &|t, cell| {
+            let mut state = init(t, cell);
+            // Own share first, then victims round-robin from t + 1.
+            for v in 0..threads {
+                let victim = (t + v) % threads;
+                let (cursor, end) = &shares[victim];
+                loop {
+                    let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
+                    if start >= *end {
+                        break;
+                    }
+                    for i in start..(start + self.batch).min(*end) {
+                        task(&mut state, i);
+                    }
+                }
+            }
+            fini(t, state, cell);
+        });
     }
 }
 
@@ -311,40 +497,23 @@ impl Scheduler for WorkStealingScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        if threads <= 1 || n == 0 {
-            return run_inline(n, init, task);
-        }
-        let chunk = n.div_ceil(threads);
-        let shares: Vec<(AtomicUsize, usize)> = (0..threads)
-            .map(|t| {
-                let start = (t * chunk).min(n);
-                let end = ((t + 1) * chunk).min(n);
-                (AtomicUsize::new(start), end)
-            })
-            .collect();
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let shares = &shares;
-                let init = &init;
-                scope.spawn(move || {
-                    let mut state = init(t);
-                    // Own share first, then victims round-robin from t + 1.
-                    for v in 0..threads {
-                        let victim = (t + v) % threads;
-                        let (cursor, end) = &shares[victim];
-                        loop {
-                            let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
-                            if start >= *end {
-                                break;
-                            }
-                            for i in start..(start + self.batch).min(*end) {
-                                task(&mut state, i);
-                            }
-                        }
-                    }
-                });
-            }
-        });
+        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, init, task, fini);
     }
 }
 
@@ -361,6 +530,63 @@ impl VgScheduler {
     /// Creates the scheduler; `batch` is clamped to at least 1.
     pub fn new(batch: usize) -> Self {
         VgScheduler { batch: batch.max(1) }
+    }
+}
+
+impl VgScheduler {
+    fn drive<'env, S, I, F>(
+        &self,
+        launch: &mut dyn Launch,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        if threads <= 1 || n == 0 {
+            return drive_inline(launch, n, &init, task, &fini);
+        }
+        // Thread 0 is the dispatcher; the rest are workers fed by a
+        // bounded channel. The dispatcher takes the sender out of the slot
+        // and drops it when dispatch ends, which winds the workers down.
+        let workers = threads - 1;
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, usize)>(workers.max(1));
+        let tx_slot = std::sync::Mutex::new(Some(tx));
+        launch.launch(threads, &|t, cell| {
+            let mut state = init(t, cell);
+            if t == 0 {
+                let tx = tx_slot.lock().unwrap().take().expect("dispatcher runs once");
+                // Dispatch batches; on backpressure, map a batch here.
+                let mut next = 0usize;
+                while next < n {
+                    let end = (next + self.batch).min(n);
+                    match tx.try_send((next, end)) {
+                        Ok(()) => {}
+                        Err(crossbeam::channel::TrySendError::Full(_)) => {
+                            for i in next..end {
+                                task(&mut state, i);
+                            }
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                            unreachable!("workers outlive the dispatch loop")
+                        }
+                    }
+                    next = end;
+                }
+            } else {
+                let rx = rx.clone();
+                while let Ok((start, end)) = rx.recv() {
+                    for i in start..end {
+                        task(&mut state, i);
+                    }
+                }
+            }
+            fini(t, state, cell);
+        });
     }
 }
 
@@ -383,48 +609,23 @@ impl Scheduler for VgScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        if threads <= 1 || n == 0 {
-            return run_inline(n, init, task);
-        }
-        // The main thread is one of the `threads` contexts; spawn the rest
-        // as workers fed by a bounded channel.
-        let workers = threads - 1;
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, usize)>(workers.max(1));
-        std::thread::scope(|scope| {
-            for t in 0..workers {
-                let rx = rx.clone();
-                let init = &init;
-                scope.spawn(move || {
-                    let mut state = init(t + 1);
-                    while let Ok((start, end)) = rx.recv() {
-                        for i in start..end {
-                            task(&mut state, i);
-                        }
-                    }
-                });
-            }
-            drop(rx);
-            // Main thread: dispatch batches; on backpressure, map a batch
-            // itself.
-            let mut state = init(0);
-            let mut next = 0usize;
-            while next < n {
-                let end = (next + self.batch).min(n);
-                match tx.try_send((next, end)) {
-                    Ok(()) => {}
-                    Err(crossbeam::channel::TrySendError::Full(_)) => {
-                        for i in next..end {
-                            task(&mut state, i);
-                        }
-                    }
-                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                        unreachable!("workers outlive the dispatch loop")
-                    }
-                }
-                next = end;
-            }
-            drop(tx);
-        });
+        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, init, task, fini);
     }
 }
 
@@ -560,6 +761,104 @@ mod tests {
         assert_eq!(SchedulerKind::WorkStealing.build(256).batch_size(), 256);
         assert_eq!(SchedulerKind::Vg.build(512).batch_size(), 512);
         assert_eq!(Scheduler::batch_size(&DynamicScheduler::new(0)), 1);
+    }
+
+    #[test]
+    fn pooled_every_index_processed_exactly_once() {
+        // One persistent pool shared by all four kinds and many run shapes:
+        // the scheduler contract must hold on recycled threads too.
+        let mut pool = WorkerPool::new();
+        for sched in all_schedulers() {
+            for n in [0usize, 1, 7, 1000] {
+                for threads in [1usize, 2, 7] {
+                    let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                    let seen_ref = &seen;
+                    sched.run_pooled_erased(&mut pool, n, threads, &move |_t, _cell| {
+                        struct Count<'a>(&'a [AtomicU64]);
+                        impl PoolTask for Count<'_> {
+                            fn run(&mut self, i: usize) {
+                                self.0[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Box::new(Count(seen_ref))
+                    });
+                    for (i, c) in seen.iter().enumerate() {
+                        assert_eq!(
+                            c.load(Ordering::Relaxed),
+                            1,
+                            "{}: index {i} with n={n} threads={threads}",
+                            sched.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_work_stealing_uneven_shares_exactly_once() {
+        let mut pool = WorkerPool::new();
+        let n = 4001; // not divisible by 4: last share is short
+        let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let seen_ref = &seen;
+        WorkStealingScheduler::new(4).run_pooled(
+            &mut pool,
+            n,
+            4,
+            |_t, _cell| (),
+            &|_s, i| {
+                seen_ref[i].fetch_add(1, Ordering::Relaxed);
+            },
+            |_t, _s, _cell| {},
+        );
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pooled_state_round_trips_through_cells() {
+        // Each thread counts its tasks into run state, stashes the total in
+        // its cell at fini, and the next run warm-starts from it.
+        let mut pool = WorkerPool::new();
+        let sched = DynamicScheduler::new(8);
+        for round in 1u64..=3 {
+            sched.run_pooled(
+                &mut pool,
+                200,
+                3,
+                |_t, cell: &mut PoolCell| {
+                    let warm = cell.downcast_ref::<u64>().copied().unwrap_or(0);
+                    (warm, 0u64)
+                },
+                &|state: &mut (u64, u64), _i| state.1 += 1,
+                |_t, (warm, count), cell: &mut PoolCell| {
+                    *cell = Box::new(warm + count);
+                },
+            );
+            let total: u64 = (0..3)
+                .map(|t| pool.cell_mut(t).downcast_ref::<u64>().copied().unwrap_or(0))
+                .sum();
+            assert_eq!(total, 200 * round, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pooled_finish_runs_on_every_thread() {
+        let mut pool = WorkerPool::new();
+        for kind in SchedulerKind::ALL {
+            let finished = AtomicU64::new(0);
+            let fref = &finished;
+            kind.build(8).run_pooled_erased(&mut pool, 100, 4, &move |_t, _cell| {
+                struct Fin<'a>(&'a AtomicU64);
+                impl PoolTask for Fin<'_> {
+                    fn run(&mut self, _i: usize) {}
+                    fn finish(self: Box<Self>, _cell: &mut PoolCell) {
+                        self.0.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Box::new(Fin(fref))
+            });
+            assert_eq!(finished.load(Ordering::Relaxed), 4, "{kind}");
+        }
     }
 
     #[test]

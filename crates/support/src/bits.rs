@@ -53,12 +53,12 @@ impl BitVec {
                 current |= 1 << (len % 64);
             }
             len += 1;
-            if len % 64 == 0 {
+            if len.is_multiple_of(64) {
                 words.push(current);
                 current = 0;
             }
         }
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             words.push(current);
         }
         BitVec {
@@ -107,7 +107,7 @@ impl BitVec {
 
     /// Appends a bit, invalidating the rank directory.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         if value {

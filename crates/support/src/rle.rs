@@ -46,6 +46,20 @@ pub fn encode_runs(out: &mut Vec<u8>, runs: &[Run]) {
 /// run-length field overflows.
 pub fn decode_runs(cur: &mut varint::Cursor<'_>, count: usize) -> Result<Vec<Run>> {
     let mut runs = Vec::with_capacity(count);
+    decode_runs_into(cur, count, &mut runs)?;
+    Ok(runs)
+}
+
+/// Like [`decode_runs`], but appends into `runs` after clearing it, reusing
+/// its allocation. The record cache decodes every miss through this path so
+/// steady-state decompression stays allocation-free.
+pub fn decode_runs_into(
+    cur: &mut varint::Cursor<'_>,
+    count: usize,
+    runs: &mut Vec<Run>,
+) -> Result<()> {
+    runs.clear();
+    runs.reserve(count);
     for _ in 0..count {
         let symbol = cur.read_u64()?;
         let len_minus_one = cur.read_u64()?;
@@ -54,7 +68,7 @@ pub fn decode_runs(cur: &mut varint::Cursor<'_>, count: usize) -> Result<Vec<Run
             .ok_or_else(|| Error::Corrupt("run length overflow".into()))?;
         runs.push(Run { symbol, len });
     }
-    Ok(runs)
+    Ok(())
 }
 
 /// Encodes runs with the small-alphabet packed scheme.
@@ -89,11 +103,28 @@ pub fn encode_runs_packed(out: &mut Vec<u8>, runs: &[Run], sigma: u64) {
 /// Propagates varint/EOF errors; returns [`Error::Corrupt`] on an unknown
 /// scheme marker.
 pub fn decode_runs_packed(cur: &mut varint::Cursor<'_>, count: usize) -> Result<Vec<Run>> {
+    let mut runs = Vec::with_capacity(count);
+    decode_runs_packed_into(cur, count, &mut runs)?;
+    Ok(runs)
+}
+
+/// Like [`decode_runs_packed`], but reuses the allocation of `runs`.
+///
+/// # Errors
+///
+/// Propagates varint/EOF errors; returns [`Error::Corrupt`] on an unknown
+/// scheme marker.
+pub fn decode_runs_packed_into(
+    cur: &mut varint::Cursor<'_>,
+    count: usize,
+    runs: &mut Vec<Run>,
+) -> Result<()> {
     let scheme = cur.read_bytes(1)?[0];
     match scheme {
-        0 => decode_runs(cur, count),
+        0 => decode_runs_into(cur, count, runs),
         1 => {
-            let mut runs = Vec::with_capacity(count);
+            runs.clear();
+            runs.reserve(count);
             for _ in 0..count {
                 let byte = cur.read_bytes(1)?[0];
                 let symbol = (byte & 0x0F) as u64;
@@ -108,7 +139,7 @@ pub fn decode_runs_packed(cur: &mut varint::Cursor<'_>, count: usize) -> Result<
                 };
                 runs.push(Run { symbol, len });
             }
-            Ok(runs)
+            Ok(())
         }
         other => Err(Error::Corrupt(format!("unknown RLE scheme {other}"))),
     }

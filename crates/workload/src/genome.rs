@@ -121,7 +121,7 @@ pub fn random_panel(
     variants: &[Variant],
     seed: u64,
 ) -> Vec<Vec<usize>> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11E_1E5);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0A11_E1E5);
     // Per-variant alt frequency: Beta-ish via squaring a uniform.
     let freqs: Vec<f64> = variants
         .iter()

@@ -1,0 +1,284 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the bench suite uses:
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple warm-up + timed-batch loop reporting mean ns/iter to stdout; there
+//! is no statistical analysis, HTML report, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; also acts as the shared configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled only by the parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// An id with a function name and parameter value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// invocation individually, so the variants only influence batch sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; large batches.
+    SmallInput,
+    /// Large per-iteration inputs; small batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn config(&self) -> Criterion {
+        let mut c = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        c
+    }
+
+    /// Runs a benchmark with no parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.config());
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let mut bencher = Bencher::new(self.config());
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group. (Reports are emitted eagerly; this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    config: Criterion,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(config: Criterion) -> Self {
+        Bencher { config, mean_ns: 0.0, iters: 0 }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and size the batch so one sample is measurable.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                if dt < Duration::from_micros(50) && batch < 1 << 30 {
+                    batch *= 2;
+                    continue;
+                }
+                break;
+            }
+            if dt < Duration::from_micros(50) && batch < 1 << 30 {
+                batch *= 2;
+            }
+        }
+
+        let samples = self.config.sample_size;
+        let per_sample = self.config.measurement_time / samples as u32;
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let sample_start = Instant::now();
+            while sample_start.elapsed() < per_sample {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                total_ns += t0.elapsed().as_nanos();
+                total_iters += batch;
+            }
+        }
+        self.iters = total_iters;
+        self.mean_ns = if total_iters == 0 { 0.0 } else { total_ns as f64 / total_iters as f64 };
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+
+        let samples = self.config.sample_size;
+        let per_sample = self.config.measurement_time / samples as u32;
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let sample_start = Instant::now();
+            while sample_start.elapsed() < per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                total_ns += t0.elapsed().as_nanos();
+                total_iters += 1;
+            }
+        }
+        self.iters = total_iters;
+        self.mean_ns = if total_iters == 0 { 0.0 } else { total_ns as f64 / total_iters as f64 };
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<56} (no measurement)");
+        } else if self.mean_ns >= 1e6 {
+            println!("{label:<56} {:>12.3} ms/iter ({} iters)", self.mean_ns / 1e6, self.iters);
+        } else if self.mean_ns >= 1e3 {
+            println!("{label:<56} {:>12.3} us/iter ({} iters)", self.mean_ns / 1e3, self.iters);
+        } else {
+            println!("{label:<56} {:>12.1} ns/iter ({} iters)", self.mean_ns, self.iters);
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,577 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the proptest 1.x API the workspace's property tests use:
+//! strategies (ranges, tuples, `collection::vec`, `sample::select`,
+//! `prop_map` / `prop_flat_map` / `prop_filter`), `any::<T>()`, the
+//! `proptest!` macro with `#![proptest_config(..)]`, and the `prop_assert*`
+//! macros. Differences from real proptest: generation is deterministic per
+//! case index (no persisted failure seeds), and failing cases are reported
+//! but **not shrunk** — the first failing input is printed as-is.
+
+// Shim names mirror the upstream crate's public API verbatim.
+#![allow(clippy::should_implement_trait)]
+
+pub mod test_runner {
+    /// Deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for one test case.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x51A5_DEED_0BAD_F00D }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)` via multiply-shift; `bound` must be > 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)` with 53 mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Test-run configuration; only `cases` is meaningful in the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives one property: generates `config.cases` inputs and runs `body`
+    /// on each, reporting the input of the first failing case.
+    pub fn run_cases<S, F>(config: &ProptestConfig, strategy: &S, mut body: F)
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value),
+    {
+        for case in 0..config.cases as u64 {
+            let mut rng = TestRng::from_seed(case.wrapping_mul(0xD134_2543_DE82_EF95));
+            let value = strategy.generate(&mut rng);
+            let printed = format!("{value:#?}");
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            if let Err(payload) = outcome {
+                eprintln!("proptest: case {case}/{} failed for input:\n{printed}", config.cases);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values. Unlike real proptest there is
+    /// no value tree: strategies generate directly and never shrink.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        /// Derives a second strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, map }
+        }
+
+        /// Rejects values failing `pred`, retrying up to a fixed budget.
+        fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: Into<String>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, reason: reason.into(), pred }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Strategy yielding a constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.map)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let value = self.source.generate(rng);
+                if (self.pred)(&value) {
+                    return value;
+                }
+            }
+            panic!("proptest filter exhausted retries: {}", self.reason);
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next() as $t;
+                    }
+                    (start as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            start + rng.unit_f64() * (end - start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident/$field:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$field.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A/0);
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a default generation strategy.
+    pub trait Arbitrary: fmt::Debug + Sized {
+        /// Generates one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy behind [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// A strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias toward low-bit-width values so boundary-heavy
+                    // properties (varints, packing) see small inputs too.
+                    let bits = rng.below(65) as u32;
+                    let raw = rng.next();
+                    let masked = if bits == 0 {
+                        0
+                    } else {
+                        raw >> (64 - bits)
+                    };
+                    masked as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.unit_f64() as f32
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo;
+            let len = self.size.lo + if span == 0 { 0 } else { rng.below(span as u64 + 1) as usize };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// A strategy drawing uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn` becomes a `#[test]` that runs the body
+/// over `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg {$config} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg {$crate::test_runner::ProptestConfig::default()} $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg $cfg:tt) => {};
+    // Attributes (including the `#[test]` proptest requires you to write)
+    // are re-emitted verbatim.
+    (@cfg $cfg:tt
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::__proptest_case!(@cfg $cfg @acc() @params($($params)*) @body $body);
+        }
+        $crate::__proptest_fns!(@cfg $cfg $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@cfg {$config:expr} @acc($(($name:ident, $strat:expr))+) @params() @body $body:block) => {{
+        let __config = $config;
+        let __strategy = ($($strat,)+);
+        $crate::test_runner::run_cases(&__config, &__strategy, |($($name,)+)| $body);
+    }};
+    (@cfg $cfg:tt @acc($($acc:tt)*) @params($name:ident in $strat:expr, $($rest:tt)*) @body $body:block) => {
+        $crate::__proptest_case!(@cfg $cfg @acc($($acc)* ($name, $strat)) @params($($rest)*) @body $body)
+    };
+    (@cfg $cfg:tt @acc($($acc:tt)*) @params($name:ident in $strat:expr) @body $body:block) => {
+        $crate::__proptest_case!(@cfg $cfg @acc($($acc)* ($name, $strat)) @params() @body $body)
+    };
+    (@cfg $cfg:tt @acc($($acc:tt)*) @params($name:ident : $ty:ty, $($rest:tt)*) @body $body:block) => {
+        $crate::__proptest_case!(
+            @cfg $cfg @acc($($acc)* ($name, $crate::arbitrary::any::<$ty>())) @params($($rest)*) @body $body
+        )
+    };
+    (@cfg $cfg:tt @acc($($acc:tt)*) @params($name:ident : $ty:ty) @body $body:block) => {
+        $crate::__proptest_case!(
+            @cfg $cfg @acc($($acc)* ($name, $crate::arbitrary::any::<$ty>())) @params() @body $body
+        )
+    };
+}
+
+/// Asserts a property-test condition (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_stay_in_bounds() {
+        let config = ProptestConfig::with_cases(50);
+        let strategy = (
+            1u32..=64,
+            proptest_crate_vec_alias(),
+            crate::sample::select(b"ACGT".to_vec()),
+        );
+        crate::test_runner::run_cases(&config, &strategy, |(w, v, b)| {
+            assert!((1..=64).contains(&w));
+            assert!(v.len() < 18 && !v.is_empty());
+            assert!(v.iter().all(|x| (3..9).contains(x)));
+            assert!(b"ACGT".contains(&b));
+        });
+    }
+
+    fn proptest_crate_vec_alias() -> impl Strategy<Value = Vec<u64>> {
+        crate::collection::vec(3u64..9, 1..18)
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let config = ProptestConfig::with_cases(50);
+        let strategy = (0u64..100)
+            .prop_filter("even only", |v| v % 2 == 0)
+            .prop_map(|v| v + 1)
+            .prop_flat_map(|v| crate::collection::vec(crate::strategy::Just(v), 2));
+        crate::test_runner::run_cases(&config, &strategy, |v| {
+            assert_eq!(v.len(), 2);
+            assert!(v[0] % 2 == 1 && v[0] == v[1]);
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: mixed `in` and `: Type` params, trailing comma.
+        #[test]
+        fn macro_smoke(
+            a in 1usize..10,
+            flag: bool,
+            pair in (0u32..5, 0i64..=3),
+        ) {
+            prop_assert!(a >= 1 && a < 10);
+            prop_assert_eq!(flag as u8 <= 1, true);
+            prop_assert_ne!(pair.0, 99);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v: u64) {
+            prop_assert!(v == v);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use minigiraffe::gbwt::{Gbz, GbwtBuilder};
 use minigiraffe::graph::gfa::{parse_gfa, pangenome_to_gfa};
-use minigiraffe::index::{MinimizerIndex, MinimizerParams};
+use minigiraffe::index::MinimizerIndex;
 use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions};
 use minigiraffe::workload::fastq::{load_read_bases, save_reads_fastq};
 use minigiraffe::workload::{InputSetSpec, SyntheticInput};
