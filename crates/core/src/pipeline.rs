@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use mg_gbwt::{CacheState, CacheStats, CachedGbwt, Gbz};
 use mg_index::DistanceIndex;
+use mg_obs::{Ctr, Hist, Metrics, ObsShard, Stage};
 use mg_sched::{PoolCell, PoolTask, SchedulerKind, WorkerPool};
 use mg_support::probe::{MemProbe, NoProbe};
 use mg_support::regions::{NullSink, RegionSink, RegionTimer};
@@ -181,11 +182,14 @@ impl<'a> Mapper<'a> {
             thread,
             probe,
             &mut scratch,
+            &mut ObsShard::disabled(),
         )
     }
 
     /// [`Mapper::map_read`] with caller-owned kernel scratch, reused across
-    /// reads.
+    /// reads, and a metrics shard fed with per-stage spans and per-read
+    /// counters. Pass [`ObsShard::disabled`] when not observing; every
+    /// record below is then a no-op.
     #[allow(clippy::too_many_arguments)]
     pub fn map_read_with_scratch<P: MemProbe>(
         &self,
@@ -197,6 +201,7 @@ impl<'a> Mapper<'a> {
         thread: usize,
         probe: &mut P,
         scratch: &mut MapScratch,
+        obs: &mut ObsShard,
     ) -> ReadResult {
         let read_len = input.bases.len() as u32;
         let mut cluster_params = options.cluster;
@@ -204,7 +209,8 @@ impl<'a> Mapper<'a> {
         cluster_params.distance_limit = cluster_params.distance_limit.max(read_len as u64);
         let clusters = {
             let _t = RegionTimer::start(sink, thread, "cluster_seeds");
-            cluster_seeds_with_scratch(
+            let t0 = obs.now();
+            let clusters = cluster_seeds_with_scratch(
                 self.gbz.graph(),
                 &self.dist,
                 &input.seeds,
@@ -212,11 +218,14 @@ impl<'a> Mapper<'a> {
                 &cluster_params,
                 probe,
                 &mut scratch.cluster,
-            )
+            );
+            obs.stage(Stage::Clustering, t0);
+            clusters
         };
         let extensions = {
             let _t = RegionTimer::start(sink, thread, "process_until_threshold_c");
-            process_until_threshold_with_scratch(
+            let t0 = obs.now();
+            let extensions = process_until_threshold_with_scratch(
                 self.gbz.graph(),
                 cache,
                 &input.bases,
@@ -227,14 +236,33 @@ impl<'a> Mapper<'a> {
                 &options.process,
                 probe,
                 &mut scratch.extend,
-            )
+            );
+            obs.stage(Stage::Extension, t0);
+            extensions
         };
+        obs.inc(Ctr::ReadsMapped);
+        obs.add(Ctr::SeedsTotal, input.seeds.len() as u64);
+        obs.add(Ctr::ExtensionsTotal, extensions.len() as u64);
+        obs.observe(Hist::SeedsPerRead, input.seeds.len() as u64);
+        obs.observe(Hist::ExtensionsPerRead, extensions.len() as u64);
         ReadResult { read_id, extensions }
     }
 
     /// Runs the full parallel mapping loop without instrumentation.
     pub fn run(&self, dump: &crate::dump::SeedDump, options: &MappingOptions) -> MappingResults {
         self.run_with_sink(dump, options, &NullSink)
+    }
+
+    /// Runs the full parallel mapping loop, recording per-stage spans,
+    /// per-read counters, cache events, and scheduler activity in
+    /// `metrics`.
+    pub fn run_with_metrics(
+        &self,
+        dump: &crate::dump::SeedDump,
+        options: &MappingOptions,
+        metrics: &Metrics,
+    ) -> MappingResults {
+        self.run_with_sink_metrics(dump, options, &NullSink, metrics)
     }
 
     /// Runs the full parallel mapping loop, reporting region timings to
@@ -245,36 +273,58 @@ impl<'a> Mapper<'a> {
         options: &MappingOptions,
         sink: &(impl RegionSink + ?Sized),
     ) -> MappingResults {
+        self.run_with_sink_metrics(dump, options, sink, Metrics::off_ref())
+    }
+
+    /// [`Mapper::run_with_sink`] plus a metrics registry. Each worker
+    /// thread records into a private [`ObsShard`] and folds its cache
+    /// statistics in at `finish`, so the hot loop never touches the
+    /// registry lock.
+    pub fn run_with_sink_metrics(
+        &self,
+        dump: &crate::dump::SeedDump,
+        options: &MappingOptions,
+        sink: &(impl RegionSink + ?Sized),
+        metrics: &Metrics,
+    ) -> MappingResults {
         let n = dump.reads.len();
         let slots: Vec<OnceLock<ReadResult>> = (0..n).map(|_| OnceLock::new()).collect();
         let stats: StatsCollector = std::sync::Mutex::new(Vec::new());
         let scheduler = options.scheduler.build(options.batch_size);
         let mut pool = self.pool.lock().unwrap();
         let start = Instant::now();
-        scheduler.run_pooled_erased(&mut pool, n, options.threads.max(1), &|thread, cell| {
-            // Warm-start from whatever this pool thread kept from the last
-            // run; `with_state` rebinds the cache storage warm when the
-            // pangenome and capacity are unchanged, cold otherwise.
-            let persist = match cell.downcast_mut::<ThreadPersist>() {
-                Some(p) => std::mem::take(p),
-                None => ThreadPersist::default(),
-            };
-            Box::new(PooledWorker {
-                mapper: self,
-                dump,
-                options,
-                sink,
-                thread,
-                slots: &slots,
-                stats: &stats,
-                cache: CachedGbwt::with_state(
-                    self.gbz.gbwt(),
-                    options.cache_capacity,
-                    persist.cache,
-                ),
-                scratch: persist.scratch,
-            })
-        });
+        scheduler.run_pooled_erased_obs(
+            &mut pool,
+            n,
+            options.threads.max(1),
+            metrics,
+            &|thread, cell| {
+                // Warm-start from whatever this pool thread kept from the
+                // last run; `with_state` rebinds the cache storage warm when
+                // the pangenome and capacity are unchanged, cold otherwise.
+                let persist = match cell.downcast_mut::<ThreadPersist>() {
+                    Some(p) => std::mem::take(p),
+                    None => ThreadPersist::default(),
+                };
+                Box::new(PooledWorker {
+                    mapper: self,
+                    dump,
+                    options,
+                    sink,
+                    thread,
+                    slots: &slots,
+                    stats: &stats,
+                    cache: CachedGbwt::with_state(
+                        self.gbz.gbwt(),
+                        options.cache_capacity,
+                        persist.cache,
+                    ),
+                    scratch: persist.scratch,
+                    metrics,
+                    obs: metrics.shard(),
+                })
+            },
+        );
         let wall = start.elapsed();
         drop(pool);
         let per_read = slots
@@ -290,6 +340,7 @@ impl<'a> Mapper<'a> {
             |mut acc, s| {
                 acc.hits += s.hits;
                 acc.misses += s.misses;
+                acc.evictions += s.evictions;
                 acc.rehashes += s.rehashes;
                 acc.rehashed_slots += s.rehashed_slots;
                 acc
@@ -323,6 +374,8 @@ struct PooledWorker<'e, 'g, S: RegionSink + ?Sized> {
     stats: &'e StatsCollector,
     cache: CachedGbwt<'g>,
     scratch: MapScratch,
+    metrics: &'e Metrics,
+    obs: ObsShard,
 }
 
 impl<S: RegionSink + ?Sized> PoolTask for PooledWorker<'_, '_, S> {
@@ -336,13 +389,23 @@ impl<S: RegionSink + ?Sized> PoolTask for PooledWorker<'_, '_, S> {
             self.thread,
             &mut NoProbe,
             &mut self.scratch,
+            &mut self.obs,
         );
         self.slots[i].set(result).expect("each read mapped once");
     }
 
     fn finish(self: Box<Self>, cell: &mut PoolCell) {
-        let this = *self;
-        this.stats.lock().unwrap().push(this.cache.stats());
+        let mut this = *self;
+        let cache_stats = this.cache.stats();
+        this.stats.lock().unwrap().push(cache_stats);
+        // The cache tracks its own statistics; mirror them into the shard
+        // once per run rather than plumbing a probe through the kernels.
+        this.obs.add(Ctr::CacheHits, cache_stats.hits);
+        this.obs.add(Ctr::CacheMisses, cache_stats.misses);
+        this.obs.add(Ctr::CacheEvictions, cache_stats.evictions);
+        this.obs.add(Ctr::CacheResizes, cache_stats.rehashes);
+        this.obs.add(Ctr::CacheRehashedSlots, cache_stats.rehashed_slots);
+        this.metrics.absorb(&this.obs);
         *cell = Box::new(ThreadPersist {
             cache: this.cache.into_state(),
             scratch: this.scratch,
@@ -473,13 +536,20 @@ mod tests {
         );
         assert_eq!(warm.per_read, resized.per_read);
         // A different capacity must not inherit the warm table: the run
-        // decodes again, exactly like a fresh mapper at that capacity.
+        // decodes again, exactly like a fresh mapper at that capacity —
+        // except that discarding the warm table shows up as evictions,
+        // which a fresh mapper has none of.
         let fresh = run_mapping(
             &dump,
             &gbz,
             &MappingOptions { cache_capacity: 8, ..Default::default() },
         );
-        assert_eq!(resized.cache, fresh.cache);
+        assert_eq!(
+            CacheStats { evictions: 0, ..resized.cache },
+            CacheStats { evictions: 0, ..fresh.cache }
+        );
+        assert!(resized.cache.evictions > 0, "cold re-bind discards the warm table");
+        assert_eq!(fresh.cache.evictions, 0);
     }
 
     #[test]
@@ -525,6 +595,67 @@ mod tests {
             regions.iter().filter(|r| **r == "process_until_threshold_c").count(),
             5
         );
+    }
+
+    #[test]
+    fn metrics_reconcile_with_results() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 40);
+        let mapper = Mapper::new(&gbz);
+        for threads in [1usize, 4] {
+            for kind in SchedulerKind::ALL {
+                let options = MappingOptions {
+                    threads,
+                    scheduler: kind,
+                    batch_size: 4,
+                    ..Default::default()
+                };
+                let metrics = Metrics::new();
+                let results = mapper.run_with_metrics(&dump, &options, &metrics);
+                let rep = metrics.report();
+                let n = results.per_read.len() as u64;
+                assert_eq!(rep.counter(Ctr::ReadsMapped), n, "{kind}/{threads}");
+                assert_eq!(rep.counter(Ctr::PoolTasksCompleted), n, "{kind}/{threads}");
+                assert_eq!(rep.stage_count(Stage::Clustering), n, "{kind}/{threads}");
+                assert_eq!(rep.stage_count(Stage::Extension), n, "{kind}/{threads}");
+                assert_eq!(
+                    rep.counter(Ctr::SeedsTotal),
+                    dump.reads.iter().map(|r| r.seeds.len() as u64).sum::<u64>()
+                );
+                assert_eq!(
+                    rep.counter(Ctr::ExtensionsTotal),
+                    results.total_extensions() as u64
+                );
+                // The shard mirrors of the cache statistics must agree with
+                // the aggregated MappingResults numbers exactly.
+                assert_eq!(rep.counter(Ctr::CacheHits), results.cache.hits, "{kind}/{threads}");
+                assert_eq!(rep.counter(Ctr::CacheMisses), results.cache.misses);
+                assert_eq!(rep.counter(Ctr::CacheEvictions), results.cache.evictions);
+                assert_eq!(rep.counter(Ctr::CacheResizes), results.cache.rehashes);
+                assert_eq!(rep.counter(Ctr::CacheRehashedSlots), results.cache.rehashed_slots);
+                // Histograms carry the same totals as the counters.
+                assert_eq!(rep.hist_count(Hist::SeedsPerRead), n);
+                assert_eq!(rep.hist_sum(Hist::SeedsPerRead), rep.counter(Ctr::SeedsTotal));
+                assert_eq!(rep.hist_sum(Hist::ExtensionsPerRead), rep.counter(Ctr::ExtensionsTotal));
+            }
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_records_nothing_and_matches_instrumented() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 12);
+        let mapper = Mapper::new(&gbz);
+        let options = MappingOptions::default();
+        let plain = mapper.run(&dump, &options);
+        let metrics = Metrics::new();
+        let observed = mapper.run_with_metrics(&dump, &options, &metrics);
+        assert_eq!(plain.per_read, observed.per_read, "instrumentation must not change results");
+        // And a disabled registry stays empty even through the
+        // instrumented entry point.
+        let off = Metrics::off();
+        let _ = mapper.run_with_metrics(&dump, &options, &off);
+        assert_eq!(off.report().counter(Ctr::ReadsMapped), 0);
     }
 
     #[test]

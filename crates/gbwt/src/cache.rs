@@ -10,7 +10,7 @@
 //! initialization and poor locality. This implementation reproduces those
 //! trade-offs directly.
 
-use mg_support::probe::MemProbe;
+use mg_support::probe::{CacheEvent, MemProbe};
 
 use crate::gbwt::Gbwt;
 use crate::record::DecodedRecord;
@@ -31,6 +31,10 @@ pub struct CacheStats {
     pub rehashes: u64,
     /// Total slots moved across all rehashes.
     pub rehashed_slots: u64,
+    /// Cached entries discarded by a cold re-bind ([`CachedGbwt::with_state`]
+    /// against a different index or capacity). The cache itself never evicts
+    /// under pressure — it only grows — so this is the only eviction source.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -107,9 +111,13 @@ impl CacheState {
     /// Reinitializes for `uid` and `initial_capacity`, keeping allocations
     /// where possible.
     fn reset_for(&mut self, uid: u64, initial_capacity: usize) {
+        let discarded = self.len as u64;
         self.gbwt_uid = uid;
         self.initial_capacity = initial_capacity;
-        self.stats = CacheStats::default();
+        self.stats = CacheStats {
+            evictions: discarded,
+            ..CacheStats::default()
+        };
         self.len = 0;
         if initial_capacity == 0 {
             self.disabled = true;
@@ -218,6 +226,7 @@ impl<'a> CachedGbwt<'a> {
     ) -> &DecodedRecord {
         if self.state.disabled {
             self.state.stats.misses += 1;
+            probe.cache_event(CacheEvent::Miss);
             self.gbwt
                 .record_into_with_probe(symbol, probe, &mut self.state.scratch);
             return &self.state.scratch;
@@ -229,6 +238,7 @@ impl<'a> CachedGbwt<'a> {
             probe.instret(3);
             if self.state.keys[slot] == key {
                 self.state.stats.hits += 1;
+                probe.cache_event(CacheEvent::Hit);
                 // A hit is a pointer chase: the slot line plus the record
                 // header. (The caller's scan of edges/runs is charged by the
                 // kernels themselves, identically for hits and misses.)
@@ -244,6 +254,7 @@ impl<'a> CachedGbwt<'a> {
         // into the table slot (the displaced empty record becomes the next
         // decode target).
         self.state.stats.misses += 1;
+        probe.cache_event(CacheEvent::Miss);
         self.gbwt
             .record_into_with_probe(symbol, probe, &mut self.state.scratch);
         if (self.state.len + 1) * LOAD_DEN > self.state.capacity * LOAD_NUM {
@@ -270,6 +281,7 @@ impl<'a> CachedGbwt<'a> {
         );
         self.state.capacity *= 2;
         self.state.stats.rehashes += 1;
+        let moved_before = self.state.stats.rehashed_slots;
         for (key, value) in old_keys.into_iter().zip(old_values) {
             if key == 0 {
                 continue;
@@ -285,6 +297,9 @@ impl<'a> CachedGbwt<'a> {
             self.state.keys[slot] = key;
             self.state.values[slot] = value;
         }
+        probe.cache_event(CacheEvent::Resize {
+            moved_slots: self.state.stats.rehashed_slots - moved_before,
+        });
     }
 
     /// Approximate heap footprint of the cache in bytes (drives the memory
@@ -461,6 +476,46 @@ mod tests {
         let _ = cache.record(2);
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn probe_receives_structured_cache_events() {
+        use mg_support::probe::CacheTally;
+        let g = chain_gbwt(64);
+        let mut cache = CachedGbwt::new(&g, 8);
+        let mut tally = CacheTally::default();
+        for sym in 2..g.alphabet_size() {
+            let _ = cache.record_with_probe(sym, &mut tally);
+        }
+        for sym in 2..g.alphabet_size() {
+            let _ = cache.record_with_probe(sym, &mut tally);
+        }
+        let stats = cache.stats();
+        assert_eq!(tally.hits, stats.hits);
+        assert_eq!(tally.misses, stats.misses);
+        assert_eq!(tally.resizes, stats.rehashes);
+        assert_eq!(tally.rehashed_slots, stats.rehashed_slots);
+        assert!(tally.resizes >= 3);
+    }
+
+    #[test]
+    fn cold_rebind_counts_evictions() {
+        let g1 = chain_gbwt(8);
+        let g2 = chain_gbwt(8);
+        let mut cache = CachedGbwt::new(&g1, 64);
+        for sym in 2..g1.alphabet_size() {
+            let _ = cache.record(sym);
+        }
+        let cached = cache.len() as u64;
+        assert!(cached > 0);
+        // Warm rebind: nothing discarded.
+        let state = cache.into_state();
+        let cache = CachedGbwt::with_state(&g1, 64, state);
+        assert_eq!(cache.stats().evictions, 0);
+        // Cold rebind to a different index: every cached entry is discarded.
+        let state = cache.into_state();
+        let cache = CachedGbwt::with_state(&g2, 64, state);
+        assert_eq!(cache.stats().evictions, cached);
     }
 
     #[test]

@@ -47,20 +47,60 @@ pub fn decode_base(code: u8) -> u8 {
     BASES[code as usize]
 }
 
+/// Returns `true` for a byte allowed in read sequences: a base or `N`.
+pub fn is_read_base(b: u8) -> bool {
+    is_base(b) || b == b'N'
+}
+
+/// Checks that every byte of a read sequence is in the accepted alphabet
+/// (`ACGT` plus `N`), reporting the first offender.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidBase`](mg_support::Error::InvalidBase) with the
+/// offending byte and its offset.
+pub fn validate_read_bases(seq: &[u8]) -> mg_support::Result<()> {
+    match seq.iter().position(|&b| !is_read_base(b)) {
+        None => Ok(()),
+        Some(pos) => Err(mg_support::Error::InvalidBase { byte: seq[pos], pos }),
+    }
+}
+
+/// Watson–Crick complement of a base, or `None` for bytes that are neither
+/// bases nor `N`. Use this on untrusted input instead of [`complement`].
+pub fn complement_checked(b: u8) -> Option<u8> {
+    match b {
+        b'A' => Some(b'T'),
+        b'T' => Some(b'A'),
+        b'C' => Some(b'G'),
+        b'G' => Some(b'C'),
+        b'N' => Some(b'N'),
+        _ => None,
+    }
+}
+
 /// Watson–Crick complement of a base; `N` stays `N`.
 ///
 /// # Panics
 ///
-/// Panics on bytes that are neither bases nor `N`.
+/// Panics on bytes that are neither bases nor `N`; untrusted input should
+/// be screened with [`validate_read_bases`] at intake (the FASTQ reader
+/// does this) or use [`complement_checked`].
 pub fn complement(b: u8) -> u8 {
-    match b {
-        b'A' => b'T',
-        b'T' => b'A',
-        b'C' => b'G',
-        b'G' => b'C',
-        b'N' => b'N',
-        _ => panic!("invalid base {:?}", b as char),
-    }
+    complement_checked(b).unwrap_or_else(|| panic!("invalid base {:?}", b as char))
+}
+
+/// Reverse complement of a sequence, rejecting invalid bytes instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidBase`](mg_support::Error::InvalidBase) for the
+/// first byte that is neither a base nor `N` (position given in the
+/// original, un-reversed sequence).
+pub fn try_reverse_complement(seq: &[u8]) -> mg_support::Result<Vec<u8>> {
+    validate_read_bases(seq)?;
+    Ok(reverse_complement(seq))
 }
 
 /// Reverse complement of a sequence.
@@ -134,6 +174,36 @@ mod tests {
     #[should_panic(expected = "invalid base")]
     fn complement_rejects_garbage() {
         complement(b'Q');
+    }
+
+    #[test]
+    fn checked_complement_returns_none_instead_of_panicking() {
+        assert_eq!(complement_checked(b'Q'), None);
+        assert_eq!(complement_checked(b'a'), None);
+        assert_eq!(complement_checked(b'A'), Some(b'T'));
+        assert_eq!(complement_checked(b'N'), Some(b'N'));
+    }
+
+    #[test]
+    fn read_base_validation_reports_offender() {
+        assert!(validate_read_bases(b"ACGTN").is_ok());
+        assert!(validate_read_bases(b"").is_ok());
+        match validate_read_bases(b"ACxGT") {
+            Err(mg_support::Error::InvalidBase { byte, pos }) => {
+                assert_eq!(byte, b'x');
+                assert_eq!(pos, 2);
+            }
+            other => panic!("expected InvalidBase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_revcomp_errors_instead_of_aborting() {
+        assert_eq!(try_reverse_complement(b"AACG").unwrap(), b"CGTT");
+        assert!(matches!(
+            try_reverse_complement(b"AC!T"),
+            Err(mg_support::Error::InvalidBase { byte: b'!', pos: 2 })
+        ));
     }
 
     fn dna_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {

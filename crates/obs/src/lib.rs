@@ -1,0 +1,871 @@
+//! Near-zero-overhead observability for the miniGiraffe mapping loop.
+//!
+//! The paper's contribution is *measurement*: per-stage timing, cache
+//! statistics and scheduler behaviour are what make the proxy useful. This
+//! crate provides the subsystem those numbers flow through:
+//!
+//! - [`Metrics`]: a process-level registry. Each worker thread checks out an
+//!   [`ObsShard`], records into plain (unsynchronized) arrays on the hot
+//!   path, and the shard is merged back with [`Metrics::absorb`] when the
+//!   worker finishes — the same collection discipline the mapper already
+//!   uses for `CacheStats`-style per-thread state.
+//! - [`Stage`] spans: accumulated wall time + entry counts for the four
+//!   pipeline stages (seeding → clustering → extension → rescoring).
+//! - [`Ctr`] counters, [`Hist`] histograms with fixed log2 buckets, and
+//!   max-merged [`Gauge`]s.
+//! - [`Report`]: the merged result, exportable as JSON or CSV for the bench
+//!   harness.
+//!
+//! Everything compiles to no-ops when the `enabled` cargo feature is off
+//! (empty `#[inline(always)]` bodies, no `Instant::now` calls), and is
+//! additionally gated by a runtime switch: shards handed out by
+//! [`Metrics::off`] skip all recording behind a single predictable branch.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Pipeline stages timed by span-style [`ObsShard::stage`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Minimizer extraction + index lookup (parent pipeline).
+    Seeding = 0,
+    /// The `cluster_seeds` kernel.
+    Clustering = 1,
+    /// The `process_until_threshold_c` seed-and-extend kernel.
+    Extension = 2,
+    /// Alignment scoring / gapped fallback (parent pipeline).
+    Rescoring = 3,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 4;
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] =
+        [Stage::Seeding, Stage::Clustering, Stage::Extension, Stage::Rescoring];
+
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Seeding => "seeding",
+            Stage::Clustering => "clustering",
+            Stage::Extension => "extension",
+            Stage::Rescoring => "rescoring",
+        }
+    }
+}
+
+/// Monotonically increasing event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Ctr {
+    /// Reads fully mapped by the proxy or parent pipeline.
+    ReadsMapped = 0,
+    /// Seeds produced across all reads.
+    SeedsTotal = 1,
+    /// Gapless extensions produced across all reads.
+    ExtensionsTotal = 2,
+    /// `CachedGbwt` record lookups served from the cache.
+    CacheHits = 3,
+    /// `CachedGbwt` record lookups that decoded from the backing GBWT.
+    CacheMisses = 4,
+    /// Entries dropped from the cache. The cache only grows (it never
+    /// evicts under memory pressure), so this counts cold invalidations:
+    /// cached entries discarded when a warm cache is re-bound to a
+    /// different GBWT or capacity.
+    CacheEvictions = 5,
+    /// Cache table doublings.
+    CacheResizes = 6,
+    /// Slots moved during cache table doublings.
+    CacheRehashedSlots = 7,
+    /// Work-stealing scheduler: batches claimed from another thread's share.
+    PoolSteals = 8,
+    /// Batches dispatched across all schedulers.
+    PoolBatches = 9,
+    /// Tasks (reads) completed by scheduler workers.
+    PoolTasksCompleted = 10,
+    /// Nanoseconds VG-style workers spent blocked on the shared queue.
+    PoolIdleNs = 11,
+    /// Configurations evaluated by the tuning sweep.
+    SweepPoints = 12,
+}
+
+impl Ctr {
+    /// Number of counters.
+    pub const COUNT: usize = 13;
+    /// All counters, in declaration order.
+    pub const ALL: [Ctr; Ctr::COUNT] = [
+        Ctr::ReadsMapped,
+        Ctr::SeedsTotal,
+        Ctr::ExtensionsTotal,
+        Ctr::CacheHits,
+        Ctr::CacheMisses,
+        Ctr::CacheEvictions,
+        Ctr::CacheResizes,
+        Ctr::CacheRehashedSlots,
+        Ctr::PoolSteals,
+        Ctr::PoolBatches,
+        Ctr::PoolTasksCompleted,
+        Ctr::PoolIdleNs,
+        Ctr::SweepPoints,
+    ];
+
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::ReadsMapped => "reads_mapped",
+            Ctr::SeedsTotal => "seeds_total",
+            Ctr::ExtensionsTotal => "extensions_total",
+            Ctr::CacheHits => "cache_hits",
+            Ctr::CacheMisses => "cache_misses",
+            Ctr::CacheEvictions => "cache_evictions",
+            Ctr::CacheResizes => "cache_resizes",
+            Ctr::CacheRehashedSlots => "cache_rehashed_slots",
+            Ctr::PoolSteals => "pool_steals",
+            Ctr::PoolBatches => "pool_batches",
+            Ctr::PoolTasksCompleted => "pool_tasks_completed",
+            Ctr::PoolIdleNs => "pool_idle_ns",
+            Ctr::SweepPoints => "sweep_points",
+        }
+    }
+}
+
+/// Histograms over per-event magnitudes, bucketed by log2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Seeds found per read.
+    SeedsPerRead = 0,
+    /// Extensions produced per read.
+    ExtensionsPerRead = 1,
+    /// Reads per dispatched scheduler batch.
+    BatchReads = 2,
+    /// Tuning-sweep point makespans, in microseconds.
+    SweepMakespanUs = 3,
+}
+
+impl Hist {
+    /// Number of histograms.
+    pub const COUNT: usize = 4;
+    /// All histograms, in declaration order.
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::SeedsPerRead,
+        Hist::ExtensionsPerRead,
+        Hist::BatchReads,
+        Hist::SweepMakespanUs,
+    ];
+
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SeedsPerRead => "seeds_per_read",
+            Hist::ExtensionsPerRead => "extensions_per_read",
+            Hist::BatchReads => "batch_reads",
+            Hist::SweepMakespanUs => "sweep_makespan_us",
+        }
+    }
+}
+
+/// High-water marks merged by `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Deepest VG-style shared-queue occupancy observed.
+    QueueDepthMax = 0,
+    /// Largest worker count a run used.
+    ThreadsMax = 1,
+}
+
+impl Gauge {
+    /// Number of gauges.
+    pub const COUNT: usize = 2;
+    /// All gauges, in declaration order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::QueueDepthMax, Gauge::ThreadsMax];
+
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepthMax => "queue_depth_max",
+            Gauge::ThreadsMax => "threads_max",
+        }
+    }
+}
+
+/// Number of log2 buckets per histogram. Bucket 0 holds zeros; bucket `b`
+/// (for `b >= 1`) holds values in `[2^(b-1), 2^b)`; the last bucket also
+/// absorbs everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Maps a value to its fixed log2 bucket.
+///
+/// ```
+/// use mg_obs::{bucket_of, HIST_BUCKETS};
+/// assert_eq!(bucket_of(0), 0);
+/// assert_eq!(bucket_of(1), 1);
+/// assert_eq!(bucket_of(2), 2);
+/// assert_eq!(bucket_of(3), 2);
+/// assert_eq!(bucket_of(4), 3);
+/// assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+/// ```
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// A merged (or mergeable) snapshot of every metric: plain arrays indexed
+/// by the metric enums. This is both the per-shard storage and the
+/// registry's accumulated state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    counters: [u64; Ctr::COUNT],
+    stage_ns: [u64; Stage::COUNT],
+    stage_hits: [u64; Stage::COUNT],
+    hist_buckets: [[u64; HIST_BUCKETS]; Hist::COUNT],
+    hist_counts: [u64; Hist::COUNT],
+    hist_sums: [u64; Hist::COUNT],
+    gauges: [u64; Gauge::COUNT],
+}
+
+impl Default for Report {
+    fn default() -> Self {
+        Report {
+            counters: [0; Ctr::COUNT],
+            stage_ns: [0; Stage::COUNT],
+            stage_hits: [0; Stage::COUNT],
+            hist_buckets: [[0; HIST_BUCKETS]; Hist::COUNT],
+            hist_counts: [0; Hist::COUNT],
+            hist_sums: [0; Hist::COUNT],
+            gauges: [0; Gauge::COUNT],
+        }
+    }
+}
+
+impl Report {
+    /// Value of a counter.
+    #[inline]
+    pub fn counter(&self, c: Ctr) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Accumulated nanoseconds spent in a stage.
+    #[inline]
+    pub fn stage_ns(&self, s: Stage) -> u64 {
+        self.stage_ns[s as usize]
+    }
+
+    /// Number of span records for a stage.
+    #[inline]
+    pub fn stage_count(&self, s: Stage) -> u64 {
+        self.stage_hits[s as usize]
+    }
+
+    /// Number of observations recorded into a histogram.
+    #[inline]
+    pub fn hist_count(&self, h: Hist) -> u64 {
+        self.hist_counts[h as usize]
+    }
+
+    /// Sum of all observations recorded into a histogram.
+    #[inline]
+    pub fn hist_sum(&self, h: Hist) -> u64 {
+        self.hist_sums[h as usize]
+    }
+
+    /// The raw log2 bucket array of a histogram.
+    #[inline]
+    pub fn hist_buckets(&self, h: Hist) -> &[u64; HIST_BUCKETS] {
+        &self.hist_buckets[h as usize]
+    }
+
+    /// Value of a max-merged gauge.
+    #[inline]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    #[inline]
+    fn inc(&mut self, c: Ctr, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    #[inline]
+    fn span(&mut self, s: Stage, ns: u64) {
+        self.stage_ns[s as usize] += ns;
+        self.stage_hits[s as usize] += 1;
+    }
+
+    #[inline]
+    fn observe(&mut self, h: Hist, v: u64) {
+        self.hist_buckets[h as usize][bucket_of(v)] += 1;
+        self.hist_counts[h as usize] += 1;
+        self.hist_sums[h as usize] += v;
+    }
+
+    #[inline]
+    fn gauge_max(&mut self, g: Gauge, v: u64) {
+        let slot = &mut self.gauges[g as usize];
+        *slot = (*slot).max(v);
+    }
+
+    /// Adds another report into this one (counters/spans/histograms sum,
+    /// gauges max-merge).
+    pub fn merge(&mut self, other: &Report) {
+        for i in 0..Ctr::COUNT {
+            self.counters[i] += other.counters[i];
+        }
+        for i in 0..Stage::COUNT {
+            self.stage_ns[i] += other.stage_ns[i];
+            self.stage_hits[i] += other.stage_hits[i];
+        }
+        for i in 0..Hist::COUNT {
+            for b in 0..HIST_BUCKETS {
+                self.hist_buckets[i][b] += other.hist_buckets[i][b];
+            }
+            self.hist_counts[i] += other.hist_counts[i];
+            self.hist_sums[i] += other.hist_sums[i];
+        }
+        for i in 0..Gauge::COUNT {
+            self.gauges[i] = self.gauges[i].max(other.gauges[i]);
+        }
+    }
+
+    /// Renders the report as a stable, hand-rolled JSON document (the
+    /// workspace deliberately has no serde; see DESIGN.md).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"stages\": {");
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"ns\": {}, \"count\": {}}}",
+                s.name(),
+                self.stage_ns(*s),
+                self.stage_count(*s)
+            ));
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, c) in Ctr::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", c.name(), self.counter(*c)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> =
+                self.hist_buckets(*h).iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                h.name(),
+                self.hist_count(*h),
+                self.hist_sum(*h),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", g.name(), self.gauge(*g)));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders the report as `kind,name,value` CSV rows (header included).
+    /// Histogram buckets appear as `hist_bucket,<name>:<bucket>,<count>`
+    /// rows for non-empty buckets only.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for s in Stage::ALL {
+            out.push_str(&format!("stage_ns,{},{}\n", s.name(), self.stage_ns(s)));
+            out.push_str(&format!("stage_count,{},{}\n", s.name(), self.stage_count(s)));
+        }
+        for c in Ctr::ALL {
+            out.push_str(&format!("counter,{},{}\n", c.name(), self.counter(c)));
+        }
+        for h in Hist::ALL {
+            out.push_str(&format!("hist_count,{},{}\n", h.name(), self.hist_count(h)));
+            out.push_str(&format!("hist_sum,{},{}\n", h.name(), self.hist_sum(h)));
+            for (b, n) in self.hist_buckets(h).iter().enumerate() {
+                if *n > 0 {
+                    out.push_str(&format!("hist_bucket,{}:{b},{n}\n", h.name()));
+                }
+            }
+        }
+        for g in Gauge::ALL {
+            out.push_str(&format!("gauge,{},{}\n", g.name(), self.gauge(g)));
+        }
+        out
+    }
+}
+
+/// A timestamp captured by [`ObsShard::now`]. Carries `None` when the shard
+/// is disabled so the matching [`ObsShard::stage`] call is free.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsInstant(Option<Instant>);
+
+impl ObsInstant {
+    /// A disabled timestamp; `stage()` with it records nothing.
+    pub const DISABLED: ObsInstant = ObsInstant(None);
+}
+
+/// Per-worker metric storage: plain arrays, no synchronization, recorded
+/// into by `&mut` on the hot path and merged into the [`Metrics`] registry
+/// once at worker finish.
+#[derive(Debug, Clone, Default)]
+pub struct ObsShard {
+    on: bool,
+    rep: Report,
+}
+
+// With the `enabled` feature off, every body below collapses to nothing and
+// the compiler removes the shard entirely from release code.
+impl ObsShard {
+    /// A shard that records nothing; handy for uninstrumented call paths.
+    #[inline]
+    pub fn disabled() -> ObsShard {
+        ObsShard::default()
+    }
+
+    /// Whether this shard is recording.
+    #[inline(always)]
+    pub fn is_on(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.on
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// Bumps a counter by 1.
+    #[inline(always)]
+    pub fn inc(&mut self, c: Ctr) {
+        self.add(c, 1);
+    }
+
+    /// Bumps a counter by `n`.
+    #[inline(always)]
+    pub fn add(&mut self, _c: Ctr, _n: u64) {
+        #[cfg(feature = "enabled")]
+        if self.on {
+            self.rep.inc(_c, _n);
+        }
+    }
+
+    /// Records a value into a histogram.
+    #[inline(always)]
+    pub fn observe(&mut self, _h: Hist, _v: u64) {
+        #[cfg(feature = "enabled")]
+        if self.on {
+            self.rep.observe(_h, _v);
+        }
+    }
+
+    /// Raises a gauge's high-water mark.
+    #[inline(always)]
+    pub fn gauge_max(&mut self, _g: Gauge, _v: u64) {
+        #[cfg(feature = "enabled")]
+        if self.on {
+            self.rep.gauge_max(_g, _v);
+        }
+    }
+
+    /// Captures a span start. Returns [`ObsInstant::DISABLED`] (no clock
+    /// read) when the shard is off.
+    #[inline(always)]
+    pub fn now(&self) -> ObsInstant {
+        #[cfg(feature = "enabled")]
+        if self.on {
+            return ObsInstant(Some(Instant::now()));
+        }
+        ObsInstant::DISABLED
+    }
+
+    /// Closes a span started by [`ObsShard::now`], attributing the elapsed
+    /// time to `stage`.
+    #[inline(always)]
+    pub fn stage(&mut self, _s: Stage, _t: ObsInstant) {
+        #[cfg(feature = "enabled")]
+        if let Some(t0) = _t.0 {
+            if self.on {
+                self.rep.span(_s, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// This shard's accumulated data.
+    #[inline]
+    pub fn report(&self) -> &Report {
+        &self.rep
+    }
+}
+
+/// The process-level metrics registry.
+///
+/// Hot-path recording happens in [`ObsShard`]s; the registry only sees a
+/// mutex-protected merge per worker (plus low-frequency scheduler events
+/// recorded directly through [`Metrics::add`] and friends). Locking is
+/// poison-tolerant: a worker panicking mid-run cannot wedge the registry,
+/// so partial metrics stay readable after a failed run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    on: bool,
+    merged: Mutex<Report>,
+}
+
+impl Metrics {
+    /// A registry with recording enabled (subject to the `enabled` feature).
+    pub fn new() -> Metrics {
+        Metrics {
+            on: cfg!(feature = "enabled"),
+            merged: Mutex::new(Report::default()),
+        }
+    }
+
+    /// A registry with the runtime switch off: shards it hands out record
+    /// nothing and `absorb`/`add` are no-ops.
+    pub fn off() -> Metrics {
+        Metrics {
+            on: false,
+            merged: Mutex::new(Report::default()),
+        }
+    }
+
+    /// A shared disabled registry for uninstrumented call paths, so they
+    /// don't construct a fresh `Mutex<Report>` per run.
+    pub fn off_ref() -> &'static Metrics {
+        static OFF: std::sync::OnceLock<Metrics> = std::sync::OnceLock::new();
+        OFF.get_or_init(Metrics::off)
+    }
+
+    /// Checks out a shard wrapped in a guard that merges it back into this
+    /// registry on drop — including during a panic unwind, so a dying
+    /// worker neither poisons the registry nor loses its shard.
+    pub fn guard(&self) -> ShardGuard<'_> {
+        ShardGuard {
+            metrics: self,
+            shard: self.shard(),
+        }
+    }
+
+    /// Whether recording is active.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.on
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// Checks out a worker-local shard carrying this registry's switch.
+    pub fn shard(&self) -> ObsShard {
+        ObsShard {
+            on: self.enabled(),
+            rep: Report::default(),
+        }
+    }
+
+    fn with_merged(&self, f: impl FnOnce(&mut Report)) {
+        let mut guard = self.merged.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard);
+    }
+
+    /// Merges a finished worker's shard into the registry.
+    pub fn absorb(&self, shard: &ObsShard) {
+        if self.enabled() && shard.is_on() {
+            self.with_merged(|m| m.merge(&shard.rep));
+        }
+    }
+
+    /// Registry-level counter bump for cold (per-batch, not per-read)
+    /// events recorded from `&self` contexts such as scheduler drivers.
+    #[inline]
+    pub fn add(&self, c: Ctr, n: u64) {
+        if self.enabled() {
+            self.with_merged(|m| m.inc(c, n));
+        }
+    }
+
+    /// Registry-level histogram observation (cold paths only).
+    #[inline]
+    pub fn observe(&self, h: Hist, v: u64) {
+        if self.enabled() {
+            self.with_merged(|m| m.observe(h, v));
+        }
+    }
+
+    /// Registry-level gauge high-water update (cold paths only).
+    #[inline]
+    pub fn gauge_max(&self, g: Gauge, v: u64) {
+        if self.enabled() {
+            self.with_merged(|m| m.gauge_max(g, v));
+        }
+    }
+
+    /// Registry-level span record (cold paths only).
+    #[inline]
+    pub fn span(&self, s: Stage, ns: u64) {
+        if self.enabled() {
+            self.with_merged(|m| m.span(s, ns));
+        }
+    }
+
+    /// Snapshot of everything merged so far.
+    pub fn report(&self) -> Report {
+        self.merged
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// An [`ObsShard`] that merges itself into its registry when dropped. Used
+/// by workers without an explicit finish hook (e.g. the parent pipeline's
+/// scoped threads): recording goes through `Deref`/`DerefMut`, and the
+/// merge happens even if the worker unwinds.
+#[derive(Debug)]
+pub struct ShardGuard<'m> {
+    metrics: &'m Metrics,
+    shard: ObsShard,
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = ObsShard;
+
+    fn deref(&self) -> &ObsShard {
+        &self.shard
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ObsShard {
+        &mut self.shard
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.absorb(&self.shard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1 << 40), HIST_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn shard_records_and_registry_merges() {
+        let metrics = Metrics::new();
+        let mut a = metrics.shard();
+        let mut b = metrics.shard();
+        a.inc(Ctr::ReadsMapped);
+        a.add(Ctr::CacheHits, 10);
+        a.observe(Hist::SeedsPerRead, 5);
+        a.gauge_max(Gauge::QueueDepthMax, 3);
+        b.add(Ctr::ReadsMapped, 2);
+        b.observe(Hist::SeedsPerRead, 0);
+        b.gauge_max(Gauge::QueueDepthMax, 7);
+        metrics.absorb(&a);
+        metrics.absorb(&b);
+        let rep = metrics.report();
+        assert_eq!(rep.counter(Ctr::ReadsMapped), 3);
+        assert_eq!(rep.counter(Ctr::CacheHits), 10);
+        assert_eq!(rep.hist_count(Hist::SeedsPerRead), 2);
+        assert_eq!(rep.hist_sum(Hist::SeedsPerRead), 5);
+        assert_eq!(rep.hist_buckets(Hist::SeedsPerRead)[bucket_of(5)], 1);
+        assert_eq!(rep.hist_buckets(Hist::SeedsPerRead)[0], 1);
+        assert_eq!(rep.gauge(Gauge::QueueDepthMax), 7);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_accumulate() {
+        let metrics = Metrics::new();
+        let mut s = metrics.shard();
+        for _ in 0..3 {
+            let t = s.now();
+            s.stage(Stage::Clustering, t);
+        }
+        metrics.absorb(&s);
+        let rep = metrics.report();
+        assert_eq!(rep.stage_count(Stage::Clustering), 3);
+        assert_eq!(rep.stage_count(Stage::Extension), 0);
+    }
+
+    #[test]
+    fn off_registry_records_nothing() {
+        let metrics = Metrics::off();
+        let mut s = metrics.shard();
+        assert!(!s.is_on());
+        s.inc(Ctr::ReadsMapped);
+        s.observe(Hist::SeedsPerRead, 9);
+        let t = s.now();
+        s.stage(Stage::Extension, t);
+        metrics.absorb(&s);
+        metrics.add(Ctr::PoolSteals, 5);
+        let rep = metrics.report();
+        assert_eq!(rep, Report::default());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn feature_off_is_inert_even_when_requested_on() {
+        let metrics = Metrics::new();
+        assert!(!metrics.enabled());
+        let mut s = metrics.shard();
+        s.inc(Ctr::ReadsMapped);
+        metrics.absorb(&s);
+        assert_eq!(metrics.report(), Report::default());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn registry_cold_path_records() {
+        let metrics = Metrics::new();
+        metrics.add(Ctr::PoolSteals, 2);
+        metrics.observe(Hist::BatchReads, 512);
+        metrics.gauge_max(Gauge::ThreadsMax, 8);
+        metrics.span(Stage::Seeding, 1_000);
+        let rep = metrics.report();
+        assert_eq!(rep.counter(Ctr::PoolSteals), 2);
+        assert_eq!(rep.hist_count(Hist::BatchReads), 1);
+        assert_eq!(rep.gauge(Gauge::ThreadsMax), 8);
+        assert_eq!(rep.stage_ns(Stage::Seeding), 1_000);
+        assert_eq!(rep.stage_count(Stage::Seeding), 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn absorb_from_panicking_thread_still_lands() {
+        use std::sync::Arc;
+        let metrics = Arc::new(Metrics::new());
+        let m = Arc::clone(&metrics);
+        let handle = std::thread::spawn(move || {
+            let mut s = m.shard();
+            s.add(Ctr::ReadsMapped, 7);
+            m.absorb(&s);
+            panic!("worker dies after merging");
+        });
+        assert!(handle.join().is_err());
+        assert_eq!(metrics.report().counter(Ctr::ReadsMapped), 7);
+        // The registry stays usable after the panic.
+        metrics.add(Ctr::ReadsMapped, 1);
+        assert_eq!(metrics.report().counter(Ctr::ReadsMapped), 8);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn json_export_is_well_formed_and_complete() {
+        let metrics = Metrics::new();
+        let mut s = metrics.shard();
+        s.add(Ctr::CacheHits, 42);
+        s.observe(Hist::SeedsPerRead, 3);
+        metrics.absorb(&s);
+        let json = metrics.report().to_json();
+        for c in Ctr::ALL {
+            assert!(json.contains(&format!("\"{}\"", c.name())), "missing {}", c.name());
+        }
+        for st in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\"", st.name())));
+        }
+        assert!(json.contains("\"cache_hits\": 42"));
+        // Balanced braces/brackets: a cheap structural sanity check in lieu
+        // of a JSON parser (the workspace has none by design).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let metrics = Metrics::new();
+        let mut s = metrics.shard();
+        s.add(Ctr::CacheMisses, 9);
+        s.observe(Hist::BatchReads, 100);
+        metrics.absorb(&s);
+        let csv = metrics.report().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("kind,name,value"));
+        assert!(csv.contains("counter,cache_misses,9\n"));
+        assert!(csv.contains("hist_count,batch_reads,1\n"));
+        assert!(csv.contains(&format!("hist_bucket,batch_reads:{},1\n", bucket_of(100))));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 3, "bad row: {line}");
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn shard_guard_merges_on_drop_even_through_panic() {
+        use std::sync::Arc;
+        let metrics = Arc::new(Metrics::new());
+        {
+            let mut g = metrics.guard();
+            g.add(Ctr::ReadsMapped, 3);
+        }
+        assert_eq!(metrics.report().counter(Ctr::ReadsMapped), 3);
+        let m = Arc::clone(&metrics);
+        let handle = std::thread::spawn(move || {
+            let mut g = m.guard();
+            g.add(Ctr::ReadsMapped, 4);
+            panic!("worker dies mid-run");
+        });
+        assert!(handle.join().is_err());
+        assert_eq!(metrics.report().counter(Ctr::ReadsMapped), 7);
+    }
+
+    #[test]
+    fn off_ref_is_disabled_and_shared() {
+        let a = Metrics::off_ref();
+        assert!(!a.enabled());
+        a.add(Ctr::ReadsMapped, 1);
+        assert_eq!(a.report(), Report::default());
+        assert!(std::ptr::eq(a, Metrics::off_ref()));
+    }
+
+    #[test]
+    fn merge_is_associative_on_counters() {
+        let mut a = Report::default();
+        let mut b = Report::default();
+        a.inc(Ctr::ReadsMapped, 1);
+        a.gauge_max(Gauge::ThreadsMax, 2);
+        b.inc(Ctr::ReadsMapped, 2);
+        b.gauge_max(Gauge::ThreadsMax, 5);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter(Ctr::ReadsMapped), 3);
+        assert_eq!(ab.gauge(Gauge::ThreadsMax), 5);
+    }
+}

@@ -19,9 +19,10 @@ use std::time::{Duration, Instant};
 
 use mg_core::dump::SeedDump;
 use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
-use mg_core::{Mapper, MappingOptions};
+use mg_core::{MapScratch, Mapper, MappingOptions};
 use mg_gbwt::{CachedGbwt, Gbz};
 use mg_index::MinimizerIndex;
+use mg_obs::{Ctr, Metrics, ObsShard, Stage};
 use mg_sched::{AnyScheduler, SchedulerKind};
 use mg_support::probe::{MemProbe, NoProbe};
 use mg_support::regions::{NullSink, RegionSink, RegionTimer};
@@ -126,6 +127,34 @@ impl<'a> Parent<'a> {
         thread: usize,
         probe: &mut P,
     ) -> (ReadInput, ReadResult, Vec<Alignment>) {
+        self.map_read_full_obs(
+            cache,
+            read_id,
+            bases,
+            options,
+            sink,
+            thread,
+            probe,
+            &mut ObsShard::disabled(),
+        )
+    }
+
+    /// [`Parent::map_read_full`] with a metrics shard: records the seeding
+    /// span, the kernel spans and counters (via the shared mapper), the
+    /// rescoring span, and the per-read cache-statistics delta.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_read_full_obs<P: MemProbe>(
+        &self,
+        cache: &mut CachedGbwt<'_>,
+        read_id: u64,
+        bases: &[u8],
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+        probe: &mut P,
+        obs: &mut ObsShard,
+    ) -> (ReadInput, ReadResult, Vec<Alignment>) {
+        let stats_before = if obs.is_on() { Some(cache.stats()) } else { None };
         let input = {
             let _t = RegionTimer::start(sink, thread, "parse_input");
             // Intake: validate/copy the read (standing in for FASTQ
@@ -134,6 +163,7 @@ impl<'a> Parent<'a> {
         };
         let seeds: Vec<Seed> = {
             let _t = RegionTimer::start(sink, thread, "minimizer_seeding");
+            let t0 = obs.now();
             // The seeding stage's memory traffic goes through the probe too:
             // this is the work Giraffe interleaves with the critical
             // functions, and it is what perturbs the parent's counters away
@@ -151,10 +181,11 @@ impl<'a> Parent<'a> {
                 (seeds.len() * std::mem::size_of::<Seed>()).max(16) as u32,
             );
             probe.instret(20 * seeds.len() as u64 + 10);
+            obs.stage(Stage::Seeding, t0);
             seeds
         };
         let read_input = ReadInput { bases: input, seeds };
-        let result = self.mapper.map_read(
+        let result = self.mapper.map_read_with_scratch(
             cache,
             read_id,
             &read_input,
@@ -162,14 +193,44 @@ impl<'a> Parent<'a> {
             sink,
             thread,
             probe,
+            &mut MapScratch::default(),
+            obs,
         );
+        let t0 = obs.now();
+        let alignments = self.post_process(&read_input, &result, options, sink, thread);
+        obs.stage(Stage::Rescoring, t0);
+        if let Some(before) = stats_before {
+            let after = cache.stats();
+            obs.add(Ctr::CacheHits, after.hits - before.hits);
+            obs.add(Ctr::CacheMisses, after.misses - before.misses);
+            obs.add(Ctr::CacheEvictions, after.evictions - before.evictions);
+            obs.add(Ctr::CacheResizes, after.rehashes - before.rehashes);
+            obs.add(Ctr::CacheRehashedSlots, after.rehashed_slots - before.rehashed_slots);
+        }
+        (read_input, result, alignments)
+    }
+
+    /// Post-processes one read's raw kernel output into alignments:
+    /// `score_extensions` plus the gapped fallback for uncovered tails
+    /// (Giraffe's alignment phase after seed-and-extend).
+    ///
+    /// Public so validation harnesses can post-process proxy kernel output
+    /// through the exact code path the parent uses and compare final
+    /// alignments byte-for-byte.
+    pub fn post_process(
+        &self,
+        read_input: &ReadInput,
+        result: &ReadResult,
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+    ) -> Vec<Alignment> {
         let mut alignments = {
             let _t = RegionTimer::start(sink, thread, "score_extensions");
-            align_read(&result, &options.align)
+            align_read(result, &options.align)
         };
         // Gapped fallback: when the best extension leaves a read tail
-        // uncovered, align the tail against the graph walk's continuation
-        // (Giraffe's alignment phase after seed-and-extend).
+        // uncovered, align the tail against the graph walk's continuation.
         if let (Some(alignment), Some(extension)) =
             (alignments.first_mut(), result.extensions.first())
         {
@@ -189,13 +250,23 @@ impl<'a> Parent<'a> {
                 }
             }
         }
-        let alignments = alignments;
-        (read_input, result, alignments)
+        alignments
     }
 
     /// Runs the full pipeline over raw reads without instrumentation.
     pub fn run(&self, reads: &[Vec<u8>], options: &ParentOptions) -> ParentRun {
         self.run_with_sink(reads, options, &NullSink)
+    }
+
+    /// Runs the full pipeline, recording per-stage spans, counters, and
+    /// scheduler activity in `metrics`.
+    pub fn run_with_metrics(
+        &self,
+        reads: &[Vec<u8>],
+        options: &ParentOptions,
+        metrics: &Metrics,
+    ) -> ParentRun {
+        self.run_with_sink_metrics(reads, options, &NullSink, metrics)
     }
 
     /// Runs the full pipeline, reporting regions to `sink`.
@@ -205,17 +276,31 @@ impl<'a> Parent<'a> {
         options: &ParentOptions,
         sink: &(impl RegionSink + ?Sized),
     ) -> ParentRun {
+        self.run_with_sink_metrics(reads, options, sink, Metrics::off_ref())
+    }
+
+    /// [`Parent::run_with_sink`] plus a metrics registry. Each scoped
+    /// worker records into a [`mg_obs::ShardGuard`] whose drop folds the
+    /// shard into the registry, so shards survive even if a worker panics.
+    pub fn run_with_sink_metrics(
+        &self,
+        reads: &[Vec<u8>],
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        metrics: &Metrics,
+    ) -> ParentRun {
         let n = reads.len();
         let slots: Vec<OnceLock<(ReadInput, ReadResult, Vec<Alignment>)>> =
             (0..n).map(|_| OnceLock::new()).collect();
         let scheduler: Box<dyn AnyScheduler> =
             options.mapping.scheduler.build(options.mapping.batch_size);
         let start = Instant::now();
-        scheduler.run_erased(n, options.mapping.threads.max(1), &|thread| {
+        scheduler.run_erased_obs(n, options.mapping.threads.max(1), metrics, &|thread| {
             let mut cache = CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity);
+            let mut obs = metrics.guard();
             let slots = &slots;
             Box::new(move |i| {
-                let out = self.map_read_full(
+                let out = self.map_read_full_obs(
                     &mut cache,
                     i as u64,
                     &reads[i],
@@ -223,6 +308,7 @@ impl<'a> Parent<'a> {
                     sink,
                     thread,
                     &mut NoProbe,
+                    &mut obs,
                 );
                 slots[i].set(out).expect("each read mapped once");
             })
@@ -386,6 +472,28 @@ mod tests {
             .filter(|a| a.properly_paired)
             .count();
         assert!(proper > 0, "no properly paired alignments");
+    }
+
+    #[test]
+    fn parent_metrics_cover_all_stages_and_reconcile() {
+        use mg_obs::Stage;
+        let input = tiny_input();
+        let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+        let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+        let metrics = Metrics::new();
+        let run = parent.run_with_metrics(&reads, &ParentOptions::default(), &metrics);
+        let rep = metrics.report();
+        let n = reads.len() as u64;
+        assert_eq!(rep.counter(Ctr::ReadsMapped), n);
+        assert_eq!(rep.counter(Ctr::PoolTasksCompleted), n);
+        for stage in [Stage::Seeding, Stage::Clustering, Stage::Extension, Stage::Rescoring] {
+            assert_eq!(rep.stage_count(stage), n, "stage {} count", stage.name());
+        }
+        assert!(rep.counter(Ctr::CacheHits) + rep.counter(Ctr::CacheMisses) > 0);
+        // Instrumentation must not change behavior.
+        let plain = parent.run(&reads, &ParentOptions::default());
+        assert_eq!(plain.kernel_results, run.kernel_results);
+        assert_eq!(plain.alignments, run.alignments);
     }
 
     #[test]

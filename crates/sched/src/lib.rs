@@ -31,6 +31,8 @@ pub use pool::{PoolCell, PoolTask, WorkerPool};
 
 use pool::{Launch, ScopeLaunch};
 
+use mg_obs::{Ctr, Gauge, Hist, Metrics};
+
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,6 +87,45 @@ pub trait Scheduler: Send + Sync {
         S: Send,
         I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env;
+
+    /// [`Scheduler::run`] with scheduler-level metrics (dispatched batches,
+    /// completions, steals, queue depths, idle time) recorded into
+    /// `metrics`. The default ignores the registry.
+    fn run_obs<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        let _ = metrics;
+        self.run(n, threads, init, task);
+    }
+
+    /// [`Scheduler::run_pooled`] with scheduler-level metrics recorded into
+    /// `metrics`. The default ignores the registry.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pooled_obs<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        let _ = metrics;
+        self.run_pooled(pool, n, threads, init, task, fini);
+    }
 }
 
 /// Identifies a scheduler implementation; the tuning harness sweeps this.
@@ -179,6 +220,25 @@ pub trait AnyScheduler: Send + Sync {
         threads: usize,
         make_task: &(dyn Fn(usize, &mut PoolCell) -> Box<dyn PoolTask + 'env> + Sync + 'env),
     );
+
+    /// [`AnyScheduler::run_erased`] with scheduler-level metrics.
+    fn run_erased_obs<'env>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        make_worker: &(dyn Fn(usize) -> Box<dyn FnMut(usize) + Send + 'env> + Sync + 'env),
+    );
+
+    /// [`AnyScheduler::run_pooled_erased`] with scheduler-level metrics.
+    fn run_pooled_erased_obs<'env>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        make_task: &(dyn Fn(usize, &mut PoolCell) -> Box<dyn PoolTask + 'env> + Sync + 'env),
+    );
 }
 
 impl<T: Scheduler> AnyScheduler for T {
@@ -220,6 +280,41 @@ impl<T: Scheduler> AnyScheduler for T {
             |_t, task: Box<dyn PoolTask + 'env>, cell: &mut PoolCell| task.finish(cell),
         );
     }
+
+    fn run_erased_obs<'env>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        make_worker: &(dyn Fn(usize) -> Box<dyn FnMut(usize) + Send + 'env> + Sync + 'env),
+    ) {
+        self.run_obs(
+            n,
+            threads,
+            metrics,
+            |t| make_worker(t),
+            &|worker: &mut Box<dyn FnMut(usize) + Send + 'env>, i| worker(i),
+        );
+    }
+
+    fn run_pooled_erased_obs<'env>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        make_task: &(dyn Fn(usize, &mut PoolCell) -> Box<dyn PoolTask + 'env> + Sync + 'env),
+    ) {
+        self.run_pooled_obs(
+            pool,
+            n,
+            threads,
+            metrics,
+            |t, cell: &mut PoolCell| make_task(t, cell),
+            &|task: &mut Box<dyn PoolTask + 'env>, i| task.run(i),
+            |_t, task: Box<dyn PoolTask + 'env>, cell: &mut PoolCell| task.finish(cell),
+        );
+    }
 }
 
 /// Contiguous equal chunks, one per thread. No balancing at all: the
@@ -228,11 +323,13 @@ impl<T: Scheduler> AnyScheduler for T {
 pub struct StaticScheduler;
 
 impl StaticScheduler {
+    #[allow(clippy::too_many_arguments)]
     fn drive<'env, S, I, F>(
         &self,
         launch: &mut dyn Launch,
         n: usize,
         threads: usize,
+        metrics: &Metrics,
         init: I,
         task: &(dyn Fn(&mut S, usize) + Sync + 'env),
         fini: F,
@@ -242,8 +339,9 @@ impl StaticScheduler {
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
         if threads <= 1 || n == 0 {
-            return drive_inline(launch, n, &init, task, &fini);
+            return drive_inline(launch, n, metrics, &init, task, &fini);
         }
+        metrics.gauge_max(Gauge::ThreadsMax, threads as u64);
         let chunk = n.div_ceil(threads);
         launch.launch(threads, &|t, cell| {
             let mut state = init(t, cell);
@@ -251,6 +349,12 @@ impl StaticScheduler {
             let end = ((t + 1) * chunk).min(n);
             for i in start..end {
                 task(&mut state, i);
+            }
+            if end > start {
+                // Each thread's contiguous share is one "batch".
+                metrics.add(Ctr::PoolBatches, 1);
+                metrics.add(Ctr::PoolTasksCompleted, (end - start) as u64);
+                metrics.observe(Hist::BatchReads, (end - start) as u64);
             }
             fini(t, state, cell);
         });
@@ -276,7 +380,7 @@ impl Scheduler for StaticScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+        self.drive(&mut ScopeLaunch, n, threads, Metrics::off_ref(), unpooled_init(init), task, unpooled_fini());
     }
 
     fn run_pooled<'env, S, I, F>(
@@ -292,15 +396,48 @@ impl Scheduler for StaticScheduler {
         I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
-        self.drive(pool, n, threads, init, task, fini);
+        self.drive(pool, n, threads, Metrics::off_ref(), init, task, fini);
+    }
+
+    fn run_obs<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        self.drive(&mut ScopeLaunch, n, threads, metrics, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled_obs<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, metrics, init, task, fini);
     }
 }
 
 /// Shared `threads <= 1 || n == 0` path: one body on thread 0 processes
-/// everything in order.
+/// everything in order (and still reports completions, so metric
+/// reconciliation holds at every thread count).
 fn drive_inline<'env, S>(
     launch: &mut dyn Launch,
     n: usize,
+    metrics: &Metrics,
     init: &(dyn Fn(usize, &mut PoolCell) -> S + Sync + 'env),
     task: &(dyn Fn(&mut S, usize) + Sync + 'env),
     fini: &(dyn Fn(usize, S, &mut PoolCell) + Sync + 'env),
@@ -311,6 +448,12 @@ fn drive_inline<'env, S>(
         let mut state = init(t, cell);
         for i in 0..n {
             task(&mut state, i);
+        }
+        if n > 0 {
+            metrics.gauge_max(Gauge::ThreadsMax, 1);
+            metrics.add(Ctr::PoolBatches, 1);
+            metrics.add(Ctr::PoolTasksCompleted, n as u64);
+            metrics.observe(Hist::BatchReads, n as u64);
         }
         fini(t, state, cell);
     });
@@ -344,11 +487,13 @@ impl DynamicScheduler {
 }
 
 impl DynamicScheduler {
+    #[allow(clippy::too_many_arguments)]
     fn drive<'env, S, I, F>(
         &self,
         launch: &mut dyn Launch,
         n: usize,
         threads: usize,
+        metrics: &Metrics,
         init: I,
         task: &(dyn Fn(&mut S, usize) + Sync + 'env),
         fini: F,
@@ -358,19 +503,30 @@ impl DynamicScheduler {
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
         if threads <= 1 || n == 0 {
-            return drive_inline(launch, n, &init, task, &fini);
+            return drive_inline(launch, n, metrics, &init, task, &fini);
         }
+        metrics.gauge_max(Gauge::ThreadsMax, threads as u64);
         let cursor = AtomicUsize::new(0);
         launch.launch(threads, &|t, cell| {
             let mut state = init(t, cell);
+            let mut batches = 0u64;
+            let mut done = 0u64;
             loop {
                 let start = cursor.fetch_add(self.batch, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
-                for i in start..(start + self.batch).min(n) {
+                let end = (start + self.batch).min(n);
+                for i in start..end {
                     task(&mut state, i);
                 }
+                batches += 1;
+                done += (end - start) as u64;
+                metrics.observe(Hist::BatchReads, (end - start) as u64);
+            }
+            if batches > 0 {
+                metrics.add(Ctr::PoolBatches, batches);
+                metrics.add(Ctr::PoolTasksCompleted, done);
             }
             fini(t, state, cell);
         });
@@ -396,7 +552,7 @@ impl Scheduler for DynamicScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+        self.drive(&mut ScopeLaunch, n, threads, Metrics::off_ref(), unpooled_init(init), task, unpooled_fini());
     }
 
     fn run_pooled<'env, S, I, F>(
@@ -412,7 +568,38 @@ impl Scheduler for DynamicScheduler {
         I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
-        self.drive(pool, n, threads, init, task, fini);
+        self.drive(pool, n, threads, Metrics::off_ref(), init, task, fini);
+    }
+
+    fn run_obs<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        self.drive(&mut ScopeLaunch, n, threads, metrics, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled_obs<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, metrics, init, task, fini);
     }
 }
 
@@ -433,11 +620,13 @@ impl WorkStealingScheduler {
 }
 
 impl WorkStealingScheduler {
+    #[allow(clippy::too_many_arguments)]
     fn drive<'env, S, I, F>(
         &self,
         launch: &mut dyn Launch,
         n: usize,
         threads: usize,
+        metrics: &Metrics,
         init: I,
         task: &(dyn Fn(&mut S, usize) + Sync + 'env),
         fini: F,
@@ -447,8 +636,9 @@ impl WorkStealingScheduler {
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
         if threads <= 1 || n == 0 {
-            return drive_inline(launch, n, &init, task, &fini);
+            return drive_inline(launch, n, metrics, &init, task, &fini);
         }
+        metrics.gauge_max(Gauge::ThreadsMax, threads as u64);
         let chunk = n.div_ceil(threads);
         let shares: Vec<(AtomicUsize, usize)> = (0..threads)
             .map(|t| {
@@ -459,6 +649,9 @@ impl WorkStealingScheduler {
             .collect();
         launch.launch(threads, &|t, cell| {
             let mut state = init(t, cell);
+            let mut batches = 0u64;
+            let mut steals = 0u64;
+            let mut done = 0u64;
             // Own share first, then victims round-robin from t + 1.
             for v in 0..threads {
                 let victim = (t + v) % threads;
@@ -468,10 +661,24 @@ impl WorkStealingScheduler {
                     if start >= *end {
                         break;
                     }
-                    for i in start..(start + self.batch).min(*end) {
+                    let stop = (start + self.batch).min(*end);
+                    for i in start..stop {
                         task(&mut state, i);
                     }
+                    batches += 1;
+                    done += (stop - start) as u64;
+                    if v > 0 {
+                        steals += 1;
+                    }
+                    metrics.observe(Hist::BatchReads, (stop - start) as u64);
                 }
+            }
+            if batches > 0 {
+                metrics.add(Ctr::PoolBatches, batches);
+                metrics.add(Ctr::PoolTasksCompleted, done);
+            }
+            if steals > 0 {
+                metrics.add(Ctr::PoolSteals, steals);
             }
             fini(t, state, cell);
         });
@@ -497,7 +704,7 @@ impl Scheduler for WorkStealingScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+        self.drive(&mut ScopeLaunch, n, threads, Metrics::off_ref(), unpooled_init(init), task, unpooled_fini());
     }
 
     fn run_pooled<'env, S, I, F>(
@@ -513,7 +720,38 @@ impl Scheduler for WorkStealingScheduler {
         I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
-        self.drive(pool, n, threads, init, task, fini);
+        self.drive(pool, n, threads, Metrics::off_ref(), init, task, fini);
+    }
+
+    fn run_obs<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        self.drive(&mut ScopeLaunch, n, threads, metrics, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled_obs<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, metrics, init, task, fini);
     }
 }
 
@@ -534,11 +772,13 @@ impl VgScheduler {
 }
 
 impl VgScheduler {
+    #[allow(clippy::too_many_arguments)]
     fn drive<'env, S, I, F>(
         &self,
         launch: &mut dyn Launch,
         n: usize,
         threads: usize,
+        metrics: &Metrics,
         init: I,
         task: &(dyn Fn(&mut S, usize) + Sync + 'env),
         fini: F,
@@ -548,28 +788,49 @@ impl VgScheduler {
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
         if threads <= 1 || n == 0 {
-            return drive_inline(launch, n, &init, task, &fini);
+            return drive_inline(launch, n, metrics, &init, task, &fini);
         }
+        metrics.gauge_max(Gauge::ThreadsMax, threads as u64);
+        let observe = metrics.enabled();
         // Thread 0 is the dispatcher; the rest are workers fed by a
         // bounded channel. The dispatcher takes the sender out of the slot
         // and drops it when dispatch ends, which winds the workers down.
         let workers = threads - 1;
         let (tx, rx) = crossbeam::channel::bounded::<(usize, usize)>(workers.max(1));
         let tx_slot = std::sync::Mutex::new(Some(tx));
+        // In-flight batch count, maintained only when observing: the shim
+        // channel has no len(), so the dispatcher and workers keep the
+        // depth themselves for the queue-depth gauge.
+        let depth = AtomicUsize::new(0);
         launch.launch(threads, &|t, cell| {
             let mut state = init(t, cell);
+            let mut batches = 0u64;
+            let mut done = 0u64;
             if t == 0 {
                 let tx = tx_slot.lock().unwrap().take().expect("dispatcher runs once");
                 // Dispatch batches; on backpressure, map a batch here.
                 let mut next = 0usize;
                 while next < n {
                     let end = (next + self.batch).min(n);
+                    // Count the batch as in flight *before* sending: once
+                    // try_send succeeds a worker may already have received
+                    // and decremented it.
+                    if observe {
+                        let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                        metrics.gauge_max(Gauge::QueueDepthMax, d as u64);
+                    }
                     match tx.try_send((next, end)) {
                         Ok(()) => {}
                         Err(crossbeam::channel::TrySendError::Full(_)) => {
+                            if observe {
+                                depth.fetch_sub(1, Ordering::Relaxed);
+                            }
                             for i in next..end {
                                 task(&mut state, i);
                             }
+                            batches += 1;
+                            done += (end - next) as u64;
+                            metrics.observe(Hist::BatchReads, (end - next) as u64);
                         }
                         Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
                             unreachable!("workers outlive the dispatch loop")
@@ -579,11 +840,28 @@ impl VgScheduler {
                 }
             } else {
                 let rx = rx.clone();
-                while let Ok((start, end)) = rx.recv() {
+                let mut idle_ns = 0u64;
+                loop {
+                    let waited = if observe { Some(std::time::Instant::now()) } else { None };
+                    let Ok((start, end)) = rx.recv() else { break };
+                    if let Some(t0) = waited {
+                        idle_ns += t0.elapsed().as_nanos() as u64;
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                    }
                     for i in start..end {
                         task(&mut state, i);
                     }
+                    batches += 1;
+                    done += (end - start) as u64;
+                    metrics.observe(Hist::BatchReads, (end - start) as u64);
                 }
+                if idle_ns > 0 {
+                    metrics.add(Ctr::PoolIdleNs, idle_ns);
+                }
+            }
+            if batches > 0 {
+                metrics.add(Ctr::PoolBatches, batches);
+                metrics.add(Ctr::PoolTasksCompleted, done);
             }
             fini(t, state, cell);
         });
@@ -609,7 +887,7 @@ impl Scheduler for VgScheduler {
         S: Send,
         I: Fn(usize) -> S + Sync + 'env,
     {
-        self.drive(&mut ScopeLaunch, n, threads, unpooled_init(init), task, unpooled_fini());
+        self.drive(&mut ScopeLaunch, n, threads, Metrics::off_ref(), unpooled_init(init), task, unpooled_fini());
     }
 
     fn run_pooled<'env, S, I, F>(
@@ -625,7 +903,38 @@ impl Scheduler for VgScheduler {
         I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
         F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
     {
-        self.drive(pool, n, threads, init, task, fini);
+        self.drive(pool, n, threads, Metrics::off_ref(), init, task, fini);
+    }
+
+    fn run_obs<'env, S, I>(
+        &self,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+    ) where
+        S: Send,
+        I: Fn(usize) -> S + Sync + 'env,
+    {
+        self.drive(&mut ScopeLaunch, n, threads, metrics, unpooled_init(init), task, unpooled_fini());
+    }
+
+    fn run_pooled_obs<'env, S, I, F>(
+        &self,
+        pool: &mut WorkerPool,
+        n: usize,
+        threads: usize,
+        metrics: &Metrics,
+        init: I,
+        task: &(dyn Fn(&mut S, usize) + Sync + 'env),
+        fini: F,
+    ) where
+        S: Send,
+        I: Fn(usize, &mut PoolCell) -> S + Sync + 'env,
+        F: Fn(usize, S, &mut PoolCell) + Sync + 'env,
+    {
+        self.drive(pool, n, threads, metrics, init, task, fini);
     }
 }
 

@@ -1,0 +1,163 @@
+//! Concurrency stress tests for the scheduler metrics: dispatched batches
+//! and completions must reconcile to exactly-once processing for every
+//! scheduler kind and thread count, and a panicking worker must neither
+//! poison the metrics registry nor wedge the persistent pool.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mg_obs::{Ctr, Hist, Metrics};
+use mg_sched::{PoolTask, SchedulerKind, WorkerPool};
+
+struct Count<'a>(&'a [AtomicU64]);
+
+impl PoolTask for Count<'_> {
+    fn run(&mut self, i: usize) {
+        self.0[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn metrics_reconcile_to_exactly_once_processing() {
+    // One persistent pool across every configuration, like the mapper's.
+    let mut pool = WorkerPool::new();
+    for kind in SchedulerKind::ALL {
+        for threads in [1usize, 2, 8] {
+            for n in [0usize, 1, 97, 1000] {
+                let metrics = Metrics::new();
+                let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                let seen_ref = &seen;
+                kind.build(16).run_pooled_erased_obs(
+                    &mut pool,
+                    n,
+                    threads,
+                    &metrics,
+                    &move |_t, _cell| Box::new(Count(seen_ref)),
+                );
+                for (i, c) in seen.iter().enumerate() {
+                    assert_eq!(
+                        c.load(Ordering::Relaxed),
+                        1,
+                        "{kind}: index {i} with n={n} threads={threads}"
+                    );
+                }
+                let rep = metrics.report();
+                assert_eq!(
+                    rep.counter(Ctr::PoolTasksCompleted),
+                    n as u64,
+                    "{kind}: completions with n={n} threads={threads}"
+                );
+                // Every completion arrived through a counted batch.
+                assert_eq!(
+                    rep.hist_sum(Hist::BatchReads),
+                    n as u64,
+                    "{kind}: batch histogram with n={n} threads={threads}"
+                );
+                assert_eq!(rep.hist_count(Hist::BatchReads), rep.counter(Ctr::PoolBatches));
+                if n > 0 {
+                    assert!(rep.counter(Ctr::PoolBatches) >= 1);
+                }
+                // Steals are a subset of batches, and only work stealing
+                // ever reports them.
+                assert!(rep.counter(Ctr::PoolSteals) <= rep.counter(Ctr::PoolBatches));
+                if kind != SchedulerKind::WorkStealing {
+                    assert_eq!(rep.counter(Ctr::PoolSteals), 0, "{kind} must not steal");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unpooled_obs_path_reconciles_too() {
+    // The parent pipeline drives scoped (unpooled) workers; the same
+    // reconciliation must hold there.
+    for kind in SchedulerKind::ALL {
+        let metrics = Metrics::new();
+        let n = 300usize;
+        let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let seen_ref = &seen;
+        kind.build(8).run_erased_obs(n, 4, &metrics, &move |_t| {
+            Box::new(move |i| {
+                seen_ref[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1), "{kind}");
+        assert_eq!(metrics.report().counter(Ctr::PoolTasksCompleted), n as u64, "{kind}");
+    }
+}
+
+#[test]
+fn steals_reported_under_forced_imbalance() {
+    // Thread 0's share is made slow so the others run dry and steal.
+    let metrics = Metrics::new();
+    let n = 64usize;
+    let done = AtomicU64::new(0);
+    let done_ref = &done;
+    SchedulerKind::WorkStealing.build(1).run_erased_obs(n, 4, &metrics, &move |_t| {
+        Box::new(move |i| {
+            if i < n / 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done_ref.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(done.load(Ordering::Relaxed), n as u64);
+    let rep = metrics.report();
+    assert_eq!(rep.counter(Ctr::PoolTasksCompleted), n as u64);
+    assert!(
+        rep.counter(Ctr::PoolSteals) > 0,
+        "slow first share must force at least one steal"
+    );
+}
+
+struct PanicAt<'a> {
+    seen: &'a [AtomicU64],
+    bomb: usize,
+}
+
+impl PoolTask for PanicAt<'_> {
+    fn run(&mut self, i: usize) {
+        if i == self.bomb {
+            panic!("task {i} explodes");
+        }
+        self.seen[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn panicking_worker_neither_poisons_metrics_nor_wedges_the_pool() {
+    let mut pool = WorkerPool::new();
+    let metrics = Metrics::new();
+    let n = 200usize;
+    let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let seen_ref = &seen;
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        SchedulerKind::Dynamic.build(4).run_pooled_erased_obs(
+            &mut pool,
+            n,
+            4,
+            &metrics,
+            &move |_t, _cell| Box::new(PanicAt { seen: seen_ref, bomb: 50 }),
+        );
+    }));
+    assert!(caught.is_err(), "the worker panic must surface");
+    // The registry is still usable: not poisoned, still recording, and the
+    // partial counts it holds stay readable.
+    let partial = metrics.report().counter(Ctr::PoolTasksCompleted);
+    metrics.add(Ctr::PoolTasksCompleted, 1);
+    assert_eq!(metrics.report().counter(Ctr::PoolTasksCompleted), partial + 1);
+    // The pool survives: a fresh run on the same pool reconciles exactly.
+    let metrics2 = Metrics::new();
+    let seen2: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let seen2_ref = &seen2;
+    SchedulerKind::Dynamic.build(4).run_pooled_erased_obs(
+        &mut pool,
+        n,
+        4,
+        &metrics2,
+        &move |_t, _cell| Box::new(Count(seen2_ref)),
+    );
+    assert!(seen2.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    assert_eq!(metrics2.report().counter(Ctr::PoolTasksCompleted), n as u64);
+}

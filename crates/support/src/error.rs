@@ -33,6 +33,13 @@ pub enum Error {
     },
     /// A structural invariant of the decoded data was violated.
     Corrupt(String),
+    /// A sequence contained a byte outside the accepted DNA alphabet.
+    InvalidBase {
+        /// The offending byte.
+        byte: u8,
+        /// Offset of the byte within its sequence.
+        pos: usize,
+    },
     /// The format version is not supported by this build.
     UnsupportedVersion(u32),
 }
@@ -55,6 +62,9 @@ impl fmt::Display for Error {
                 "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
             ),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::InvalidBase { byte, pos } => {
+                write!(f, "invalid base {:?} at position {pos}", *byte as char)
+            }
             Error::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
         }
     }
@@ -102,6 +112,7 @@ mod tests {
                 computed: 2,
             },
             Error::Corrupt("x".into()),
+            Error::InvalidBase { byte: b'!', pos: 3 },
             Error::UnsupportedVersion(99),
         ];
         for e in errors {

@@ -8,6 +8,7 @@
 use mg_core::dump::SeedDump;
 use mg_core::{Mapper, MappingOptions};
 use mg_gbwt::Gbz;
+use mg_obs::{Ctr, Hist, Metrics};
 use mg_perf::{collect_features, simulate, MachineModel, SimSched, SimWorkload};
 
 use crate::space::{ParamSpace, TuningPoint};
@@ -101,6 +102,23 @@ pub fn run_host_sweep(
     repeats: usize,
     base_options: &MappingOptions,
 ) -> SweepResult {
+    run_host_sweep_metrics(gbz, dump, threads, space, repeats, base_options, Metrics::off_ref())
+}
+
+/// [`run_host_sweep`] with a metrics registry: each measured point bumps
+/// the sweep-point counter and feeds the kept makespan into the
+/// makespan histogram, and the proxy runs themselves record their full
+/// per-stage/cache/scheduler activity into the same registry.
+#[allow(clippy::too_many_arguments)]
+pub fn run_host_sweep_metrics(
+    gbz: &Gbz,
+    dump: &SeedDump,
+    threads: usize,
+    space: &ParamSpace,
+    repeats: usize,
+    base_options: &MappingOptions,
+    metrics: &Metrics,
+) -> SweepResult {
     let mapper = Mapper::new(gbz);
     let mut records = Vec::with_capacity(space.len());
     for point in space.points() {
@@ -113,9 +131,11 @@ pub fn run_host_sweep(
         };
         let mut best = f64::INFINITY;
         for _ in 0..repeats.max(1) {
-            let out = mapper.run(dump, &options);
+            let out = mapper.run_with_metrics(dump, &options, metrics);
             best = best.min(out.wall.as_secs_f64());
         }
+        metrics.add(Ctr::SweepPoints, 1);
+        metrics.observe(Hist::SweepMakespanUs, (best * 1e6) as u64);
         records.push(TuningRecord { point, makespan_s: best });
     }
     SweepResult { records }
@@ -319,6 +339,50 @@ mod tests {
         assert_eq!(sweep.records.len(), space.len());
         assert!(sweep.records.iter().all(|r| r.makespan_s >= 0.0));
         assert!(sweep.best().makespan_s <= sweep.worst().makespan_s);
+    }
+
+    #[test]
+    fn host_sweep_metrics_count_every_point() {
+        use mg_core::types::{ReadInput, Seed, Workflow};
+        use mg_graph::pangenome::PangenomeBuilder;
+        use mg_graph::{Handle, NodeId};
+        use mg_index::GraphPos;
+
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGTACGTACGT".to_vec())
+            .haplotypes(vec![vec![]])
+            .max_node_len(6)
+            .build()
+            .unwrap();
+        let gbz = Gbz::from_pangenome(p).unwrap();
+        let dump = SeedDump::new(
+            Workflow::Single,
+            (0..10)
+                .map(|_| ReadInput {
+                    bases: b"ACGTACGTACGT".to_vec(),
+                    seeds: vec![Seed::new(0, GraphPos::new(Handle::forward(NodeId::new(1)), 0))],
+                })
+                .collect(),
+        );
+        let space = ParamSpace::small();
+        let metrics = Metrics::new();
+        let sweep = run_host_sweep_metrics(
+            &gbz,
+            &dump,
+            1,
+            &space,
+            2,
+            &MappingOptions::default(),
+            &metrics,
+        );
+        let rep = metrics.report();
+        assert_eq!(rep.counter(Ctr::SweepPoints), space.len() as u64);
+        assert_eq!(rep.hist_count(Hist::SweepMakespanUs), space.len() as u64);
+        // Every point ran `repeats` instrumented proxy runs over the dump.
+        assert_eq!(
+            rep.counter(Ctr::ReadsMapped),
+            (space.len() * 2 * dump.reads.len()) as u64
+        );
+        assert_eq!(sweep.records.len(), space.len());
     }
 
     #[test]

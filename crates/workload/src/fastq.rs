@@ -53,7 +53,10 @@ pub fn write_fastq<W: Write>(mut out: W, records: &[FastqRecord]) -> Result<()> 
 ///
 /// Returns [`Error::Corrupt`] for malformed records: missing `@`/`+`
 /// markers, truncated records, or a quality line whose length differs from
-/// the sequence line.
+/// the sequence line. Sequences are validated against the read alphabet
+/// (`ACGT` plus `N`): a bad byte yields [`Error::Corrupt`] naming the
+/// record and position, so malformed input surfaces as an error at intake
+/// instead of a panic inside a mapping worker.
 pub fn read_fastq<R: Read>(input: R) -> Result<Vec<FastqRecord>> {
     let mut reader = BufReader::new(input);
     let mut records = Vec::new();
@@ -82,6 +85,12 @@ pub fn read_fastq<R: Read>(input: R) -> Result<Vec<FastqRecord>> {
         }
         lineno += 1;
         let bases = seq.trim_end().as_bytes().to_vec();
+        if let Err(Error::InvalidBase { byte, pos }) = mg_graph::dna::validate_read_bases(&bases) {
+            return Err(Error::Corrupt(format!(
+                "record {name:?}: invalid base {:?} at position {pos}",
+                byte as char
+            )));
+        }
         let mut plus = String::new();
         if reader.read_line(&mut plus)? == 0 || !plus.starts_with('+') {
             return Err(Error::Corrupt(format!("record {name:?}: missing '+' separator")));
@@ -191,6 +200,22 @@ mod tests {
         assert!(read_fastq(&b"@r\nACGT\n+\nFF\n"[..]).is_err());
         // Truncated mid-record.
         assert!(read_fastq(&b"@r\nACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn invalid_bases_are_an_error_not_a_panic() {
+        // Regression: garbage bases used to sail through intake and abort a
+        // mapping worker via dna::complement's panic. They must be rejected
+        // here, with the record and offset named.
+        let err = read_fastq(&b"@r\nAC!T\n+\nFFFF\n"[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid base"), "got: {msg}");
+        assert!(msg.contains("'!'"), "got: {msg}");
+        assert!(msg.contains("position 2"), "got: {msg}");
+        // Lowercase bases are also outside the accepted alphabet.
+        assert!(read_fastq(&b"@r\nacgt\n+\nFFFF\n"[..]).is_err());
+        // N remains legal in reads.
+        assert!(read_fastq(&b"@r\nACGN\n+\nFFFF\n"[..]).is_ok());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`workload`]: synthetic pangenomes, read simulation, the paper's four
 //!   input-set profiles, and seed dumps.
 //! - [`sched`]: parallel schedulers (dynamic, static, work-stealing, VG-style).
+//! - [`obs`]: near-zero-overhead metrics (counters, histograms, stage spans)
+//!   threaded through the mapping loop, with JSON/CSV export.
 //! - [`core`]: the proxy itself — seed clustering and the seed-and-extend
 //!   kernel, the mapping pipeline, and output validation.
 //! - [`parent`]: the Giraffe-like parent pipeline the proxy is extracted from.
@@ -37,6 +39,7 @@ pub use mg_core as core;
 pub use mg_gbwt as gbwt;
 pub use mg_graph as graph;
 pub use mg_index as index;
+pub use mg_obs as obs;
 pub use mg_parent as parent;
 pub use mg_perf as perf;
 pub use mg_sched as sched;

@@ -1,0 +1,136 @@
+//! Differential oracle: the proxy kernels, post-processed through the
+//! parent's own rescoring path, must reproduce the parent pipeline's GAF
+//! output byte for byte — the paper's functional-validation boundary,
+//! pushed all the way to the interchange format.
+//!
+//! Each seeded workload is also pinned to a golden snapshot under
+//! `tests/golden/`, so behavior drift in *either* pipeline (kernels,
+//! rescoring, gapped fallback, GAF rendering) fails loudly. Regenerate the
+//! snapshots with `MG_BLESS=1 cargo test --test oracle` after an
+//! intentional change, and review the diff.
+
+use std::path::PathBuf;
+
+use minigiraffe::core::run_mapping;
+use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions, ParentRun};
+use minigiraffe::support::regions::NullSink;
+use minigiraffe::workload::{InputSetSpec, SyntheticInput};
+
+/// The seeded workloads the oracle covers. Distinct seeds give distinct
+/// pangenomes, haplotype walks, and read errors; the error-dense spec
+/// exercises trimmed extensions and the gapped tail fallback.
+fn workloads() -> Vec<(String, SyntheticInput)> {
+    let mut out = Vec::new();
+    for seed in [11u64, 23, 47] {
+        out.push((format!("tiny-{seed}"), SyntheticInput::generate(&InputSetSpec::tiny_for_tests(), seed)));
+    }
+    let mut dense = InputSetSpec::tiny_for_tests();
+    dense.read_sim.error_rate = 0.03;
+    out.push(("dense-29".to_string(), SyntheticInput::generate(&dense, 29)));
+    out
+}
+
+/// Runs the parent end-to-end and renders its GAF.
+fn parent_gaf<'a>(input: &'a SyntheticInput, name: &str) -> (Parent<'a>, ParentRun, String) {
+    let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+    let reads: Vec<Vec<u8>> = input.sim_reads.iter().map(|r| r.bases.clone()).collect();
+    let run = parent.run(&reads, &ParentOptions::default());
+    let gaf = run_to_gaf(input.gbz.graph(), &run, name);
+    (parent, run, gaf)
+}
+
+/// Replays the parent's captured dump through the proxy kernels, then
+/// post-processes the raw kernel output with the parent's own rescoring
+/// path, and renders the same GAF.
+fn proxy_gaf(parent: &Parent<'_>, run: &ParentRun, input: &SyntheticInput, name: &str) -> String {
+    let options = ParentOptions::default();
+    let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
+    let alignments: Vec<_> = run
+        .dump
+        .reads
+        .iter()
+        .zip(&proxy.per_read)
+        .map(|(read_input, result)| parent.post_process(read_input, result, &options, &NullSink, 0))
+        .collect();
+    let proxy_run = ParentRun {
+        kernel_results: proxy.per_read.clone(),
+        alignments,
+        dump: run.dump.clone(),
+        rescued: vec![None; run.dump.reads.len()],
+        wall: proxy.wall,
+    };
+    run_to_gaf(input.gbz.graph(), &proxy_run, name)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/oracle_{name}.gaf"))
+}
+
+#[test]
+fn proxy_reproduces_parent_gaf_byte_for_byte() {
+    for (name, input) in workloads() {
+        let (parent, run, expected) = parent_gaf(&input, &name);
+        let got = proxy_gaf(&parent, &run, &input, &name);
+        assert!(!expected.is_empty(), "{name}: parent emitted no alignments");
+        assert_eq!(
+            got, expected,
+            "{name}: proxy GAF diverged from the parent pipeline"
+        );
+    }
+}
+
+#[test]
+fn parent_gaf_matches_golden_snapshot() {
+    let bless = std::env::var_os("MG_BLESS").is_some();
+    for (name, input) in workloads() {
+        let (_, _, gaf) = parent_gaf(&input, &name);
+        let path = golden_path(&name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &gaf).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden snapshot {} ({e}); run MG_BLESS=1 cargo test --test oracle",
+                path.display()
+            )
+        });
+        assert_eq!(
+            gaf, golden,
+            "{name}: GAF drifted from the committed snapshot; if intentional, \
+             re-bless with MG_BLESS=1 cargo test --test oracle and review the diff"
+        );
+    }
+}
+
+#[test]
+fn oracle_holds_across_schedulers_and_threads() {
+    // The dump replay must be bit-stable under every scheduler the proxy
+    // sweeps — otherwise the oracle would only pin one configuration.
+    let (name, input) = workloads().swap_remove(0);
+    let (parent, run, expected) = parent_gaf(&input, &name);
+    for kind in minigiraffe::sched::SchedulerKind::ALL {
+        let mut options = ParentOptions::default();
+        options.mapping.scheduler = kind;
+        options.mapping.threads = 4;
+        options.mapping.batch_size = 3;
+        let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
+        let alignments: Vec<_> = run
+            .dump
+            .reads
+            .iter()
+            .zip(&proxy.per_read)
+            .map(|(ri, r)| parent.post_process(ri, r, &options, &NullSink, 0))
+            .collect();
+        let proxy_run = ParentRun {
+            kernel_results: proxy.per_read.clone(),
+            alignments,
+            dump: run.dump.clone(),
+            rescued: vec![None; run.dump.reads.len()],
+            wall: proxy.wall,
+        };
+        let got = run_to_gaf(input.gbz.graph(), &proxy_run, &name);
+        assert_eq!(got, expected, "{name}: {kind} with 4 threads diverged");
+    }
+}
