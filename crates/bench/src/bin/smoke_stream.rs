@@ -1,0 +1,245 @@
+//! Streaming-ingestion smoke bench: peak RSS and throughput of the
+//! streaming FASTQ → GAF pipeline against the batch path on the same
+//! on-disk input.
+//!
+//! Writes a FASTQ file of `MG_STREAM_REPEATS` copies of a synthetic read
+//! set (large relative to the streaming pipeline's in-flight window), then
+//! maps it twice end to end:
+//!
+//! * **stream** — `FastqReader::batches` across the bounded hand-off queue
+//!   into `Parent::run_streaming`, GAF appended incrementally to a file;
+//!   in-flight memory is `(queue + 1) ingestion batches + one mapping
+//!   chunk`, independent of the input size;
+//! * **batch** — `read_fastq` materializing every record, `Parent::run`
+//!   holding the whole dump, `run_to_gaf` rendering one string.
+//!
+//! The streaming run goes first, so the process high-water mark it reports
+//! excludes the batch path's full-input footprint. Prints both rates and
+//! RSS deltas, asserts the two GAF files are byte-identical, and writes
+//! `STREAM_BENCH.json` under `MG_OUT` for the verify gate.
+
+use std::io::{BufReader, BufWriter, Read as _, Write as _};
+use std::time::Instant;
+
+use mg_bench::Ctx;
+use mg_core::StreamOptions;
+use mg_parent::{run_to_gaf, Parent, ParentOptions};
+use mg_support::mem::peak_rss_bytes;
+use mg_workload::{read_fastq, write_fastq, FastqReader, FastqRecord, InputSetSpec};
+
+/// Ingestion batch: records per queue slot.
+const INGEST_BATCH: usize = 512;
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let repeats: usize = std::env::var("MG_STREAM_REPEATS")
+        .ok()
+        .map(|v| v.parse().expect("MG_STREAM_REPEATS must be an integer"))
+        .unwrap_or(32)
+        .max(1);
+
+    let input = ctx.generate(&InputSetSpec::b_yeast());
+    let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+    let mut options = ParentOptions::default();
+    options.mapping.threads = 4;
+    options.mapping.batch_size = 128;
+    let stream = StreamOptions::default(); // queue of 4 batches, derived chunk
+
+    std::fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+    let fastq_path = ctx.out_dir.join("smoke_stream.fastq");
+    let stream_gaf_path = ctx.out_dir.join("smoke_stream.stream.gaf");
+    let batch_gaf_path = ctx.out_dir.join("smoke_stream.batch.gaf");
+
+    // One copy of the records in RAM, `repeats` copies on disk: the file is
+    // the large input, the process never holds it whole until the batch run.
+    let records: Vec<FastqRecord> = input
+        .sim_reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| FastqRecord {
+            name: format!("r{i}"),
+            quality: vec![b'I'; r.bases.len()],
+            bases: r.bases.clone(),
+        })
+        .collect();
+    {
+        let file = std::fs::File::create(&fastq_path).expect("create fastq");
+        let mut out = BufWriter::new(file);
+        for _ in 0..repeats {
+            write_fastq(&mut out, &records).expect("write fastq");
+        }
+        out.flush().expect("flush fastq");
+    }
+    let total_reads = records.len() * repeats;
+    let input_bytes = std::fs::metadata(&fastq_path).expect("stat fastq").len();
+    drop(records);
+
+    let in_flight_reads =
+        (stream.queue_batches + 1) * INGEST_BATCH + stream.chunk_target(&options.mapping);
+    println!(
+        "input           : {} x{repeats} = {total_reads} reads ({:.1} MiB on disk)",
+        InputSetSpec::b_yeast().name,
+        input_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "stream window   : {} queue slots x {INGEST_BATCH} reads + {} chunk = {in_flight_reads} reads in flight",
+        stream.queue_batches,
+        stream.chunk_target(&options.mapping)
+    );
+
+    let baseline_rss = peak_rss_bytes();
+
+    // Streaming pass: file -> batches -> bounded queue -> chunked mapping
+    // -> incremental GAF.
+    let t0 = Instant::now();
+    let summary = {
+        let file = std::fs::File::open(&fastq_path).expect("open fastq");
+        let batches = FastqReader::new(BufReader::new(file))
+            .batches(INGEST_BATCH)
+            .map(|item| item.map(|recs| recs.into_iter().map(|r| r.bases).collect()));
+        let gaf = std::fs::File::create(&stream_gaf_path).expect("create stream gaf");
+        let mut gaf = BufWriter::new(gaf);
+        let summary = parent
+            .run_streaming(batches, &options, &stream, "read", &mut gaf)
+            .expect("streaming run failed");
+        gaf.flush().expect("flush stream gaf");
+        summary
+    };
+    let stream_secs = t0.elapsed().as_secs_f64();
+    let stream_rss = peak_rss_bytes();
+    assert_eq!(summary.reads as usize, total_reads, "streaming run lost reads");
+
+    // Batch pass: materialize everything, map once, render once.
+    let t0 = Instant::now();
+    {
+        let file = std::fs::File::open(&fastq_path).expect("open fastq");
+        let records = read_fastq(BufReader::new(file)).expect("batch parse failed");
+        let reads: Vec<Vec<u8>> = records.into_iter().map(|r| r.bases).collect();
+        assert_eq!(reads.len(), total_reads);
+        let run = parent.run(&reads, &options);
+        let gaf = run_to_gaf(input.gbz.graph(), &run, "read");
+        std::fs::write(&batch_gaf_path, gaf).expect("write batch gaf");
+    }
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let batch_rss = peak_rss_bytes();
+
+    assert!(
+        files_identical(&stream_gaf_path, &batch_gaf_path),
+        "streaming GAF diverged from the batch GAF"
+    );
+
+    let stream_rps = total_reads as f64 / stream_secs;
+    let batch_rps = total_reads as f64 / batch_secs;
+    println!("stream          : {stream_rps:>12.0} reads/s ({stream_secs:.2}s, {} chunks)", summary.chunks);
+    println!("batch           : {batch_rps:>12.0} reads/s ({batch_secs:.2}s)");
+    println!(
+        "throughput      : stream/batch = {:.3} (gate target >= 0.95)",
+        stream_rps / batch_rps
+    );
+    println!(
+        "queue           : high water {} / {} batches, producer blocked {:.1} ms",
+        summary.queue_high_water,
+        stream.queue_batches,
+        summary.producer_blocked_ns as f64 / 1e6
+    );
+
+    let (stream_delta, batch_delta) = match (baseline_rss, stream_rss, batch_rss) {
+        (Some(base), Some(s), Some(b)) => {
+            // VmHWM is monotone, so each delta is what the phase added on
+            // top of everything before it; the stream pass runs first so
+            // the batch footprint can't mask it.
+            let sd = s.saturating_sub(base);
+            let bd = b.saturating_sub(s);
+            println!(
+                "peak RSS        : baseline {:.1} MiB, +{:.1} MiB streaming, +{:.1} MiB batch",
+                base as f64 / (1 << 20) as f64,
+                sd as f64 / (1 << 20) as f64,
+                bd as f64 / (1 << 20) as f64
+            );
+            (Some(sd), Some(bd))
+        }
+        _ => {
+            println!("peak RSS        : unavailable on this platform");
+            (None, None)
+        }
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"input\": \"{}\",\n",
+            "  \"repeats\": {},\n",
+            "  \"reads\": {},\n",
+            "  \"input_bytes\": {},\n",
+            "  \"in_flight_reads\": {},\n",
+            "  \"queue_batches\": {},\n",
+            "  \"ingest_batch\": {},\n",
+            "  \"chunk_reads\": {},\n",
+            "  \"stream_reads_per_sec\": {:.2},\n",
+            "  \"batch_reads_per_sec\": {:.2},\n",
+            "  \"throughput_ratio\": {:.4},\n",
+            "  \"queue_high_water\": {},\n",
+            "  \"producer_blocked_ns\": {},\n",
+            "  \"baseline_peak_rss\": {},\n",
+            "  \"stream_peak_rss_delta\": {},\n",
+            "  \"batch_peak_rss_delta\": {}\n",
+            "}}\n"
+        ),
+        InputSetSpec::b_yeast().name,
+        repeats,
+        total_reads,
+        input_bytes,
+        in_flight_reads,
+        stream.queue_batches,
+        INGEST_BATCH,
+        stream.chunk_target(&options.mapping),
+        stream_rps,
+        batch_rps,
+        stream_rps / batch_rps,
+        summary.queue_high_water,
+        summary.producer_blocked_ns,
+        json_opt(baseline_rss),
+        json_opt(stream_delta),
+        json_opt(batch_delta),
+    );
+    let path = ctx.out_dir.join("STREAM_BENCH.json");
+    std::fs::write(&path, json).expect("write STREAM_BENCH.json");
+    println!("wrote {}", path.display());
+
+    // Leave only the report behind; the working files can be tens of MiB.
+    for p in [&fastq_path, &stream_gaf_path, &batch_gaf_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// Byte-compares two files in fixed-size chunks (never loads either whole).
+fn files_identical(a: &std::path::Path, b: &std::path::Path) -> bool {
+    let (fa, fb) = (std::fs::File::open(a), std::fs::File::open(b));
+    let (Ok(fa), Ok(fb)) = (fa, fb) else { return false };
+    if fa.metadata().map(|m| m.len()).ok() != fb.metadata().map(|m| m.len()).ok() {
+        return false;
+    }
+    let (mut ra, mut rb) = (BufReader::new(fa), BufReader::new(fb));
+    let (mut ba, mut bb) = ([0u8; 64 << 10], [0u8; 64 << 10]);
+    loop {
+        let na = ra.read(&mut ba).expect("read gaf");
+        let mut got = 0;
+        while got < na {
+            let nb = rb.read(&mut bb[got..na]).expect("read gaf");
+            if nb == 0 {
+                return false;
+            }
+            got += nb;
+        }
+        if ba[..na] != bb[..na] {
+            return false;
+        }
+        if na == 0 {
+            return true;
+        }
+    }
+}

@@ -209,7 +209,7 @@ pub fn fig7(ctx: &Ctx, study: &TuningStudy) -> String {
     let mut per_input_speedups: std::collections::BTreeMap<String, Vec<f64>> =
         std::collections::BTreeMap::new();
     for (input, machine, sweep) in &study.sweeps {
-        if sweep.records.is_empty() {
+        let Some(best) = sweep.best() else {
             rows.push(vec![
                 input.clone(),
                 machine.to_string(),
@@ -218,8 +218,7 @@ pub fn fig7(ctx: &Ctx, study: &TuningStudy) -> String {
                 "-".into(),
             ]);
             continue;
-        }
-        let best = sweep.best();
+        };
         let default = sweep
             .find(TuningPoint::default_config())
             .expect("default in space");
@@ -322,12 +321,16 @@ pub fn fig8(ctx: &Ctx, study: &TuningStudy) -> String {
         ));
     }
     ctx.write_csv("fig8_heatmap.csv", "scheduler,batch,capacity,makespan_s", &csv);
-    let spread = sweep.worst().makespan_s / sweep.best().makespan_s;
+    let (Some(best), Some(worst)) = (sweep.best(), sweep.worst()) else {
+        report.push_str("sweep produced no measurable configurations\n");
+        return report;
+    };
+    let spread = worst.makespan_s / best.makespan_s;
     let default = sweep.find(TuningPoint::default_config());
     report.push_str(&format!(
         "best {:.4}s, worst {:.4}s (avoidable slowdown {spread:.2}x; paper: 1.76x); default config: {}\n",
-        sweep.best().makespan_s,
-        sweep.worst().makespan_s,
+        best.makespan_s,
+        worst.makespan_s,
         default.map_or("missing".into(), |d| format!("{:.4}s", d.makespan_s)),
     ));
     report

@@ -61,6 +61,8 @@ pub use extend::{
     extend_seed, extend_seed_with_scratch, process_until_threshold,
     process_until_threshold_with_scratch, ExtendParams, ExtendScratch, ProcessParams,
 };
-pub use pipeline::{run_mapping, MapScratch, Mapper, MappingOptions, MappingResults};
+pub use pipeline::{
+    run_mapping, MapScratch, Mapper, MappingOptions, MappingResults, StreamOptions, StreamSummary,
+};
 pub use types::{Extension, ExtensionKey, ReadInput, ReadResult, Seed, Workflow};
 pub use validate::{validate, ValidationReport};

@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 
 use mg_gbwt::{CacheState, CacheStats, CachedGbwt, Gbz};
 use mg_index::DistanceIndex;
-use mg_obs::{Ctr, Hist, Metrics, ObsShard, Stage};
-use mg_sched::{PoolCell, PoolTask, SchedulerKind, WorkerPool};
+use mg_obs::{Ctr, Gauge, Hist, Metrics, ObsShard, Stage};
+use mg_sched::{bounded_queue, PoolCell, PoolTask, SchedulerKind, WorkerPool};
 use mg_support::probe::{MemProbe, NoProbe};
 use mg_support::regions::{NullSink, RegionSink, RegionTimer};
 
@@ -66,6 +66,61 @@ impl Default for MappingOptions {
             process: ProcessParams::default(),
         }
     }
+}
+
+/// Knobs of the streaming-ingestion path, on top of [`MappingOptions`].
+///
+/// The streaming pipeline's in-flight memory is bounded by
+/// `(queue_batches + 1) × ingestion batch + one mapping chunk`: the queue
+/// holds at most `queue_batches` batches, the blocked producer holds one
+/// more, and the consumer accumulates up to a chunk before mapping it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Capacity of the reader→mapper hand-off queue, in batches. The
+    /// producer blocks (backpressure) when the mapper falls behind by this
+    /// many batches.
+    pub queue_batches: usize,
+    /// Reads the consumer accumulates into one parallel mapping chunk.
+    /// `0` derives `threads × batch_size` from the [`MappingOptions`], so
+    /// every worker gets at least one full batch per chunk.
+    pub chunk_reads: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions { queue_batches: 4, chunk_reads: 0 }
+    }
+}
+
+impl StreamOptions {
+    /// The chunk size a run with `options` will use.
+    pub fn chunk_target(&self, options: &MappingOptions) -> usize {
+        if self.chunk_reads == 0 {
+            (options.threads.max(1) * options.batch_size.max(1)).max(1)
+        } else {
+            self.chunk_reads
+        }
+    }
+}
+
+/// What a streaming run reports. Per-read results left through the `emit`
+/// callback as they were produced; this carries the aggregate view.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Reads mapped.
+    pub reads: u64,
+    /// Ingestion batches consumed from the queue.
+    pub batches: u64,
+    /// Parallel mapping chunks dispatched.
+    pub chunks: u64,
+    /// Wall-clock time of the whole streaming run (ingestion + mapping).
+    pub wall: Duration,
+    /// Cache statistics aggregated across worker threads and chunks.
+    pub cache: CacheStats,
+    /// Deepest hand-off queue occupancy observed, in batches.
+    pub queue_high_water: usize,
+    /// Nanoseconds the producer spent blocked on a full queue.
+    pub producer_blocked_ns: u64,
 }
 
 /// Results of a mapping run.
@@ -287,14 +342,33 @@ impl<'a> Mapper<'a> {
         sink: &(impl RegionSink + ?Sized),
         metrics: &Metrics,
     ) -> MappingResults {
-        let n = dump.reads.len();
+        let mut pool = self.pool.lock().unwrap();
+        let start = Instant::now();
+        let (per_read, cache) = self.map_chunk(&mut pool, &dump.reads, 0, options, sink, metrics);
+        let wall = start.elapsed();
+        MappingResults { per_read, wall, cache }
+    }
+
+    /// Maps `reads` in parallel on the (already locked) worker pool, with
+    /// global read ids `base_id..base_id + reads.len()`. This is the one
+    /// scheduler dispatch both the batch path (whole dump, base 0) and the
+    /// streaming path (one chunk at a time) go through, so per-read results
+    /// cannot diverge between them.
+    fn map_chunk(
+        &self,
+        pool: &mut WorkerPool,
+        reads: &[ReadInput],
+        base_id: u64,
+        options: &MappingOptions,
+        sink: &(impl RegionSink + ?Sized),
+        metrics: &Metrics,
+    ) -> (Vec<ReadResult>, CacheStats) {
+        let n = reads.len();
         let slots: Vec<OnceLock<ReadResult>> = (0..n).map(|_| OnceLock::new()).collect();
         let stats: StatsCollector = std::sync::Mutex::new(Vec::new());
         let scheduler = options.scheduler.build(options.batch_size);
-        let mut pool = self.pool.lock().unwrap();
-        let start = Instant::now();
         scheduler.run_pooled_erased_obs(
-            &mut pool,
+            pool,
             n,
             options.threads.max(1),
             metrics,
@@ -308,7 +382,8 @@ impl<'a> Mapper<'a> {
                 };
                 Box::new(PooledWorker {
                     mapper: self,
-                    dump,
+                    reads,
+                    base_id,
                     options,
                     sink,
                     thread,
@@ -325,8 +400,6 @@ impl<'a> Mapper<'a> {
                 })
             },
         );
-        let wall = start.elapsed();
-        drop(pool);
         let per_read = slots
             .into_iter()
             .enumerate()
@@ -335,19 +408,172 @@ impl<'a> Mapper<'a> {
                     .unwrap_or_else(|| panic!("scheduler never processed read {i}"))
             })
             .collect();
-        let cache = stats.lock().unwrap().clone().into_iter().fold(
-            CacheStats::default(),
-            |mut acc, s| {
-                acc.hits += s.hits;
-                acc.misses += s.misses;
-                acc.evictions += s.evictions;
-                acc.rehashes += s.rehashes;
-                acc.rehashed_slots += s.rehashed_slots;
-                acc
-            },
-        );
-        MappingResults { per_read, wall, cache }
+        let cache = stats
+            .lock()
+            .unwrap()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| merge_cache_stats(acc, *s));
+        (per_read, cache)
     }
+
+    /// Maps reads as they arrive from a fallible batch producer, with
+    /// bounded memory, without instrumentation. See
+    /// [`Mapper::run_streaming_with_sink_metrics`].
+    pub fn run_streaming<I, F>(
+        &self,
+        batches: I,
+        options: &MappingOptions,
+        stream: &StreamOptions,
+        emit: F,
+    ) -> mg_support::Result<StreamSummary>
+    where
+        I: Iterator<Item = mg_support::Result<Vec<ReadInput>>> + Send,
+        F: FnMut(u64, Vec<ReadInput>, Vec<ReadResult>),
+    {
+        self.run_streaming_with_sink_metrics(
+            batches,
+            options,
+            stream,
+            &NullSink,
+            Metrics::off_ref(),
+            emit,
+        )
+    }
+
+    /// The streaming-ingestion pipeline: a producer thread pulls batches
+    /// from `batches` into a bounded hand-off queue (blocking when the
+    /// mapper falls behind — that backpressure is what bounds memory),
+    /// while the calling thread accumulates batches into chunks of
+    /// [`StreamOptions::chunk_target`] reads, maps each chunk on the worker
+    /// pool, and hands the owned inputs and results to `emit(base_id,
+    /// reads, results)` in input order.
+    ///
+    /// Read ids are global (`base_id + index within the chunk`), so the
+    /// emitted results are byte-identical to a batch [`Mapper::run`] over
+    /// the concatenated input.
+    ///
+    /// On a producer error the good prefix is still mapped and emitted,
+    /// then the error is returned — mirroring how
+    /// [`mg_workload::FastqBatches`](../mg_workload/fastq) flushes parsed
+    /// records before reporting the malformed one.
+    pub fn run_streaming_with_sink_metrics<I, F>(
+        &self,
+        batches: I,
+        options: &MappingOptions,
+        stream: &StreamOptions,
+        sink: &(impl RegionSink + ?Sized),
+        metrics: &Metrics,
+        mut emit: F,
+    ) -> mg_support::Result<StreamSummary>
+    where
+        I: Iterator<Item = mg_support::Result<Vec<ReadInput>>> + Send,
+        F: FnMut(u64, Vec<ReadInput>, Vec<ReadResult>),
+    {
+        let chunk_target = stream.chunk_target(options);
+        let (tx, rx) = bounded_queue(stream.queue_batches.max(1));
+        let mut pool = self.pool.lock().unwrap();
+        let start = Instant::now();
+
+        let mut reads = 0u64;
+        let mut batches_consumed = 0u64;
+        let mut chunks = 0u64;
+        let mut cache = CacheStats::default();
+        let mut failure: Option<mg_support::Error> = None;
+        let mut pending: Vec<ReadInput> = Vec::new();
+        let mut next_id = 0u64;
+
+        let queue_stats = std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for item in batches {
+                    let stop = item.is_err();
+                    // An Err from send means the consumer hung up early;
+                    // stop pulling from the reader either way.
+                    if tx.send(item).is_err() || stop {
+                        break;
+                    }
+                }
+                tx.stats()
+            });
+
+            let mut map_pending = |pool: &mut WorkerPool,
+                                   pending: &mut Vec<ReadInput>,
+                                   next_id: &mut u64,
+                                   cache: &mut CacheStats,
+                                   chunks: &mut u64,
+                                   take: usize| {
+                let rest = pending.split_off(take.min(pending.len()));
+                let chunk = std::mem::replace(pending, rest);
+                if chunk.is_empty() {
+                    return;
+                }
+                let base = *next_id;
+                metrics.observe(Hist::StreamChunkReads, chunk.len() as u64);
+                let (results, chunk_cache) =
+                    self.map_chunk(pool, &chunk, base, options, sink, metrics);
+                *cache = merge_cache_stats(*cache, chunk_cache);
+                *next_id += chunk.len() as u64;
+                *chunks += 1;
+                emit(base, chunk, results);
+            };
+
+            while let Some(item) = rx.recv() {
+                match item {
+                    Ok(batch) => {
+                        batches_consumed += 1;
+                        reads += batch.len() as u64;
+                        pending.extend(batch);
+                        while pending.len() >= chunk_target {
+                            map_pending(
+                                &mut pool,
+                                &mut pending,
+                                &mut next_id,
+                                &mut cache,
+                                &mut chunks,
+                                chunk_target,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Flush the tail (or, on error, the good prefix read so far).
+            let take = pending.len();
+            map_pending(&mut pool, &mut pending, &mut next_id, &mut cache, &mut chunks, take);
+            drop(rx);
+            producer.join().expect("streaming producer panicked")
+        });
+        drop(pool);
+
+        metrics.add(Ctr::StreamBatches, batches_consumed);
+        metrics.add(Ctr::StreamReads, reads);
+        metrics.add(Ctr::StreamProducerBlockedNs, queue_stats.blocked_ns);
+        metrics.gauge_max(Gauge::StreamQueueDepthMax, queue_stats.high_water as u64);
+
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(StreamSummary {
+            reads,
+            batches: batches_consumed,
+            chunks,
+            wall: start.elapsed(),
+            cache,
+            queue_high_water: queue_stats.high_water,
+            producer_blocked_ns: queue_stats.blocked_ns,
+        })
+    }
+}
+
+fn merge_cache_stats(mut acc: CacheStats, s: CacheStats) -> CacheStats {
+    acc.hits += s.hits;
+    acc.misses += s.misses;
+    acc.evictions += s.evictions;
+    acc.rehashes += s.rehashes;
+    acc.rehashed_slots += s.rehashed_slots;
+    acc
 }
 
 type StatsCollector = std::sync::Mutex<Vec<CacheStats>>;
@@ -366,7 +592,8 @@ struct ThreadPersist {
 /// back into the thread's pool cell for the next run.
 struct PooledWorker<'e, 'g, S: RegionSink + ?Sized> {
     mapper: &'e Mapper<'g>,
-    dump: &'e crate::dump::SeedDump,
+    reads: &'e [ReadInput],
+    base_id: u64,
     options: &'e MappingOptions,
     sink: &'e S,
     thread: usize,
@@ -382,8 +609,8 @@ impl<S: RegionSink + ?Sized> PoolTask for PooledWorker<'_, '_, S> {
     fn run(&mut self, i: usize) {
         let result = self.mapper.map_read_with_scratch(
             &mut self.cache,
-            i as u64,
-            &self.dump.reads[i],
+            self.base_id + i as u64,
+            &self.reads[i],
             self.options,
             self.sink,
             self.thread,
@@ -666,6 +893,79 @@ mod tests {
         assert!(results.per_read.is_empty());
         assert_eq!(results.total_extensions(), 0);
         assert_eq!(results.mapped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn streaming_matches_batch_across_schedulers() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 33);
+        let base = run_mapping(&dump, &gbz, &MappingOptions::default());
+        let mapper = Mapper::new(&gbz);
+        for kind in SchedulerKind::ALL {
+            let options = MappingOptions {
+                threads: 4,
+                batch_size: 3,
+                scheduler: kind,
+                ..Default::default()
+            };
+            // Ingestion batches (5) deliberately misaligned with mapping
+            // chunks (7) and scheduler batches (3).
+            let stream = StreamOptions { queue_batches: 2, chunk_reads: 7 };
+            let mut collected: Vec<ReadResult> = Vec::new();
+            let batches = dump.reads.chunks(5).map(|c| Ok(c.to_vec()));
+            let summary = mapper
+                .run_streaming(batches, &options, &stream, |base_id, reads, results| {
+                    assert_eq!(base_id as usize, collected.len(), "chunks in input order");
+                    assert_eq!(reads.len(), results.len());
+                    collected.extend(results);
+                })
+                .unwrap();
+            assert_eq!(collected, base.per_read, "scheduler {kind} diverged");
+            assert_eq!(summary.reads, 33);
+            assert_eq!(summary.batches, 7);
+            assert_eq!(summary.chunks, 5);
+            assert!(summary.queue_high_water <= stream.queue_batches);
+        }
+    }
+
+    #[test]
+    fn streaming_error_still_maps_the_good_prefix() {
+        let gbz = sample_gbz();
+        let dump = sample_dump(&gbz, 10);
+        let base = run_mapping(&dump, &gbz, &MappingOptions::default());
+        let mapper = Mapper::new(&gbz);
+        let batches = dump
+            .reads
+            .chunks(5)
+            .map(|c| Ok(c.to_vec()))
+            .chain(std::iter::once(Err(mg_support::Error::Corrupt("bad record".into()))));
+        let mut collected: Vec<ReadResult> = Vec::new();
+        let err = mapper
+            .run_streaming(
+                batches,
+                &MappingOptions::default(),
+                &StreamOptions::default(),
+                |_, _, results| collected.extend(results),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("bad record"), "got: {err}");
+        assert_eq!(collected, base.per_read, "good prefix must still be mapped");
+    }
+
+    #[test]
+    fn streaming_empty_input_is_fine() {
+        let gbz = sample_gbz();
+        let mapper = Mapper::new(&gbz);
+        let summary = mapper
+            .run_streaming(
+                std::iter::empty(),
+                &MappingOptions::default(),
+                &StreamOptions::default(),
+                |_, _, _| panic!("nothing to emit"),
+            )
+            .unwrap();
+        assert_eq!(summary.reads, 0);
+        assert_eq!(summary.chunks, 0);
     }
 
     #[test]

@@ -130,11 +130,19 @@ impl CacheState {
         self.capacity = initial_capacity.max(8).next_power_of_two();
         self.keys.clear();
         self.keys.resize(self.capacity, 0);
+        // Shrinking (a sweep stepping 4096 → 8) must not pin the old table:
+        // drop the surplus slots before recycling what remains, so their
+        // DecodedRecord allocations are freed rather than kept in slots the
+        // smaller table will never reuse.
+        self.values.truncate(self.capacity);
         for v in &mut self.values {
             v.clear();
         }
         self.values.resize(self.capacity, DecodedRecord::empty());
-        self.values.truncate(self.capacity);
+        // And return the surplus backing storage of both vectors to the
+        // allocator; `shrink_to` is a no-op when the table grew.
+        self.keys.shrink_to(self.capacity);
+        self.values.shrink_to(self.capacity);
     }
 }
 
@@ -525,5 +533,35 @@ mod tests {
         stats.hits = 3;
         stats.misses = 1;
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinking_rebind_releases_table_memory() {
+        // Regression: `reset_for` used to keep the old table's backing
+        // storage (and the DecodedRecord allocations recycled in its slots)
+        // when a sweep stepped the capacity down, so a 4096-slot point
+        // pinned its footprint under every smaller point that followed.
+        let g = chain_gbwt(64);
+        let mut cache = CachedGbwt::new(&g, 4096);
+        for sym in 2..g.alphabet_size() {
+            let _ = cache.record(sym);
+        }
+        let big = cache.heap_bytes();
+        assert!(big > 4096 * 8, "warmed 4096-slot table should be sizable");
+
+        let state = cache.into_state();
+        let shrunk = CachedGbwt::with_state(&g, 8, state);
+        assert_eq!(shrunk.capacity(), 8);
+        let small = shrunk.heap_bytes();
+        let fresh = CachedGbwt::new(&g, 8).heap_bytes();
+        assert!(
+            small <= fresh + 4096,
+            "shrunk table must release the old footprint: {small} bytes kept \
+             vs {fresh} fresh (was {big} warm)"
+        );
+
+        // And the shrunk cache still works.
+        let mut shrunk = shrunk;
+        assert_eq!(*shrunk.record(2), *CachedGbwt::new(&g, 8).record(2));
     }
 }

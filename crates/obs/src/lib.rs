@@ -89,11 +89,18 @@ pub enum Ctr {
     PoolIdleNs = 11,
     /// Configurations evaluated by the tuning sweep.
     SweepPoints = 12,
+    /// Batches pushed through the streaming-ingestion hand-off queue.
+    StreamBatches = 13,
+    /// Reads delivered by the streaming-ingestion producer.
+    StreamReads = 14,
+    /// Nanoseconds the streaming producer spent blocked on a full queue
+    /// (backpressure applied by the mapping consumer).
+    StreamProducerBlockedNs = 15,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
     /// All counters, in declaration order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
         Ctr::ReadsMapped,
@@ -109,6 +116,9 @@ impl Ctr {
         Ctr::PoolTasksCompleted,
         Ctr::PoolIdleNs,
         Ctr::SweepPoints,
+        Ctr::StreamBatches,
+        Ctr::StreamReads,
+        Ctr::StreamProducerBlockedNs,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -127,6 +137,9 @@ impl Ctr {
             Ctr::PoolTasksCompleted => "pool_tasks_completed",
             Ctr::PoolIdleNs => "pool_idle_ns",
             Ctr::SweepPoints => "sweep_points",
+            Ctr::StreamBatches => "stream_batches",
+            Ctr::StreamReads => "stream_reads",
+            Ctr::StreamProducerBlockedNs => "stream_producer_blocked_ns",
         }
     }
 }
@@ -143,17 +156,20 @@ pub enum Hist {
     BatchReads = 2,
     /// Tuning-sweep point makespans, in microseconds.
     SweepMakespanUs = 3,
+    /// Reads per mapping chunk assembled by the streaming consumer.
+    StreamChunkReads = 4,
 }
 
 impl Hist {
     /// Number of histograms.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
     /// All histograms, in declaration order.
     pub const ALL: [Hist; Hist::COUNT] = [
         Hist::SeedsPerRead,
         Hist::ExtensionsPerRead,
         Hist::BatchReads,
         Hist::SweepMakespanUs,
+        Hist::StreamChunkReads,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -163,6 +179,7 @@ impl Hist {
             Hist::ExtensionsPerRead => "extensions_per_read",
             Hist::BatchReads => "batch_reads",
             Hist::SweepMakespanUs => "sweep_makespan_us",
+            Hist::StreamChunkReads => "stream_chunk_reads",
         }
     }
 }
@@ -175,19 +192,23 @@ pub enum Gauge {
     QueueDepthMax = 0,
     /// Largest worker count a run used.
     ThreadsMax = 1,
+    /// Deepest streaming-ingestion queue occupancy observed (in batches).
+    StreamQueueDepthMax = 2,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
     /// All gauges, in declaration order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::QueueDepthMax, Gauge::ThreadsMax];
+    pub const ALL: [Gauge; Gauge::COUNT] =
+        [Gauge::QueueDepthMax, Gauge::ThreadsMax, Gauge::StreamQueueDepthMax];
 
     /// Stable lowercase name used by the exporters.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::QueueDepthMax => "queue_depth_max",
             Gauge::ThreadsMax => "threads_max",
+            Gauge::StreamQueueDepthMax => "stream_queue_depth_max",
         }
     }
 }

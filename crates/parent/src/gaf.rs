@@ -73,11 +73,22 @@ pub fn alignment_to_gaf(
     line
 }
 
-/// Renders a whole run (alignments zipped with their kernel extensions) as
-/// GAF text, one line per emitted alignment, unmapped reads skipped.
-pub fn run_to_gaf(graph: &mg_graph::VariationGraph, run: &crate::ParentRun, set_name: &str) -> String {
+/// Renders one mapped chunk as GAF text, one line per emitted alignment,
+/// unmapped reads skipped. `reads`, `kernel_results`, and `alignments` are
+/// parallel slices covering reads `base_id..base_id + reads.len()` of the
+/// run (read names stay global: `{set_name}.{read_id}`), so the streaming
+/// pipeline's per-chunk output concatenates to exactly the batch
+/// [`run_to_gaf`] text.
+pub fn chunk_to_gaf(
+    graph: &mg_graph::VariationGraph,
+    set_name: &str,
+    base_id: u64,
+    reads: &[mg_core::types::ReadInput],
+    kernel_results: &[mg_core::types::ReadResult],
+    alignments: &[Vec<Alignment>],
+) -> String {
     let mut out = String::new();
-    for (result, alignments) in run.kernel_results.iter().zip(&run.alignments) {
+    for (result, alignments) in kernel_results.iter().zip(alignments) {
         for alignment in alignments {
             // Find the extension this alignment came from. The gapped tail
             // fallback may have advanced read_end past the extension's, so
@@ -87,7 +98,7 @@ pub fn run_to_gaf(graph: &mg_graph::VariationGraph, run: &crate::ParentRun, set_
             }) else {
                 continue;
             };
-            let read_len = run.dump.reads[result.read_id as usize].bases.len();
+            let read_len = reads[(result.read_id - base_id) as usize].bases.len();
             out.push_str(&alignment_to_gaf(
                 graph,
                 &format!("{set_name}.{}", result.read_id),
@@ -99,6 +110,19 @@ pub fn run_to_gaf(graph: &mg_graph::VariationGraph, run: &crate::ParentRun, set_
         }
     }
     out
+}
+
+/// Renders a whole run (alignments zipped with their kernel extensions) as
+/// GAF text, one line per emitted alignment, unmapped reads skipped.
+pub fn run_to_gaf(graph: &mg_graph::VariationGraph, run: &crate::ParentRun, set_name: &str) -> String {
+    chunk_to_gaf(
+        graph,
+        set_name,
+        0,
+        &run.dump.reads,
+        &run.kernel_results,
+        &run.alignments,
+    )
 }
 
 #[cfg(test)]

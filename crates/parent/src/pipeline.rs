@@ -19,11 +19,11 @@ use std::time::{Duration, Instant};
 
 use mg_core::dump::SeedDump;
 use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
-use mg_core::{MapScratch, Mapper, MappingOptions};
+use mg_core::{MapScratch, Mapper, MappingOptions, StreamOptions};
 use mg_gbwt::{CachedGbwt, Gbz};
 use mg_index::MinimizerIndex;
-use mg_obs::{Ctr, Metrics, ObsShard, Stage};
-use mg_sched::{AnyScheduler, SchedulerKind};
+use mg_obs::{Ctr, Gauge, Hist, Metrics, ObsShard, Stage};
+use mg_sched::{bounded_queue, AnyScheduler, SchedulerKind};
 use mg_support::probe::{MemProbe, NoProbe};
 use mg_support::regions::{NullSink, RegionSink, RegionTimer};
 
@@ -289,12 +289,38 @@ impl<'a> Parent<'a> {
         sink: &(impl RegionSink + ?Sized),
         metrics: &Metrics,
     ) -> ParentRun {
+        let start = Instant::now();
+        let chunk = self.run_chunk(reads, 0, options, sink, metrics);
+        let wall = start.elapsed();
+        ParentRun {
+            kernel_results: chunk.kernel_results,
+            alignments: chunk.alignments,
+            dump: SeedDump::new(self.workflow, chunk.dump_reads),
+            rescued: chunk.rescued,
+            wall,
+        }
+    }
+
+    /// Maps `reads` (global ids `base_id..`) through the full per-read
+    /// workflow plus the pair-local post-processing (rescue + pair check).
+    /// Both the batch path (whole input, base 0) and the streaming path
+    /// (one chunk at a time, on even pair boundaries) go through here, so
+    /// results cannot diverge between them: pairs are read-id-local
+    /// (`2i`/`2i+1`) and per-read work is deterministic, independent of any
+    /// cache state carried between chunks.
+    fn run_chunk(
+        &self,
+        reads: &[Vec<u8>],
+        base_id: u64,
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        metrics: &Metrics,
+    ) -> ChunkRun {
         let n = reads.len();
         let slots: Vec<OnceLock<(ReadInput, ReadResult, Vec<Alignment>)>> =
             (0..n).map(|_| OnceLock::new()).collect();
         let scheduler: Box<dyn AnyScheduler> =
             options.mapping.scheduler.build(options.mapping.batch_size);
-        let start = Instant::now();
         scheduler.run_erased_obs(n, options.mapping.threads.max(1), metrics, &|thread| {
             let mut cache = CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity);
             let mut obs = metrics.guard();
@@ -302,7 +328,7 @@ impl<'a> Parent<'a> {
             Box::new(move |i| {
                 let out = self.map_read_full_obs(
                     &mut cache,
-                    i as u64,
+                    base_id + i as u64,
                     &reads[i],
                     options,
                     sink,
@@ -346,7 +372,7 @@ impl<'a> Parent<'a> {
                     &self.mapper,
                     self.minimizer,
                     &mut cache,
-                    unmapped as u64,
+                    base_id + unmapped as u64,
                     &dump_reads[unmapped],
                     anchor,
                     &options.mapping,
@@ -376,15 +402,204 @@ impl<'a> Parent<'a> {
                 }
             }
         }
-        let wall = start.elapsed();
-        ParentRun {
-            kernel_results,
-            alignments,
-            dump: SeedDump::new(self.workflow, dump_reads),
-            rescued,
-            wall,
-        }
+        ChunkRun { dump_reads, kernel_results, alignments, rescued }
     }
+
+    /// Runs the full pipeline over raw-read batches as they arrive,
+    /// rendering GAF incrementally, without instrumentation. See
+    /// [`Parent::run_streaming_with_sink_metrics`].
+    pub fn run_streaming<I, W>(
+        &self,
+        batches: I,
+        options: &ParentOptions,
+        stream: &StreamOptions,
+        set_name: &str,
+        gaf_out: &mut W,
+    ) -> mg_support::Result<ParentStreamSummary>
+    where
+        I: Iterator<Item = mg_support::Result<Vec<Vec<u8>>>> + Send,
+        W: std::io::Write,
+    {
+        self.run_streaming_with_sink_metrics(
+            batches,
+            options,
+            stream,
+            set_name,
+            gaf_out,
+            &NullSink,
+            Metrics::off_ref(),
+        )
+    }
+
+    /// Streaming ingestion for the parent pipeline: a producer thread pulls
+    /// raw-read batches (e.g. [`mg_workload::FastqBatches`](../mg_workload/fastq))
+    /// into a bounded queue — blocking on a full queue, which is what
+    /// bounds ingestion memory — while the calling thread maps chunks of
+    /// [`StreamOptions::chunk_target`] reads and appends each chunk's GAF
+    /// lines to `gaf_out`.
+    ///
+    /// For paired workflows chunks split on even read indexes, so every
+    /// mate pair (`2i`, `2i+1`) is rescued and pair-checked inside one
+    /// chunk and the emitted GAF is byte-identical to the batch
+    /// [`crate::run_to_gaf`] over the concatenated input.
+    ///
+    /// On a producer error the good prefix is still mapped and emitted,
+    /// then the error is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streaming_with_sink_metrics<I, W>(
+        &self,
+        batches: I,
+        options: &ParentOptions,
+        stream: &StreamOptions,
+        set_name: &str,
+        gaf_out: &mut W,
+        sink: &(impl RegionSink + ?Sized),
+        metrics: &Metrics,
+    ) -> mg_support::Result<ParentStreamSummary>
+    where
+        I: Iterator<Item = mg_support::Result<Vec<Vec<u8>>>> + Send,
+        W: std::io::Write,
+    {
+        let mut chunk_target = stream.chunk_target(&options.mapping).max(1);
+        if self.workflow == Workflow::Paired {
+            // Chunks must break on pair boundaries so rescue and pair_check
+            // see whole pairs.
+            chunk_target = (chunk_target & !1usize).max(2);
+        }
+        let (tx, rx) = bounded_queue(stream.queue_batches.max(1));
+        let start = Instant::now();
+
+        let mut reads = 0u64;
+        let mut batches_consumed = 0u64;
+        let mut chunks = 0u64;
+        let mut failure: Option<mg_support::Error> = None;
+        let mut write_failure: Option<std::io::Error> = None;
+        let mut pending: Vec<Vec<u8>> = Vec::new();
+        let mut next_id = 0u64;
+
+        let queue_stats = std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for item in batches {
+                    let stop = item.is_err();
+                    if tx.send(item).is_err() || stop {
+                        break;
+                    }
+                }
+                tx.stats()
+            });
+
+            let mut map_pending = |pending: &mut Vec<Vec<u8>>,
+                                   next_id: &mut u64,
+                                   chunks: &mut u64,
+                                   write_failure: &mut Option<std::io::Error>,
+                                   take: usize| {
+                let rest = pending.split_off(take.min(pending.len()));
+                let chunk = std::mem::replace(pending, rest);
+                if chunk.is_empty() {
+                    return;
+                }
+                let base = *next_id;
+                metrics.observe(Hist::StreamChunkReads, chunk.len() as u64);
+                let out = self.run_chunk(&chunk, base, options, sink, metrics);
+                *next_id += chunk.len() as u64;
+                *chunks += 1;
+                let gaf = crate::gaf::chunk_to_gaf(
+                    self.mapper.gbz().graph(),
+                    set_name,
+                    base,
+                    &out.dump_reads,
+                    &out.kernel_results,
+                    &out.alignments,
+                );
+                if write_failure.is_none() {
+                    if let Err(e) = gaf_out.write_all(gaf.as_bytes()) {
+                        *write_failure = Some(e);
+                    }
+                }
+            };
+
+            while let Some(item) = rx.recv() {
+                if write_failure.is_some() {
+                    // The output is gone; stop pulling so the producer
+                    // unblocks and the error surfaces.
+                    break;
+                }
+                match item {
+                    Ok(batch) => {
+                        batches_consumed += 1;
+                        reads += batch.len() as u64;
+                        pending.extend(batch);
+                        while pending.len() >= chunk_target {
+                            map_pending(
+                                &mut pending,
+                                &mut next_id,
+                                &mut chunks,
+                                &mut write_failure,
+                                chunk_target,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Flush the tail (or, on error, the good prefix read so far) —
+            // including a trailing unpaired read, which the batch path also
+            // leaves unpaired.
+            let take = pending.len();
+            map_pending(&mut pending, &mut next_id, &mut chunks, &mut write_failure, take);
+            drop(rx);
+            producer.join().expect("streaming producer panicked")
+        });
+
+        metrics.add(Ctr::StreamBatches, batches_consumed);
+        metrics.add(Ctr::StreamReads, reads);
+        metrics.add(Ctr::StreamProducerBlockedNs, queue_stats.blocked_ns);
+        metrics.gauge_max(Gauge::StreamQueueDepthMax, queue_stats.high_water as u64);
+
+        if let Some(e) = write_failure {
+            return Err(e.into());
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(ParentStreamSummary {
+            reads,
+            batches: batches_consumed,
+            chunks,
+            wall: start.elapsed(),
+            queue_high_water: queue_stats.high_water,
+            producer_blocked_ns: queue_stats.blocked_ns,
+        })
+    }
+}
+
+/// One mapped chunk of a parent run, before assembly into a [`ParentRun`].
+struct ChunkRun {
+    dump_reads: Vec<ReadInput>,
+    kernel_results: Vec<ReadResult>,
+    alignments: Vec<Vec<Alignment>>,
+    rescued: Vec<Option<ReadResult>>,
+}
+
+/// What a streaming parent run reports; the per-read outputs left through
+/// `gaf_out` as they were produced.
+#[derive(Debug, Clone)]
+pub struct ParentStreamSummary {
+    /// Reads mapped.
+    pub reads: u64,
+    /// Ingestion batches consumed from the queue.
+    pub batches: u64,
+    /// Parallel mapping chunks dispatched.
+    pub chunks: u64,
+    /// Wall-clock time of the whole streaming run.
+    pub wall: Duration,
+    /// Deepest hand-off queue occupancy observed, in batches.
+    pub queue_high_water: usize,
+    /// Nanoseconds the producer spent blocked on a full queue.
+    pub producer_blocked_ns: u64,
 }
 
 #[cfg(test)]

@@ -26,8 +26,10 @@
 //! ```
 
 mod pool;
+mod queue;
 
 pub use pool::{PoolCell, PoolTask, WorkerPool};
+pub use queue::{bounded_queue, QueueStats, StreamReceiver, StreamSender};
 
 use pool::{Launch, ScopeLaunch};
 

@@ -217,7 +217,7 @@ mod tests {
     fn cache_events_forward_through_mut_ref() {
         let mut t = CacheTally::default();
         {
-            let mut r = &mut t;
+            let r = &mut t;
             r.cache_event(CacheEvent::Miss);
         }
         assert_eq!(t.misses, 1);

@@ -28,33 +28,29 @@ pub struct TuningRecord {
 pub struct SweepResult {
     /// Records in sweep order.
     pub records: Vec<TuningRecord>,
+    /// Points the sweep evaluated but could not measure (e.g. simulated
+    /// configurations whose memory requirement exceeds the machine). An
+    /// empty `records` with a nonzero `infeasible` means every point was
+    /// skipped, which is a legitimate outcome callers must handle.
+    pub infeasible: usize,
 }
 
 impl SweepResult {
-    /// The fastest configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty sweep.
-    pub fn best(&self) -> TuningRecord {
-        *self
-            .records
+    /// The fastest configuration, or `None` for an empty sweep (every
+    /// point infeasible, or nothing swept).
+    pub fn best(&self) -> Option<TuningRecord> {
+        self.records
             .iter()
             .min_by(|a, b| a.makespan_s.total_cmp(&b.makespan_s))
-            .expect("sweep produced no records")
+            .copied()
     }
 
-    /// The slowest configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty sweep.
-    pub fn worst(&self) -> TuningRecord {
-        *self
-            .records
+    /// The slowest configuration, or `None` for an empty sweep.
+    pub fn worst(&self) -> Option<TuningRecord> {
+        self.records
             .iter()
             .max_by(|a, b| a.makespan_s.total_cmp(&b.makespan_s))
-            .expect("sweep produced no records")
+            .copied()
     }
 
     /// The record of a specific configuration, if the sweep covered it.
@@ -65,7 +61,7 @@ impl SweepResult {
     /// Speedup of the best configuration over `baseline` (> 1 is faster).
     pub fn speedup_over(&self, baseline: TuningPoint) -> Option<f64> {
         let base = self.find(baseline)?;
-        Some(base.makespan_s / self.best().makespan_s)
+        Some(base.makespan_s / self.best()?.makespan_s)
     }
 
     /// One-way ANOVA of makespan grouped by each parameter, in the order
@@ -138,18 +134,46 @@ pub fn run_host_sweep_metrics(
         metrics.observe(Hist::SweepMakespanUs, (best * 1e6) as u64);
         records.push(TuningRecord { point, makespan_s: best });
     }
-    SweepResult { records }
+    SweepResult { records, infeasible: 0 }
 }
 
 /// Provides per-capacity task features for the simulated sweep (capacity
 /// changes kernel work, so features must be re-collected per capacity).
+///
+/// The memo is keyed by the *identity of the input* — the dump's contents
+/// and the non-swept base options — as well as the capacity, so one cache
+/// reused across different dumps or option sets re-collects instead of
+/// silently returning stale features.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureCache {
+    /// Fingerprint of the (dump, base options) the memo was filled from;
+    /// `None` until first use.
+    input_fingerprint: Option<u64>,
     by_capacity: std::collections::BTreeMap<usize, SimWorkload>,
+}
+
+/// Content fingerprint of a sweep input: the dump (workflow, reads, seeds)
+/// plus every base option that feeds feature collection.
+fn input_fingerprint(dump: &SeedDump, base_options: &MappingOptions) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (dump.workflow as u8).hash(&mut h);
+    dump.reads.len().hash(&mut h);
+    for read in &dump.reads {
+        read.bases.hash(&mut h);
+        read.seeds.hash(&mut h);
+    }
+    // MappingOptions carries float-bearing kernel parameter structs, so it
+    // is not `Hash`; its Debug rendering is a stable, complete surrogate.
+    format!("{base_options:?}").hash(&mut h);
+    h.finish()
 }
 
 impl FeatureCache {
     /// Collects (and memoizes) the features for `capacity`.
+    ///
+    /// Passing a different dump or different base options than the memo was
+    /// built from invalidates the whole memo (all capacities) first.
     pub fn features<'a>(
         &'a mut self,
         mapper: &Mapper<'_>,
@@ -159,6 +183,11 @@ impl FeatureCache {
         required_memory_gb: f64,
         name: &str,
     ) -> &'a SimWorkload {
+        let fp = input_fingerprint(dump, base_options);
+        if self.input_fingerprint != Some(fp) {
+            self.by_capacity.clear();
+            self.input_fingerprint = Some(fp);
+        }
         self.by_capacity.entry(capacity).or_insert_with(|| {
             let options = MappingOptions {
                 cache_capacity: capacity,
@@ -217,6 +246,7 @@ pub fn run_sim_sweep_cached(
     cache: &mut FeatureCache,
 ) -> SweepResult {
     let mut records = Vec::with_capacity(space.len());
+    let mut infeasible = 0usize;
     for point in space.points() {
         let workload = cache
             .features(
@@ -234,11 +264,19 @@ pub fn run_sim_sweep_cached(
             threads,
             SimSched::from_kind(point.scheduler, point.batch_size),
         );
-        if let Some(makespan) = outcome.makespan_s {
-            records.push(TuningRecord { point, makespan_s: makespan });
+        match outcome.makespan_s {
+            Some(makespan) => records.push(TuningRecord { point, makespan_s: makespan }),
+            None => infeasible += 1,
         }
     }
-    SweepResult { records }
+    if infeasible > 0 {
+        eprintln!(
+            "sim sweep {name:?} on {}: {infeasible}/{} points infeasible (skipped)",
+            machine.name,
+            space.len()
+        );
+    }
+    SweepResult { records, infeasible }
 }
 
 #[cfg(test)]
@@ -262,14 +300,19 @@ mod tests {
                 record(SchedulerKind::WorkStealing, 512, 256, 9.8),
                 record(SchedulerKind::WorkStealing, 128, 4096, 6.2),
             ],
+            infeasible: 0,
         }
     }
 
     #[test]
     fn best_and_worst() {
         let sweep = sample_sweep();
-        assert_eq!(sweep.best().makespan_s, 6.0);
-        assert_eq!(sweep.worst().makespan_s, 10.0);
+        assert_eq!(sweep.best().unwrap().makespan_s, 6.0);
+        assert_eq!(sweep.worst().unwrap().makespan_s, 10.0);
+        // An empty sweep has no best/worst instead of panicking.
+        let empty = SweepResult::default();
+        assert!(empty.best().is_none());
+        assert!(empty.worst().is_none());
     }
 
     #[test]
@@ -304,7 +347,7 @@ mod tests {
                 }
             }
         }
-        let sweep = SweepResult { records };
+        let sweep = SweepResult { records, infeasible: 0 };
         let (sched, batch, capacity) = sweep.anova_by_parameter();
         let capacity = capacity.unwrap();
         assert!(capacity.is_significant(), "capacity p={}", capacity.p_value);
@@ -338,7 +381,7 @@ mod tests {
         let sweep = run_host_sweep(&gbz, &dump, 2, &space, 1, &MappingOptions::default());
         assert_eq!(sweep.records.len(), space.len());
         assert!(sweep.records.iter().all(|r| r.makespan_s >= 0.0));
-        assert!(sweep.best().makespan_s <= sweep.worst().makespan_s);
+        assert!(sweep.best().unwrap().makespan_s <= sweep.worst().unwrap().makespan_s);
     }
 
     #[test]
@@ -462,5 +505,63 @@ mod tests {
             1,
         );
         assert!(sweep.records.is_empty());
+        // Every point was evaluated and counted as infeasible, and the
+        // Option accessors report the emptiness instead of panicking.
+        assert_eq!(sweep.infeasible, ParamSpace::small().len());
+        assert!(sweep.best().is_none());
+        assert!(sweep.worst().is_none());
+    }
+
+    #[test]
+    fn feature_cache_invalidates_on_input_change() {
+        use mg_core::types::{ReadInput, Seed, Workflow};
+        use mg_graph::pangenome::PangenomeBuilder;
+        use mg_graph::{Handle, NodeId};
+        use mg_index::GraphPos;
+
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGTACGTACGT".to_vec())
+            .haplotypes(vec![vec![]])
+            .max_node_len(6)
+            .build()
+            .unwrap();
+        let gbz = Gbz::from_pangenome(p).unwrap();
+        let mapper = Mapper::new(&gbz);
+        let dump_for = |n: usize| {
+            SeedDump::new(
+                Workflow::Single,
+                (0..n)
+                    .map(|_| ReadInput {
+                        bases: b"ACGTACGTACGT".to_vec(),
+                        seeds: vec![Seed::new(
+                            0,
+                            GraphPos::new(Handle::forward(NodeId::new(1)), 0),
+                        )],
+                    })
+                    .collect(),
+            )
+        };
+        let small = dump_for(5);
+        let large = dump_for(17);
+        let opts = MappingOptions::default();
+
+        let mut cache = FeatureCache::default();
+        let n_small = cache.features(&mapper, &small, &opts, 256, 1.0, "a").tasks.len();
+        // Same input hits the memo and returns the identical workload.
+        let n_again = cache.features(&mapper, &small, &opts, 256, 1.0, "a").tasks.len();
+        assert_eq!(n_small, n_again);
+        // A different dump through the *same* cache must re-collect, not
+        // serve the stale small-dump features.
+        let n_large = cache.features(&mapper, &large, &opts, 256, 1.0, "a").tasks.len();
+        assert_ne!(n_small, n_large);
+        assert_eq!(n_large, large.reads.len());
+        // Changing only the base options also invalidates.
+        let other_opts = MappingOptions { batch_size: opts.batch_size + 1, ..opts.clone() };
+        let fresh = FeatureCache::default()
+            .features(&mapper, &large, &other_opts, 256, 1.0, "a")
+            .tasks
+            .len();
+        let mut cache2 = cache;
+        let swapped = cache2.features(&mapper, &large, &other_opts, 256, 1.0, "a").tasks.len();
+        assert_eq!(swapped, fresh);
     }
 }

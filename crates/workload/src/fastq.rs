@@ -47,69 +47,174 @@ pub fn write_fastq<W: Write>(mut out: W, records: &[FastqRecord]) -> Result<()> 
     Ok(())
 }
 
-/// Parses a FASTQ stream.
+/// Parses the next record off `reader`, or `Ok(None)` at end of stream.
+///
+/// This is the single parsing core behind both [`read_fastq`] and
+/// [`FastqReader`], so the batch and streaming entry points agree on
+/// records, errors, and error positions by construction.
+fn next_record<R: BufRead>(
+    reader: &mut R,
+    lineno: &mut usize,
+    line: &mut String,
+) -> Result<Option<FastqRecord>> {
+    let header_line = loop {
+        line.clear();
+        if reader.read_line(line)? == 0 {
+            return Ok(None);
+        }
+        *lineno += 1;
+        if !line.trim_end().is_empty() {
+            break line.trim_end().to_string();
+        }
+        // Blank lines between records (and trailing ones) are tolerated.
+    };
+    let name = header_line
+        .strip_prefix('@')
+        .ok_or_else(|| {
+            Error::Corrupt(format!("line {lineno}: expected '@', got {header_line:?}"))
+        })?
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_string();
+    line.clear();
+    if reader.read_line(line)? == 0 {
+        return Err(Error::Corrupt(format!("record {name:?}: missing sequence line")));
+    }
+    *lineno += 1;
+    let bases = line.trim_end().as_bytes().to_vec();
+    if bases.is_empty() {
+        // A blank sequence line is a four-line record with zero bases; its
+        // empty quality line passes the length check, so without this the
+        // zero-length read flows all the way into the mapping kernels.
+        return Err(Error::Corrupt(format!("record {name:?}: blank sequence line")));
+    }
+    if let Err(Error::InvalidBase { byte, pos }) = mg_graph::dna::validate_read_bases(&bases) {
+        return Err(Error::Corrupt(format!(
+            "record {name:?}: invalid base {:?} at position {pos}",
+            byte as char
+        )));
+    }
+    line.clear();
+    if reader.read_line(line)? == 0 || !line.starts_with('+') {
+        return Err(Error::Corrupt(format!("record {name:?}: missing '+' separator")));
+    }
+    *lineno += 1;
+    line.clear();
+    if reader.read_line(line)? == 0 {
+        return Err(Error::Corrupt(format!("record {name:?}: missing quality line")));
+    }
+    *lineno += 1;
+    let quality = line.trim_end().as_bytes().to_vec();
+    if quality.len() != bases.len() {
+        return Err(Error::Corrupt(format!(
+            "record {name:?}: {} quality values for {} bases",
+            quality.len(),
+            bases.len()
+        )));
+    }
+    Ok(Some(FastqRecord { name, bases, quality }))
+}
+
+/// Parses a FASTQ stream into a fully materialized vector.
+///
+/// Streaming consumers that must not hold the whole file in memory should
+/// use [`FastqReader`] (record at a time) or [`FastqBatches`] (batch at a
+/// time) instead; all three share the same parser.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Corrupt`] for malformed records: missing `@`/`+`
-/// markers, truncated records, or a quality line whose length differs from
-/// the sequence line. Sequences are validated against the read alphabet
-/// (`ACGT` plus `N`): a bad byte yields [`Error::Corrupt`] naming the
-/// record and position, so malformed input surfaces as an error at intake
-/// instead of a panic inside a mapping worker.
+/// markers, truncated records, a blank sequence line, or a quality line
+/// whose length differs from the sequence line. Sequences are validated
+/// against the read alphabet (`ACGT` plus `N`): a bad byte yields
+/// [`Error::Corrupt`] naming the record and position, so malformed input
+/// surfaces as an error at intake instead of a panic inside a mapping
+/// worker.
 pub fn read_fastq<R: Read>(input: R) -> Result<Vec<FastqRecord>> {
-    let mut reader = BufReader::new(input);
-    let mut records = Vec::new();
-    let mut line = String::new();
-    let mut lineno = 0usize;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(records);
+    FastqReader::new(BufReader::new(input)).collect()
+}
+
+/// A streaming FASTQ parser: an iterator of `Result<FastqRecord>` over any
+/// [`BufRead`], holding one record in memory at a time.
+///
+/// The iterator fuses after the first error (malformed input yields one
+/// `Err`, then `None`), matching [`read_fastq`]'s stop-at-first-error
+/// behavior.
+#[derive(Debug)]
+pub struct FastqReader<R: BufRead> {
+    reader: R,
+    lineno: usize,
+    line: String,
+    failed: bool,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        FastqReader { reader, lineno: 0, line: String::new(), failed: false }
+    }
+
+    /// Groups this reader's records into batches of up to `batch_size`.
+    pub fn batches(self, batch_size: usize) -> FastqBatches<R> {
+        FastqBatches { reader: self, batch_size: batch_size.max(1), pending_err: None }
+    }
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<FastqRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
         }
-        lineno += 1;
-        let header = line.trim_end();
-        if header.is_empty() {
-            continue; // tolerate trailing blank lines
+        match next_record(&mut self.reader, &mut self.lineno, &mut self.line) {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
         }
-        let name = header
-            .strip_prefix('@')
-            .ok_or_else(|| Error::Corrupt(format!("line {lineno}: expected '@', got {header:?}")))?
-            .split_whitespace()
-            .next()
-            .unwrap_or("")
-            .to_string();
-        let mut seq = String::new();
-        if reader.read_line(&mut seq)? == 0 {
-            return Err(Error::Corrupt(format!("record {name:?}: missing sequence line")));
+    }
+}
+
+/// Batched view of a [`FastqReader`]: yields `Ok(Vec<FastqRecord>)` chunks
+/// of up to `batch_size` records — the unit the streaming mapping path
+/// hands across its bounded queue — with constant memory in the input size.
+///
+/// Records parsed before a malformed one are flushed as a final short
+/// `Ok` batch, then the error is yielded, then the iterator fuses.
+#[derive(Debug)]
+pub struct FastqBatches<R: BufRead> {
+    reader: FastqReader<R>,
+    batch_size: usize,
+    pending_err: Option<Error>,
+}
+
+impl<R: BufRead> Iterator for FastqBatches<R> {
+    type Item = Result<Vec<FastqRecord>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.pending_err.take() {
+            return Some(Err(e));
         }
-        lineno += 1;
-        let bases = seq.trim_end().as_bytes().to_vec();
-        if let Err(Error::InvalidBase { byte, pos }) = mg_graph::dna::validate_read_bases(&bases) {
-            return Err(Error::Corrupt(format!(
-                "record {name:?}: invalid base {:?} at position {pos}",
-                byte as char
-            )));
+        let mut batch = Vec::new();
+        while batch.len() < self.batch_size {
+            match self.reader.next() {
+                Some(Ok(record)) => batch.push(record),
+                Some(Err(e)) => {
+                    if batch.is_empty() {
+                        return Some(Err(e));
+                    }
+                    // Flush the good prefix; yield the error next call.
+                    self.pending_err = Some(e);
+                    return Some(Ok(batch));
+                }
+                None => break,
+            }
         }
-        let mut plus = String::new();
-        if reader.read_line(&mut plus)? == 0 || !plus.starts_with('+') {
-            return Err(Error::Corrupt(format!("record {name:?}: missing '+' separator")));
-        }
-        lineno += 1;
-        let mut qual = String::new();
-        if reader.read_line(&mut qual)? == 0 {
-            return Err(Error::Corrupt(format!("record {name:?}: missing quality line")));
-        }
-        lineno += 1;
-        let quality = qual.trim_end().as_bytes().to_vec();
-        if quality.len() != bases.len() {
-            return Err(Error::Corrupt(format!(
-                "record {name:?}: {} quality values for {} bases",
-                quality.len(),
-                bases.len()
-            )));
-        }
-        records.push(FastqRecord { name, bases, quality });
+        if batch.is_empty() { None } else { Some(Ok(batch)) }
     }
 }
 
@@ -222,6 +327,66 @@ mod tests {
     fn trailing_blank_lines_tolerated() {
         let text = b"@r\nAC\n+\nFF\n\n\n";
         assert_eq!(read_fastq(&text[..]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn blank_sequence_line_rejected() {
+        // Regression: a record whose sequence line is blank used to pass
+        // (empty bases + empty quality satisfy the length check), sending a
+        // zero-length read into the mapping kernels.
+        let err = read_fastq(&b"@empty\n\n+\n\n"[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("blank sequence line"), "got: {msg}");
+        assert!(msg.contains("\"empty\""), "error must name the record: {msg}");
+        // Also rejected mid-file, after a good record.
+        let err = read_fastq(&b"@a\nAC\n+\nFF\n@b\n\n+\n\n@c\nGG\n+\nFF\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("\"b\""), "got: {err}");
+        // A blank line *between* records is still tolerated.
+        let ok = read_fastq(&b"@a\nAC\n+\nFF\n\n@b\nGG\n+\nFF\n"[..]).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn streaming_reader_agrees_with_batch_reader() {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(b"\n@last one\nACGT\n+\nFFFF\n");
+        let batch = read_fastq(&buf[..]).unwrap();
+        let streamed: Vec<FastqRecord> = FastqReader::new(&buf[..])
+            .collect::<Result<Vec<FastqRecord>>>()
+            .unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn streaming_reader_fuses_after_error() {
+        let text = b"@a\nAC\n+\nFF\n@b\nAC\n+\nF\n@c\nGG\n+\nFF\n";
+        let mut reader = FastqReader::new(&text[..]);
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("\"b\""), "got: {err}");
+        assert!(reader.next().is_none(), "reader must fuse after an error");
+    }
+
+    #[test]
+    fn batches_chunk_and_flush_before_error() {
+        let mut buf = Vec::new();
+        for i in 0..7 {
+            buf.extend_from_slice(format!("@r{i}\nACGT\n+\nFFFF\n").as_bytes());
+        }
+        let sizes: Vec<usize> = FastqReader::new(&buf[..])
+            .batches(3)
+            .map(|b| b.unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+
+        // A malformed third record: the good prefix arrives as a short Ok
+        // batch, then the error, then the iterator fuses.
+        let text = b"@a\nAC\n+\nFF\n@b\nGG\n+\nFF\n@c\nA!\n+\nFF\n";
+        let mut batches = FastqReader::new(&text[..]).batches(8);
+        assert_eq!(batches.next().unwrap().unwrap().len(), 2);
+        assert!(batches.next().unwrap().is_err());
+        assert!(batches.next().is_none());
     }
 
     #[test]

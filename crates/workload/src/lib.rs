@@ -25,5 +25,5 @@ pub mod inputset;
 pub mod reads;
 
 pub use inputset::{InputSetSpec, SyntheticInput};
-pub use fastq::{read_fastq, write_fastq, FastqRecord};
+pub use fastq::{read_fastq, write_fastq, FastqBatches, FastqReader, FastqRecord};
 pub use reads::{ReadSimParams, SimulatedRead};

@@ -42,7 +42,7 @@ fn main() {
         tile,
     );
 
-    let best = sweep.best();
+    let best = sweep.best().expect("sweep measured at least one configuration");
     let default = sweep
         .find(TuningPoint::default_config())
         .expect("default config in the sweep space");
@@ -51,7 +51,7 @@ fn main() {
     println!(
         "speedup from tuning: {:.2}x (worst config would be {:.2}x slower than best)",
         default.makespan_s / best.makespan_s,
-        sweep.worst().makespan_s / best.makespan_s
+        sweep.worst().expect("non-empty sweep").makespan_s / best.makespan_s
     );
 
     let (sched, batch, capacity) = sweep.anova_by_parameter();

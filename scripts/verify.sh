@@ -14,6 +14,9 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== streaming oracle (golden GAF through the streaming entry point) =="
+cargo test --release -q --test oracle streaming
+
 echo "== lints =="
 cargo clippy --all-targets -- -D warnings
 
@@ -36,6 +39,32 @@ print(f"metrics-off slowdown vs plain: {slowdown:+.2%}")
 if slowdown > 0.10:
     sys.exit(f"FAIL: metrics-off path is {slowdown:.2%} slower than plain")
 print("overhead gate: OK")
+EOF
+
+echo "== streaming smoke (peak RSS + throughput vs batch) =="
+MG_SCALE="${MG_SCALE:-0.2}" MG_OUT="$out" ./target/release/smoke_stream
+
+# Peak-RSS regression gate: the streaming path's footprint must be bounded
+# by its queue-and-chunk window, not the input size. The batch path
+# materializes everything, so its RSS delta is the input-size yardstick;
+# streaming must stay well under it. Throughput target is parity within 5%,
+# gated at 10% for single-core CI noise (the JSON holds the real number —
+# streaming usually *beats* batch because parsing overlaps mapping).
+python3 - "$out/STREAM_BENCH.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+ratio = rep["throughput_ratio"]
+print(f"stream/batch throughput: {ratio:.3f}")
+if ratio < 0.90:
+    sys.exit(f"FAIL: streaming throughput {ratio:.3f}x of batch (< 0.90)")
+sd, bd = rep["stream_peak_rss_delta"], rep["batch_peak_rss_delta"]
+if sd is None or bd is None:
+    print("peak RSS unavailable on this platform; skipping memory gate")
+else:
+    print(f"peak RSS delta: stream +{sd/2**20:.1f} MiB vs batch +{bd/2**20:.1f} MiB")
+    if bd > 0 and sd > 0.5 * bd:
+        sys.exit(f"FAIL: streaming RSS delta {sd} is not bounded vs batch {bd}")
+print("streaming gate: OK")
 EOF
 
 echo "verify: all gates passed"

@@ -82,6 +82,17 @@ pub mod channel {
             Ok(())
         }
 
+        /// Number of messages currently queued (exact at the time of the
+        /// lock; may change immediately after).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the channel is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Sends, blocking while the channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.state.lock().unwrap();
@@ -124,6 +135,17 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Number of messages currently queued (exact at the time of the
+        /// lock; may change immediately after).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the channel is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Receives, blocking until a message arrives or every sender is
         /// dropped.
         pub fn recv(&self) -> Result<T, RecvError> {

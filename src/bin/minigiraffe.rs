@@ -64,9 +64,14 @@ USAGE:
   minigiraffe parent <reads.fastq> <pangenome.mgz>
                      [--threads N] [--batch N] [--capacity N]
                      [--gaf <out.gaf>] [--dump <seeds.bin>]
+                     [--stream <reads-per-batch>]
       Run the full Giraffe-like parent pipeline on raw reads: seeding,
       kernels, post-processing. Optionally writes GAF alignments and
-      the seed dump the proxy consumes.
+      the seed dump the proxy consumes. With --stream, reads are
+      ingested in batches of the given size through a bounded
+      backpressure queue and GAF is written incrementally, so memory
+      stays constant in the input size (--dump is unavailable: the
+      whole point is never holding the full dump).
 
   minigiraffe validate <seeds.bin> <pangenome.mgz> <expected.csv>
       Map the dump and compare against an expected-output CSV
@@ -124,8 +129,6 @@ fn cmd_parent(args: &[String]) -> Result<(), String> {
     let [reads_path, gbz_path] = &positional[..] else {
         return Err("expected <reads.fastq> <pangenome.mgz>".into());
     };
-    let reads = minigiraffe::workload::fastq::load_read_bases(reads_path)
-        .map_err(|e| format!("loading {reads_path}: {e}"))?;
     let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
     // Rebuild the minimizer index from the GBWT's haplotype paths (forward
     // sequences; the index adds the reverse orientation itself).
@@ -150,6 +153,50 @@ fn cmd_parent(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
     let parent = Parent::new(&gbz, &index, Workflow::Single);
+
+    if let Some(raw) = flags.get("stream") {
+        use minigiraffe::core::StreamOptions;
+        use minigiraffe::workload::FastqReader;
+        let ingest: usize = raw
+            .parse()
+            .map_err(|e| format!("invalid --stream {raw:?}: {e}"))?;
+        if flags.contains_key("dump") {
+            return Err("--dump requires the batch path (drop --stream)".into());
+        }
+        let file = std::fs::File::open(reads_path)
+            .map_err(|e| format!("opening {reads_path}: {e}"))?;
+        let batches = FastqReader::new(std::io::BufReader::new(file))
+            .batches(ingest.max(1))
+            .map(|item| item.map(|recs| recs.into_iter().map(|r| r.bases).collect()));
+        let mut gaf_out: Box<dyn std::io::Write> = match flags.get("gaf") {
+            Some(path) => Box::new(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+            )),
+            None => Box::new(std::io::sink()),
+        };
+        eprintln!("streaming reads in batches of {ingest}...");
+        let summary = parent
+            .run_streaming(batches, &options, &StreamOptions::default(), "read", &mut gaf_out)
+            .map_err(|e| e.to_string())?;
+        use std::io::Write as _;
+        gaf_out.flush().map_err(|e| format!("flushing GAF: {e}"))?;
+        println!(
+            "mapped {} reads in {:.3}s ({} batches, {} chunks; queue high water {}, producer blocked {:.1} ms)",
+            summary.reads,
+            summary.wall.as_secs_f64(),
+            summary.batches,
+            summary.chunks,
+            summary.queue_high_water,
+            summary.producer_blocked_ns as f64 / 1e6
+        );
+        if let Some(gaf) = flags.get("gaf") {
+            println!("wrote alignments to {gaf}");
+        }
+        return Ok(());
+    }
+
+    let reads = minigiraffe::workload::fastq::load_read_bases(reads_path)
+        .map_err(|e| format!("loading {reads_path}: {e}"))?;
     eprintln!("mapping {} reads...", reads.len());
     let run = parent.run(&reads, &options);
     let aligned = run.alignments.iter().filter(|a| !a.is_empty()).count();
@@ -342,7 +389,9 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         dump.reads.len()
     );
     let sweep = run_host_sweep(&gbz, &dump, threads, &space, repeats, &MappingOptions::default());
-    let best = sweep.best();
+    let Some(best) = sweep.best() else {
+        return Err("sweep produced no measurable configurations".into());
+    };
     println!(
         "best:    {}  {:.4}s",
         best.point, best.makespan_s

@@ -11,10 +11,10 @@
 
 use std::path::PathBuf;
 
-use minigiraffe::core::run_mapping;
+use minigiraffe::core::{run_mapping, StreamOptions};
 use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions, ParentRun};
 use minigiraffe::support::regions::NullSink;
-use minigiraffe::workload::{InputSetSpec, SyntheticInput};
+use minigiraffe::workload::{write_fastq, FastqReader, FastqRecord, InputSetSpec, SyntheticInput};
 
 /// The seeded workloads the oracle covers. Distinct seeds give distinct
 /// pangenomes, haplotype walks, and read errors; the error-dense spec
@@ -101,6 +101,67 @@ fn parent_gaf_matches_golden_snapshot() {
             "{name}: GAF drifted from the committed snapshot; if intentional, \
              re-bless with MG_BLESS=1 cargo test --test oracle and review the diff"
         );
+    }
+}
+
+/// Serializes a workload's simulated reads as FASTQ bytes, the wire form
+/// the streaming entry point ingests.
+fn fastq_bytes(input: &SyntheticInput) -> Vec<u8> {
+    let records: Vec<FastqRecord> = input
+        .sim_reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| FastqRecord {
+            name: format!("r{i}"),
+            quality: vec![b'I'; r.bases.len()],
+            bases: r.bases.clone(),
+        })
+        .collect();
+    let mut bytes = Vec::new();
+    write_fastq(&mut bytes, &records).expect("in-memory FASTQ write");
+    bytes
+}
+
+#[test]
+fn streaming_ingestion_reproduces_golden_gaf_across_schedulers() {
+    // The full streaming shape — FASTQ bytes through the chunked reader,
+    // across the bounded hand-off queue, mapped chunk by chunk, GAF
+    // rendered incrementally — must land on the same bytes as the batch
+    // pipeline (and therefore the committed golden snapshots) for every
+    // workload under every scheduler. Ingestion batches (5 records),
+    // mapping chunks (7 reads), and scheduler batches (3) are deliberately
+    // misaligned so chunk boundaries land everywhere.
+    for (name, input) in workloads() {
+        let (_, _, expected) = parent_gaf(&input, &name);
+        let fastq = fastq_bytes(&input);
+        if let Ok(golden) = std::fs::read_to_string(golden_path(&name)) {
+            assert_eq!(expected, golden, "{name}: batch GAF drifted from snapshot");
+        }
+        for kind in minigiraffe::sched::SchedulerKind::ALL {
+            let mut options = ParentOptions::default();
+            options.mapping.scheduler = kind;
+            options.mapping.threads = 4;
+            options.mapping.batch_size = 3;
+            let stream = StreamOptions { queue_batches: 2, chunk_reads: 7 };
+            let batches = FastqReader::new(&fastq[..])
+                .batches(5)
+                .map(|item| item.map(|recs| recs.into_iter().map(|r| r.bases).collect()));
+            let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+            let mut gaf = Vec::new();
+            let summary = parent
+                .run_streaming(batches, &options, &stream, &name, &mut gaf)
+                .unwrap_or_else(|e| panic!("{name}: streaming run failed under {kind}: {e}"));
+            assert_eq!(summary.reads as usize, input.sim_reads.len());
+            assert!(
+                summary.queue_high_water <= stream.queue_batches,
+                "{name}: queue overflowed its bound under {kind}"
+            );
+            let got = String::from_utf8(gaf).expect("GAF is UTF-8");
+            assert_eq!(
+                got, expected,
+                "{name}: streaming GAF diverged from the batch pipeline under {kind}"
+            );
+        }
     }
 }
 

@@ -179,6 +179,6 @@ fn tuning_sweep_beats_or_matches_default() {
     assert!(speedup >= 1.0, "best can never lose to default: {speedup}");
     assert!(speedup < 20.0, "plausible tuning speedup: {speedup}");
     // The heat map has real spread (Figure 8's best-vs-worst gap).
-    let spread = sweep.worst().makespan_s / sweep.best().makespan_s;
+    let spread = sweep.worst().unwrap().makespan_s / sweep.best().unwrap().makespan_s;
     assert!(spread > 1.01, "parameters must matter: spread {spread}");
 }
