@@ -11,7 +11,8 @@
 
 use mg_gbwt::gbwt::record_extend_forward_with_counts;
 use mg_gbwt::{BidirState, CachedGbwt};
-use mg_graph::{Handle, VariationGraph};
+use mg_graph::packed::{self, BASES_PER_WORD};
+use mg_graph::{Handle, PackedReadPair, VariationGraph};
 use mg_index::GraphPos;
 use mg_support::probe::MemProbe;
 
@@ -40,6 +41,11 @@ pub struct ExtendParams {
     /// Node-crossing budget per direction per seed: bounds the DFS over
     /// haplotype-consistent branches.
     pub max_branch_steps: usize,
+    /// Force the byte-at-a-time comparison loop even when no active probe
+    /// requires it. The scalar loop is the oracle the word-parallel packed
+    /// path is validated against; benches and differential tests flip this
+    /// to compare the two on otherwise identical pipelines.
+    pub force_scalar: bool,
 }
 
 impl Default for ExtendParams {
@@ -49,6 +55,7 @@ impl Default for ExtendParams {
             mismatch_penalty: 4,
             max_mismatches: 4,
             max_branch_steps: 64,
+            force_scalar: false,
         }
     }
 }
@@ -132,6 +139,9 @@ pub struct ExtendScratch {
     right_path: Vec<Handle>,
     /// Deduplicated anchors of the cluster being processed.
     anchors: Vec<Seed>,
+    /// The current read packed 2 bits/base, both strands, with `N` lane
+    /// masks — packed once per read (every seed of the read reuses it).
+    packed: PackedReadPair,
 }
 
 /// Reconstructs a walk path from the arena's parent chain into `out`, in
@@ -201,6 +211,12 @@ pub fn extend_seed_with_scratch<P: MemProbe>(
         forward: mg_gbwt::SearchState { node: sym, start: 0, end: fwd_total },
         backward: mg_gbwt::SearchState { node: sym ^ 1, start: 0, end: bwd_total },
     };
+
+    if !(P::ACTIVE || params.force_scalar) {
+        // The packed walk compares word-parallel; pack both strands of the
+        // read once (a no-op for every seed of the read after the first).
+        scratch.packed.prepare(read);
+    }
 
     // Right: consume read[read_offset..], graph bases from anchor.offset.
     let right = walk(
@@ -287,10 +303,40 @@ enum Dir {
 
 /// Walks one direction from the anchor: a DFS over haplotype-consistent
 /// branches, comparing read bases with node bases under a shared mismatch
-/// budget, keeping the best-scoring prefix. Both directions share this
+/// budget, keeping the best-scoring prefix. Both directions share one
 /// body; only index arithmetic and the branch record differ (see [`Dir`]).
+///
+/// Two interchangeable comparison loops implement the walk. The
+/// word-parallel packed loop ([`walk_packed`]) is the production path; the
+/// byte-at-a-time scalar loop ([`walk_scalar`]) is the oracle, and the only
+/// path that emits per-base [`REGION_READ`]/[`REGION_GRAPH_SEQ`] probe
+/// traffic — so any probe that consumes that stream ([`MemProbe::ACTIVE`])
+/// routes here, as does [`ExtendParams::force_scalar`]. Both loops are
+/// bit-identical in every output (pinned by proptests and the GAF oracle).
 #[allow(clippy::too_many_arguments)]
 fn walk<P: MemProbe>(
+    dir: Dir,
+    graph: &VariationGraph,
+    cache: &mut CachedGbwt<'_>,
+    read: &[u8],
+    seed: Seed,
+    init: BidirState,
+    params: &ExtendParams,
+    budget: u32,
+    probe: &mut P,
+    scratch: &mut ExtendScratch,
+) -> DirectionResult {
+    if P::ACTIVE || params.force_scalar {
+        walk_scalar(dir, graph, cache, read, seed, init, params, budget, probe, scratch)
+    } else {
+        walk_packed(dir, graph, cache, read, seed, init, params, budget, probe, scratch)
+    }
+}
+
+/// The scalar comparison walk: one byte compare per base, one probe touch
+/// per read byte and per graph byte. See [`walk`].
+#[allow(clippy::too_many_arguments)]
+fn walk_scalar<P: MemProbe>(
     dir: Dir,
     graph: &VariationGraph,
     cache: &mut CachedGbwt<'_>,
@@ -418,6 +464,191 @@ fn walk<P: MemProbe>(
                     path: frame.path,
                     state: frame.state,
                 };
+            }
+        }
+    }
+    best
+}
+
+/// Updates the running best prefix from the frame, with the scalar loop's
+/// exact comparison (better score, or equal score and longer prefix).
+#[inline(always)]
+fn best_check(frame: &Frame, best: &mut DirectionResult) {
+    if frame.score > best.score || (frame.score == best.score && frame.consumed > best.consumed) {
+        *best = DirectionResult {
+            score: frame.score,
+            consumed: frame.consumed,
+            mismatches: frame.mismatches,
+            path: frame.path,
+            state: frame.state,
+        };
+    }
+}
+
+/// Advances the frame over `run` consecutive matching bases.
+///
+/// With a non-negative match score the per-base score is monotone
+/// non-decreasing over the run and `consumed` strictly increases, so the
+/// run's final base dominates every scalar per-base best-check — one check
+/// at the end is bit-identical. A negative match score strictly decreases
+/// the score, so the checks cannot be batched; that configuration falls
+/// back to per-base updates.
+#[inline(always)]
+fn apply_match_run(frame: &mut Frame, run: u32, params: &ExtendParams, best: &mut DirectionResult) {
+    if run == 0 {
+        return;
+    }
+    if params.match_score >= 0 {
+        frame.score += params.match_score * run as i32;
+        frame.consumed += run;
+        frame.node_off += run as usize;
+        best_check(frame, best);
+    } else {
+        for _ in 0..run {
+            frame.score += params.match_score;
+            frame.consumed += 1;
+            frame.node_off += 1;
+            best_check(frame, best);
+        }
+    }
+}
+
+/// The word-parallel comparison walk: XORs 2-bit packed windows of the read
+/// against the node's packed arena, 32 bases per step, and only spends
+/// per-base work on the mismatching lanes. See [`walk`].
+///
+/// Both directions compare *ascending* packed buffers: a leftward walk
+/// flips to the reverse-complement read buffer against the flipped handle's
+/// reverse-complement arena (complement is a bijection on the 2-bit codes,
+/// so equality is preserved base-for-base). Read `N` lanes arrive
+/// pre-masked as forced mismatches from [`PackedReadPair`]; the graph side
+/// needs no mask because [`VariationGraph::add_node`] rejects non-`ACGT`.
+#[allow(clippy::too_many_arguments)]
+fn walk_packed<P: MemProbe>(
+    dir: Dir,
+    graph: &VariationGraph,
+    cache: &mut CachedGbwt<'_>,
+    read: &[u8],
+    seed: Seed,
+    init: BidirState,
+    params: &ExtendParams,
+    budget: u32,
+    probe: &mut P,
+    scratch: &mut ExtendScratch,
+) -> DirectionResult {
+    // Disjoint field borrows: the packed read is lent immutably to the
+    // comparison loop while the DFS buffers are mutated.
+    let ExtendScratch { stack, arena, branches, before, counts, packed, .. } = scratch;
+    let mut best = DirectionResult {
+        score: 0,
+        consumed: 0,
+        mismatches: 0,
+        path: NO_PATH,
+        state: init,
+    };
+    let mut steps = 0usize;
+    arena.clear();
+    stack.clear();
+    stack.push(Frame {
+        state: init,
+        handle: seed.pos.handle,
+        node_off: 0,
+        consumed: 0,
+        score: 0,
+        mismatches: 0,
+        path: NO_PATH,
+    });
+    while let Some(mut frame) = stack.pop() {
+        let node_len = graph.node_len(frame.handle.node());
+        let on_anchor = frame.path == NO_PATH;
+        let avail = match (dir, on_anchor) {
+            (Dir::Right, true) => node_len - seed.pos.offset as usize,
+            (Dir::Left, true) => seed.pos.offset as usize,
+            (_, false) => node_len,
+        };
+        // Ascending packed coordinates of the walk: base `consumed` of the
+        // read buffer is `rs0 + consumed`, base `node_off` of the node view
+        // is `gs0 + node_off` (leftward walks read the reverse-complement
+        // pair, which turns descending source indices ascending).
+        let (view, gs0, rs0, src) = match dir {
+            Dir::Right => (
+                graph.packed_view(frame.handle),
+                if on_anchor { seed.pos.offset as usize } else { 0 },
+                seed.read_offset as usize,
+                &packed.fwd,
+            ),
+            Dir::Left => (
+                graph.packed_view(frame.handle.flip()),
+                node_len - avail,
+                read.len() - seed.read_offset as usize,
+                &packed.rc,
+            ),
+        };
+        'frame: loop {
+            // Same control order as the scalar loop: the read's edge ends
+            // the frame before the node boundary is allowed to branch.
+            let read_rem = match dir {
+                Dir::Right => read.len() - (seed.read_offset as usize + frame.consumed as usize),
+                Dir::Left => (seed.read_offset - frame.consumed) as usize,
+            };
+            if read_rem == 0 {
+                break;
+            }
+            let node_rem = avail - frame.node_off;
+            if node_rem == 0 {
+                if steps < params.max_branch_steps {
+                    branch_states_into(
+                        cache, &frame.state, dir == Dir::Left, &mut steps, params, probe,
+                        branches, before, counts,
+                    );
+                    for &(next_state, next_handle) in branches.iter() {
+                        arena.push((frame.path, next_handle));
+                        stack.push(Frame {
+                            state: next_state,
+                            handle: next_handle,
+                            node_off: 0,
+                            consumed: frame.consumed,
+                            score: frame.score,
+                            mismatches: frame.mismatches,
+                            path: (arena.len() - 1) as u32,
+                        });
+                    }
+                }
+                break;
+            }
+            let span = read_rem.min(node_rem);
+            let mut done = 0usize;
+            while done < span {
+                let chunk = (span - done).min(BASES_PER_WORD);
+                let rbase = rs0 + frame.consumed as usize;
+                let gbase = gs0 + frame.node_off;
+                let xor = src.word(rbase) ^ view.word(gbase);
+                let mut lanes = packed::keep_lanes(
+                    packed::mismatch_lanes(xor) | src.nmask_word(rbase),
+                    chunk,
+                );
+                // Walk the set lanes in base order; the gaps between them
+                // are match runs.
+                let mut pos = 0usize;
+                while lanes != 0 {
+                    let mm = (lanes.trailing_zeros() >> 1) as usize;
+                    apply_match_run(&mut frame, (mm - pos) as u32, params, &mut best);
+                    frame.mismatches += 1;
+                    if frame.mismatches > budget {
+                        // Budget exhausted: the mismatch is not consumed and
+                        // the frame dies without branching, like the scalar
+                        // loop's break.
+                        break 'frame;
+                    }
+                    frame.score -= params.mismatch_penalty;
+                    frame.consumed += 1;
+                    frame.node_off += 1;
+                    best_check(&frame, &mut best);
+                    pos = mm + 1;
+                    lanes &= lanes - 1;
+                }
+                apply_match_run(&mut frame, (chunk - pos) as u32, params, &mut best);
+                done += chunk;
             }
         }
     }
@@ -864,6 +1095,63 @@ mod tests {
         assert!(exts
             .iter()
             .all(|e| e.path.first() == Some(&Handle::forward(NodeId::new(1)))));
+    }
+
+    #[test]
+    fn packed_walk_matches_scalar_oracle() {
+        let gbz = bubble_gbz();
+        // Reads covering clean matches, mismatches, an N, budget exhaustion,
+        // and the reverse strand; anchors on both sides of the bubble so
+        // both walk directions and both orientations run.
+        let reads: Vec<Vec<u8>> = vec![
+            b"AAAACCCCGGGGTTTT".to_vec(),
+            b"AAAACCGCGGGGTTTT".to_vec(),
+            b"AAAACCNCGGGGTTTT".to_vec(),
+            b"AATACCCCGGGGATTT".to_vec(),
+            b"AAAACCCCTTTTAAAA".to_vec(),
+            mg_graph::dna::reverse_complement(b"AAAACCCCGGGGTTTT"),
+        ];
+        let param_sets = [
+            ExtendParams::default(),
+            ExtendParams { max_mismatches: 1, ..Default::default() },
+            ExtendParams { max_mismatches: 2, mismatch_penalty: 1, ..Default::default() },
+            ExtendParams { match_score: 0, ..Default::default() },
+        ];
+        for read in &reads {
+            for params in &param_sets {
+                for node in 1..=4u64 {
+                    let node_len =
+                        gbz.graph().node_len(NodeId::new(node)) as u32;
+                    for off in 0..node_len {
+                        for read_off in [0u32, 2, 5, 12] {
+                            for handle in
+                                [Handle::forward(NodeId::new(node)), Handle::reverse(NodeId::new(node))]
+                            {
+                                let seed = Seed::new(read_off, GraphPos::new(handle, off));
+                                let scalar_params =
+                                    ExtendParams { force_scalar: true, ..*params };
+                                let mut cache = CachedGbwt::new(gbz.gbwt(), 64);
+                                let packed = extend_seed(
+                                    gbz.graph(), &mut cache, read, 0, seed, params, &mut NoProbe,
+                                );
+                                let mut cache = CachedGbwt::new(gbz.gbwt(), 64);
+                                let scalar = extend_seed(
+                                    gbz.graph(), &mut cache, read, 0, seed, &scalar_params,
+                                    &mut NoProbe,
+                                );
+                                assert_eq!(
+                                    packed, scalar,
+                                    "read {:?} params {:?} seed {:?}",
+                                    std::str::from_utf8(read).unwrap(),
+                                    params,
+                                    seed,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,47 @@
 /// The four DNA bases in code order (`A=0, C=1, G=2, T=3`).
 pub const BASES: [u8; 4] = *b"ACGT";
 
+/// Sentinel code returned by [`encode2`] for bytes outside `ACGT`.
+pub const INVALID_CODE: u8 = 0xFF;
+
+/// Byte → 2-bit code table: the one encoder shared by the packed sequence
+/// store, the extension kernel's read packer, and the minimizer's rolling
+/// k-mer construction. Invalid bytes (including `N`) map to
+/// [`INVALID_CODE`].
+const ENCODE_LUT: [u8; 256] = {
+    let mut lut = [INVALID_CODE; 256];
+    lut[b'A' as usize] = 0;
+    lut[b'C' as usize] = 1;
+    lut[b'G' as usize] = 2;
+    lut[b'T' as usize] = 3;
+    lut
+};
+
+/// Byte → complement table. Complementing in code space is `code ^ 0b11`
+/// (A↔T, C↔G); this table is that identity lifted back to ASCII, with `N`
+/// fixed and a `0` sentinel for invalid bytes.
+const COMPLEMENT_LUT: [u8; 256] = {
+    let mut lut = [0u8; 256];
+    let mut code = 0usize;
+    while code < 4 {
+        lut[BASES[code] as usize] = BASES[code ^ 0b11];
+        code += 1;
+    }
+    lut[b'N' as usize] = b'N';
+    lut
+};
+
+/// Branchless byte → 2-bit code lookup; [`INVALID_CODE`] for non-`ACGT`
+/// bytes (including `N`).
+#[inline(always)]
+pub fn encode2(b: u8) -> u8 {
+    ENCODE_LUT[b as usize]
+}
+
 /// Returns `true` for an uppercase `A`, `C`, `G`, or `T`.
+#[inline]
 pub fn is_base(b: u8) -> bool {
-    matches!(b, b'A' | b'C' | b'G' | b'T')
+    ENCODE_LUT[b as usize] != INVALID_CODE
 }
 
 /// Returns `true` if every byte of `seq` is a valid base.
@@ -28,14 +66,10 @@ pub fn encode_base(b: u8) -> u8 {
 }
 
 /// Maps a base to its 2-bit code, or `None` for non-bases (including `N`).
+#[inline]
 pub fn encode_base_checked(b: u8) -> Option<u8> {
-    match b {
-        b'A' => Some(0),
-        b'C' => Some(1),
-        b'G' => Some(2),
-        b'T' => Some(3),
-        _ => None,
-    }
+    let code = encode2(b);
+    (code != INVALID_CODE).then_some(code)
 }
 
 /// Maps a 2-bit code back to its base.
@@ -68,15 +102,10 @@ pub fn validate_read_bases(seq: &[u8]) -> mg_support::Result<()> {
 
 /// Watson–Crick complement of a base, or `None` for bytes that are neither
 /// bases nor `N`. Use this on untrusted input instead of [`complement`].
+#[inline]
 pub fn complement_checked(b: u8) -> Option<u8> {
-    match b {
-        b'A' => Some(b'T'),
-        b'T' => Some(b'A'),
-        b'C' => Some(b'G'),
-        b'G' => Some(b'C'),
-        b'N' => Some(b'N'),
-        _ => None,
-    }
+    let c = COMPLEMENT_LUT[b as usize];
+    (c != 0).then_some(c)
 }
 
 /// Watson–Crick complement of a base; `N` stays `N`.
@@ -91,7 +120,8 @@ pub fn complement(b: u8) -> u8 {
 }
 
 /// Reverse complement of a sequence, rejecting invalid bytes instead of
-/// panicking.
+/// panicking. Validates and complements in one pass over the table, then
+/// reverses in place — no separate validation sweep.
 ///
 /// # Errors
 ///
@@ -99,8 +129,16 @@ pub fn complement(b: u8) -> u8 {
 /// first byte that is neither a base nor `N` (position given in the
 /// original, un-reversed sequence).
 pub fn try_reverse_complement(seq: &[u8]) -> mg_support::Result<Vec<u8>> {
-    validate_read_bases(seq)?;
-    Ok(reverse_complement(seq))
+    let mut out = Vec::with_capacity(seq.len());
+    for (pos, &b) in seq.iter().enumerate() {
+        let c = COMPLEMENT_LUT[b as usize];
+        if c == 0 {
+            return Err(mg_support::Error::InvalidBase { byte: b, pos });
+        }
+        out.push(c);
+    }
+    out.reverse();
+    Ok(out)
 }
 
 /// Reverse complement of a sequence.
@@ -198,6 +236,24 @@ mod tests {
     }
 
     #[test]
+    fn encode2_agrees_with_checked_over_all_bytes() {
+        for b in 0u8..=255 {
+            match encode_base_checked(b) {
+                Some(code) => assert_eq!(encode2(b), code),
+                None => assert_eq!(encode2(b), INVALID_CODE),
+            }
+        }
+    }
+
+    #[test]
+    fn complement_in_code_space_is_xor() {
+        // The LUT complement is exactly `code ^ 0b11` lifted to ASCII.
+        for code in 0u8..4 {
+            assert_eq!(complement(decode_base(code)), decode_base(code ^ 0b11));
+        }
+    }
+
+    #[test]
     fn try_revcomp_errors_instead_of_aborting() {
         assert_eq!(try_reverse_complement(b"AACG").unwrap(), b"CGTT");
         assert!(matches!(
@@ -219,6 +275,13 @@ mod tests {
         #[test]
         fn prop_revcomp_preserves_validity(seq in dna_strategy(300)) {
             prop_assert!(is_valid_sequence(&reverse_complement(&seq)));
+        }
+
+        #[test]
+        fn prop_try_revcomp_single_pass_matches_two_pass(
+            seq in proptest::collection::vec(proptest::sample::select(b"ACGTN".to_vec()), 0..300)
+        ) {
+            prop_assert_eq!(try_reverse_complement(&seq).unwrap(), reverse_complement(&seq));
         }
     }
 }

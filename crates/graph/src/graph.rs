@@ -14,6 +14,7 @@ use mg_support::{Error, Result};
 
 use crate::dna;
 use crate::handle::{Handle, NodeId, Orientation};
+use crate::packed::{PackedSeqStore, PackedView};
 
 /// A sequence-labelled bidirected variation graph.
 ///
@@ -34,6 +35,13 @@ use crate::handle::{Handle, NodeId, Orientation};
 pub struct VariationGraph {
     /// Concatenated forward sequences of all nodes.
     seq_data: Vec<u8>,
+    /// Concatenated reverse-complement sequences, same offsets as
+    /// `seq_data`: the precomputed arena that makes [`VariationGraph::sequence`]
+    /// on a reverse handle a borrow instead of an allocation.
+    rc_seq_data: Vec<u8>,
+    /// 2-bit packed arenas (both strands, word-aligned per node) backing
+    /// [`VariationGraph::packed_view`].
+    packed: PackedSeqStore,
     /// `seq_offsets[i]..seq_offsets[i + 1]` is the sequence of node `i + 1`.
     seq_offsets: Vec<usize>,
     /// Successor handles per oriented handle, indexed by `packed - 2`.
@@ -47,6 +55,8 @@ impl VariationGraph {
     pub fn new() -> Self {
         VariationGraph {
             seq_data: Vec::new(),
+            rc_seq_data: Vec::new(),
+            packed: PackedSeqStore::new(),
             seq_offsets: vec![0],
             adjacency: Vec::new(),
             edge_count: 0,
@@ -92,6 +102,8 @@ impl VariationGraph {
             return Err(Error::Corrupt("node sequence contains non-ACGT bytes".into()));
         }
         self.seq_data.extend_from_slice(sequence);
+        self.rc_seq_data.extend(sequence.iter().rev().map(|&b| dna::complement(b)));
+        self.packed.push_node(sequence);
         self.seq_offsets.push(self.seq_data.len());
         self.adjacency.push(Vec::new()); // forward
         self.adjacency.push(Vec::new()); // reverse
@@ -149,20 +161,50 @@ impl VariationGraph {
         &self.seq_data[self.seq_offsets[i - 1]..self.seq_offsets[i]]
     }
 
-    /// The sequence read along `handle`: borrowed for forward handles,
-    /// allocated for reverse (reverse complement).
+    /// The sequence read along `handle`: always a borrow. Forward handles
+    /// slice the forward arena; reverse handles slice the precomputed
+    /// reverse-complement arena, so no per-call allocation happens on
+    /// either strand.
     ///
-    /// For byte-at-a-time access without allocation, use [`VariationGraph::base`].
+    /// The `Cow` return type is kept for API stability; the value is always
+    /// `Cow::Borrowed`.
     ///
     /// # Panics
     ///
     /// Panics if the handle's node does not exist.
     pub fn sequence(&self, handle: Handle) -> Cow<'_, [u8]> {
-        let fwd = self.forward_sequence(handle.node());
+        Cow::Borrowed(self.oriented_sequence(handle))
+    }
+
+    /// [`VariationGraph::sequence`] as a plain borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's node does not exist.
+    #[inline]
+    pub fn oriented_sequence(&self, handle: Handle) -> &[u8] {
+        let i = handle.node().value() as usize;
+        assert!(i <= self.node_count(), "missing node {}", handle.node());
+        let range = self.seq_offsets[i - 1]..self.seq_offsets[i];
         match handle.orientation() {
-            Orientation::Forward => Cow::Borrowed(fwd),
-            Orientation::Reverse => Cow::Owned(dna::reverse_complement(fwd)),
+            Orientation::Forward => &self.seq_data[range],
+            Orientation::Reverse => &self.rc_seq_data[range],
         }
+    }
+
+    /// The word-aligned 2-bit packed view of the sequence read along
+    /// `handle` (reverse handles read the packed reverse-complement arena;
+    /// no per-call work on either strand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's node does not exist.
+    #[inline]
+    pub fn packed_view(&self, handle: Handle) -> PackedView<'_> {
+        let i = handle.node().value() as usize;
+        assert!(i <= self.node_count(), "missing node {}", handle.node());
+        let len = self.seq_offsets[i] - self.seq_offsets[i - 1];
+        self.packed.view(i, len, handle.orientation() == Orientation::Reverse)
     }
 
     /// The base at `offset` along `handle`, without allocating.
@@ -172,11 +214,7 @@ impl VariationGraph {
     /// Panics if the node does not exist or `offset` is out of range.
     #[inline]
     pub fn base(&self, handle: Handle, offset: usize) -> u8 {
-        let fwd = self.forward_sequence(handle.node());
-        match handle.orientation() {
-            Orientation::Forward => fwd[offset],
-            Orientation::Reverse => dna::complement(fwd[fwd.len() - 1 - offset]),
-        }
+        self.oriented_sequence(handle)[offset]
     }
 
     /// Handles reachable by one edge from `handle`, in sorted order.
@@ -242,6 +280,8 @@ impl VariationGraph {
     /// Approximate heap usage in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.seq_data.capacity()
+            + self.rc_seq_data.capacity()
+            + self.packed.heap_bytes()
             + self.seq_offsets.capacity() * std::mem::size_of::<usize>()
             + self
                 .adjacency
@@ -483,5 +523,45 @@ mod tests {
                 }
             }
         }
+
+        #[test]
+        fn prop_sequence_never_allocates(g in graph_strategy()) {
+            for id in g.node_ids() {
+                for h in [Handle::forward(id), Handle::reverse(id)] {
+                    prop_assert!(
+                        matches!(g.sequence(h), Cow::Borrowed(_)),
+                        "sequence({h:?}) allocated"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_packed_view_matches_ascii(g in graph_strategy()) {
+            for id in g.node_ids() {
+                for h in [Handle::forward(id), Handle::reverse(id)] {
+                    let seq = g.sequence(h);
+                    let view = g.packed_view(h);
+                    prop_assert_eq!(view.len(), seq.len());
+                    for (i, &b) in seq.iter().enumerate() {
+                        prop_assert_eq!(dna::decode_base(view.code(i)), b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_sequence_borrows_the_revcomp_arena() {
+        let mut g = VariationGraph::new();
+        // 70 bases: exercises multi-word packing per node.
+        let seq: Vec<u8> = (0..70).map(|i| dna::BASES[(i * 7 + 3) % 4]).collect();
+        let a = g.add_node(&seq).unwrap();
+        let h = Handle::reverse(a);
+        assert!(matches!(g.sequence(h), Cow::Borrowed(_)));
+        assert_eq!(g.sequence(h).as_ref(), dna::reverse_complement(&seq));
+        let view = g.packed_view(h);
+        let spelled: Vec<u8> = (0..view.len()).map(|i| dna::decode_base(view.code(i))).collect();
+        assert_eq!(spelled, dna::reverse_complement(&seq));
     }
 }

@@ -7,6 +7,8 @@
 //!
 //! - [`handle`]: node identifiers and oriented node handles;
 //! - [`dna`]: base alphabet utilities (validation, complement);
+//! - [`packed`]: 2-bit packed sequence arenas and the word-parallel
+//!   mismatch-counting primitives the extension kernel builds on;
 //! - [`graph::VariationGraph`]: the graph itself, with oriented traversal;
 //! - [`pangenome`]: construction of a pangenome graph from a linear
 //!   reference plus a set of variants and a haplotype panel (who carries
@@ -40,8 +42,10 @@ pub mod dna;
 pub mod gfa;
 pub mod graph;
 pub mod handle;
+pub mod packed;
 pub mod pangenome;
 
 pub use graph::VariationGraph;
+pub use packed::{PackedBuf, PackedReadPair, PackedView};
 pub use handle::{Handle, NodeId, Orientation};
 pub use pangenome::{HaplotypePath, Pangenome, PangenomeBuilder, Variant};

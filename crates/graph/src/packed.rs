@@ -1,0 +1,364 @@
+//! 2-bit packed sequence storage and word-parallel comparison primitives.
+//!
+//! Bases pack LSB-first into `u64` words, 32 bases per word: base `j` of a
+//! buffer occupies bits `2*(j % 32)..2*(j % 32) + 2` of word `j / 32`, so
+//! ascending base order is ascending bit order and a window of 32 bases at
+//! any offset is two shifts away ([`word_at`]). The graph keeps one packed
+//! arena per strand ([`PackedSeqStore`]) with every node aligned to a fresh
+//! word boundary; reads pack per-read into a reusable [`PackedReadPair`]
+//! together with a forced-mismatch lane mask for `N` (and any other
+//! non-`ACGT`) bytes.
+//!
+//! The comparison primitive: XOR two packed windows, fold each 2-bit lane
+//! to its low bit with [`mismatch_lanes`], OR in the read's `N` mask, and
+//! the set bits are exactly the mismatching bases — popcount gives the
+//! count, `trailing_zeros` walks them in order.
+
+use crate::dna;
+
+/// Mask selecting the low bit of every 2-bit lane in a word.
+pub const LANES_LO: u64 = 0x5555_5555_5555_5555;
+
+/// Bases per packed word.
+pub const BASES_PER_WORD: usize = 32;
+
+/// Folds an XOR of two packed words to one set low-lane bit per
+/// mismatching base: lane `j` of the result is `0b01` iff the `j`-th bases
+/// differ.
+#[inline(always)]
+pub fn mismatch_lanes(xor: u64) -> u64 {
+    (xor | (xor >> 1)) & LANES_LO
+}
+
+/// Masks a lane word down to its first `n` lanes (`n <= 32`).
+#[inline(always)]
+pub fn keep_lanes(lanes: u64, n: usize) -> u64 {
+    debug_assert!(n <= BASES_PER_WORD);
+    if n >= BASES_PER_WORD {
+        lanes
+    } else {
+        lanes & ((1u64 << (2 * n)) - 1)
+    }
+}
+
+/// Extracts the 32 bases beginning at base offset `start` from a packed
+/// buffer, crossing the word boundary when unaligned. Bases past the end of
+/// `words` read as zero; callers bound the live span with [`keep_lanes`].
+#[inline(always)]
+pub fn word_at(words: &[u64], start: usize) -> u64 {
+    let w = start / BASES_PER_WORD;
+    let b = (start % BASES_PER_WORD) * 2;
+    let lo = words.get(w).copied().unwrap_or(0) >> b;
+    if b == 0 {
+        lo
+    } else {
+        lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - b))
+    }
+}
+
+/// Packs `seq` into `words` (cleared first). Non-`ACGT` bytes pack as code
+/// `0` with their lane set in `nmask`, so a comparison against them is
+/// forced to mismatch — exactly the ASCII-compare semantics, where a read
+/// `N` never equals a graph base.
+fn pack_into(seq: &[u8], rc: bool, words: &mut Vec<u64>, nmask: &mut Vec<u64>) {
+    words.clear();
+    nmask.clear();
+    let n_words = seq.len().div_ceil(BASES_PER_WORD);
+    words.resize(n_words, 0);
+    nmask.resize(n_words, 0);
+    for j in 0..seq.len() {
+        let b = if rc { seq[seq.len() - 1 - j] } else { seq[j] };
+        let code = dna::encode2(b);
+        let shift = 2 * (j % BASES_PER_WORD);
+        if code == dna::INVALID_CODE {
+            nmask[j / BASES_PER_WORD] |= 1u64 << shift;
+        } else {
+            let code = if rc { code ^ 0b11 } else { code };
+            words[j / BASES_PER_WORD] |= (code as u64) << shift;
+        }
+    }
+}
+
+/// A packed buffer plus its `N` lane mask: one strand of a packed read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedBuf {
+    words: Vec<u64>,
+    nmask: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBuf {
+    /// Bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// 32 bases starting at `start` (see [`word_at`]).
+    #[inline(always)]
+    pub fn word(&self, start: usize) -> u64 {
+        word_at(&self.words, start)
+    }
+
+    /// The `N`-mask lanes aligned with [`PackedBuf::word`]: lane `j` is
+    /// `0b01` iff base `start + j` must mismatch.
+    #[inline(always)]
+    pub fn nmask_word(&self, start: usize) -> u64 {
+        word_at(&self.nmask, start)
+    }
+}
+
+/// Both strands of a read, packed once and reused across every seed of that
+/// read (held inside the extension kernel's scratch).
+#[derive(Debug, Clone, Default)]
+pub struct PackedReadPair {
+    /// Copy of the last packed read; repacking is skipped when the next
+    /// read compares equal (one memcmp instead of two packing passes).
+    src: Vec<u8>,
+    /// The read as given, ascending.
+    pub fwd: PackedBuf,
+    /// The reverse complement, ascending: `rc[j]` is the complement of
+    /// `read[len - 1 - j]`, so a leftward walk over the read becomes a
+    /// rightward walk over `rc`.
+    pub rc: PackedBuf,
+}
+
+impl PackedReadPair {
+    /// Packs `read` into both strand buffers, skipping the work when the
+    /// buffers already hold this read.
+    pub fn prepare(&mut self, read: &[u8]) {
+        if self.src == read && self.fwd.len == read.len() {
+            return;
+        }
+        self.src.clear();
+        self.src.extend_from_slice(read);
+        pack_into(read, false, &mut self.fwd.words, &mut self.fwd.nmask);
+        self.fwd.len = read.len();
+        pack_into(read, true, &mut self.rc.words, &mut self.rc.nmask);
+        self.rc.len = read.len();
+    }
+}
+
+/// Word-aligned packed arenas of a graph's node sequences, one per strand.
+///
+/// Every node begins at a fresh word boundary, so a node's packed view is a
+/// plain word-slice and never aliases its neighbours. The reverse arena
+/// stores each node's reverse complement in ascending order, making the
+/// oriented view of `Handle::reverse` as cheap as the forward one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedSeqStore {
+    /// Forward-strand words of all nodes.
+    words: Vec<u64>,
+    /// Reverse-complement words of all nodes, same offsets as `words`.
+    rc_words: Vec<u64>,
+    /// `word_offsets[i]..word_offsets[i + 1]` are the words of node `i + 1`.
+    word_offsets: Vec<usize>,
+}
+
+impl PackedSeqStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PackedSeqStore { words: Vec::new(), rc_words: Vec::new(), word_offsets: vec![0] }
+    }
+
+    /// Appends a node's sequence (already validated as `ACGT`) to both
+    /// strand arenas.
+    pub fn push_node(&mut self, sequence: &[u8]) {
+        let n_words = sequence.len().div_ceil(BASES_PER_WORD);
+        self.words.resize(self.words.len() + n_words, 0);
+        self.rc_words.resize(self.rc_words.len() + n_words, 0);
+        let base = *self.word_offsets.last().expect("offset sentinel");
+        let last = sequence.len() - 1;
+        for (j, &b) in sequence.iter().enumerate() {
+            let code = dna::encode2(b) as u64;
+            self.words[base + j / BASES_PER_WORD] |= code << (2 * (j % BASES_PER_WORD));
+            let rj = last - j;
+            self.rc_words[base + rj / BASES_PER_WORD] |=
+                (code ^ 0b11) << (2 * (rj % BASES_PER_WORD));
+        }
+        self.word_offsets.push(base + n_words);
+    }
+
+    /// The packed view of node `node_id`'s sequence read along
+    /// `orientation_reverse ? reverse : forward`, with `len` bases.
+    #[inline]
+    pub fn view(&self, node_index: usize, len: usize, reverse: bool) -> PackedView<'_> {
+        let range = self.word_offsets[node_index - 1]..self.word_offsets[node_index];
+        let words = if reverse { &self.rc_words[range] } else { &self.words[range] };
+        PackedView { words, len }
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        (self.words.capacity() + self.rc_words.capacity()) * std::mem::size_of::<u64>()
+            + self.word_offsets.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// A borrowed, word-aligned packed view of one oriented node sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedView<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl PackedView<'_> {
+    /// Bases in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for a zero-length view.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// 32 bases starting at base offset `start` (cheap sub-slicing: any
+    /// offset, two shifts). Bases past `len` read as zero.
+    #[inline(always)]
+    pub fn word(&self, start: usize) -> u64 {
+        word_at(self.words, start)
+    }
+
+    /// The 2-bit code of base `offset`.
+    #[inline]
+    pub fn code(&self, offset: usize) -> u8 {
+        debug_assert!(offset < self.len);
+        ((self.words[offset / BASES_PER_WORD] >> (2 * (offset % BASES_PER_WORD))) & 0b11) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spell(view: &PackedView<'_>) -> Vec<u8> {
+        (0..view.len()).map(|i| dna::decode_base(view.code(i))).collect()
+    }
+
+    #[test]
+    fn store_views_match_both_strands() {
+        let mut store = PackedSeqStore::new();
+        store.push_node(b"ACGT");
+        store.push_node(b"GGGTTTAACC");
+        let v = store.view(1, 4, false);
+        assert_eq!(spell(&v), b"ACGT");
+        let v = store.view(1, 4, true);
+        assert_eq!(spell(&v), b"ACGT"); // ACGT is its own revcomp
+        let v = store.view(2, 10, false);
+        assert_eq!(spell(&v), b"GGGTTTAACC");
+        let v = store.view(2, 10, true);
+        assert_eq!(spell(&v), dna::reverse_complement(b"GGGTTTAACC"));
+    }
+
+    #[test]
+    fn word_extraction_crosses_boundaries() {
+        // 40 bases: word 1 holds the last 8; extraction at offset 30 must
+        // stitch both words.
+        let seq: Vec<u8> = (0..40).map(|i| dna::BASES[i % 4]).collect();
+        let mut store = PackedSeqStore::new();
+        store.push_node(&seq);
+        let view = store.view(1, 40, false);
+        for start in 0..40 {
+            let w = view.word(start);
+            for j in 0..BASES_PER_WORD.min(40 - start) {
+                let code = ((w >> (2 * j)) & 0b11) as u8;
+                assert_eq!(code, dna::encode2(seq[start + j]), "start {start} lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_pair_packs_n_as_forced_mismatch() {
+        let mut pair = PackedReadPair::default();
+        pair.prepare(b"ACNGT");
+        assert_eq!(pair.fwd.len(), 5);
+        // Lane 2 of the forward mask is set, nothing else.
+        assert_eq!(pair.fwd.nmask_word(0), 0b01 << 4);
+        // rc: N lands at index 5 - 1 - 2 = 2 as well.
+        assert_eq!(pair.rc.nmask_word(0), 0b01 << 4);
+        // rc spells the reverse complement where defined: AC?GT -> AC?GT.
+        for (j, &want) in b"ACAGT".iter().enumerate() {
+            let code = ((pair.rc.word(0) >> (2 * j)) & 0b11) as u8;
+            // N packed as code 0 (A); the mask is what forces the mismatch.
+            assert_eq!(dna::decode_base(code), want);
+        }
+    }
+
+    #[test]
+    fn prepare_is_idempotent_and_detects_change() {
+        let mut pair = PackedReadPair::default();
+        pair.prepare(b"ACGTACGT");
+        let before = pair.fwd.clone();
+        pair.prepare(b"ACGTACGT");
+        assert_eq!(pair.fwd, before);
+        pair.prepare(b"TTTT");
+        assert_eq!(pair.fwd.len(), 4);
+    }
+
+    #[test]
+    fn mismatch_lane_fold() {
+        // Lanes from the LSB: a = T G C A, b = A G T A.
+        let a = 0b_00_01_10_11u64;
+        let b = 0b_00_11_10_00u64;
+        let lanes = mismatch_lanes(a ^ b);
+        assert_eq!(lanes, (1 << 0) | (1 << 4), "lanes 0 and 2 differ");
+        assert_eq!(lanes.count_ones(), 2);
+        assert_eq!(keep_lanes(lanes, 1), 1 << 0);
+        assert_eq!(keep_lanes(lanes, 2), 1 << 0);
+        assert_eq!(keep_lanes(lanes, 3), (1 << 0) | (1 << 4));
+        assert_eq!(keep_lanes(lanes, 32), lanes);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_views_spell_the_node(
+            seqs in proptest::collection::vec(
+                proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..100),
+                1..12,
+            )
+        ) {
+            let mut store = PackedSeqStore::new();
+            for s in &seqs {
+                store.push_node(s);
+            }
+            for (i, s) in seqs.iter().enumerate() {
+                let fwd = store.view(i + 1, s.len(), false);
+                prop_assert_eq!(spell(&fwd), s.clone());
+                let rc = store.view(i + 1, s.len(), true);
+                prop_assert_eq!(spell(&rc), dna::reverse_complement(s));
+            }
+        }
+
+        #[test]
+        fn prop_word_parallel_mismatch_count_matches_scalar(
+            a in proptest::collection::vec(proptest::sample::select(b"ACGTN".to_vec()), 1..200),
+            b_seed in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..200),
+        ) {
+            // Compare read `a` (N allowed) against graph sequence `b`
+            // truncated to a common span, lane-by-lane vs byte-by-byte.
+            let span = a.len().min(b_seed.len());
+            let mut pair = PackedReadPair::default();
+            pair.prepare(&a);
+            let mut store = PackedSeqStore::new();
+            store.push_node(&b_seed);
+            let view = store.view(1, b_seed.len(), false);
+            let mut packed_mismatches = 0u32;
+            let mut i = 0;
+            while i < span {
+                let chunk = (span - i).min(BASES_PER_WORD);
+                let x = pair.fwd.word(i) ^ view.word(i);
+                let lanes = keep_lanes(mismatch_lanes(x) | pair.fwd.nmask_word(i), chunk);
+                packed_mismatches += lanes.count_ones();
+                i += chunk;
+            }
+            let scalar: u32 = (0..span).filter(|&i| a[i] != b_seed[i]).count() as u32;
+            prop_assert_eq!(packed_mismatches, scalar);
+        }
+    }
+}

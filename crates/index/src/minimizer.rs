@@ -6,8 +6,7 @@
 //! minimizer of a read, the graph positions where that k-mer occurs — the
 //! *seeds* that the clustering and extension kernels consume.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use mg_graph::{dna, Handle, VariationGraph};
 
 /// A position in the graph: a spot on an oriented node.
@@ -90,16 +89,14 @@ pub fn extract_minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer>
     let mut current = 0u64;
     let mut valid = 0usize; // number of consecutive valid bases ending here
     for (i, &b) in seq.iter().enumerate() {
-        match dna::encode_base_checked(b) {
-            Some(code) => {
-                current = ((current << 2) | code as u64) & mask;
-                valid += 1;
-            }
-            None => {
-                current = 0;
-                valid = 0;
-            }
-        }
+        // Branchless roll sharing the packed store's 2-bit encoder
+        // (`dna::encode2`): an invalid byte zeroes both the running k-mer
+        // and the valid-run length instead of taking an unpredictable
+        // branch, so the window reset costs the same as a regular base.
+        let code = dna::encode2(b);
+        let ok = (code != dna::INVALID_CODE) as u64;
+        current = (((current << 2) | (code & 0b11) as u64) & mask) * ok;
+        valid = (valid + 1) * ok as usize;
         if i + 1 < k {
             continue;
         }
@@ -167,8 +164,12 @@ fn window_start_valid(
 #[derive(Debug, Clone)]
 pub struct MinimizerIndex {
     params: MinimizerParams,
-    /// k-mer -> sorted, deduplicated graph positions.
-    table: HashMap<u64, Vec<GraphPos>>,
+    /// k-mer -> sorted, deduplicated graph positions. FxHash-keyed: the
+    /// keys are packed k-mers the seeding stage looks up once per read
+    /// minimizer, and FxHash is both faster than SipHash there and
+    /// seed-free (deterministic iteration feeding [`MinimizerIndex::to_bytes`]'
+    /// sort is cheap when the layout never shuffles between runs).
+    table: FxHashMap<u64, Vec<GraphPos>>,
     total_positions: usize,
 }
 
@@ -179,7 +180,7 @@ impl MinimizerIndex {
     where
         I: IntoIterator<Item = &'a [Handle]>,
     {
-        let mut table: HashMap<u64, Vec<GraphPos>> = HashMap::new();
+        let mut table: FxHashMap<u64, Vec<GraphPos>> = FxHashMap::default();
         for path in paths {
             Self::index_path(graph, path, params, &mut table);
             let flipped: Vec<Handle> = path.iter().rev().map(|h| h.flip()).collect();
@@ -202,7 +203,7 @@ impl MinimizerIndex {
         graph: &VariationGraph,
         path: &[Handle],
         params: MinimizerParams,
-        table: &mut HashMap<u64, Vec<GraphPos>>,
+        table: &mut FxHashMap<u64, Vec<GraphPos>>,
     ) {
         // Spell the path and remember, per base, its graph position.
         let mut seq = Vec::new();
@@ -251,7 +252,7 @@ impl MinimizerIndex {
     /// [`MinimizerIndex::from_bytes`](crate::serialize)).
     pub(crate) fn from_parts(
         params: MinimizerParams,
-        table: std::collections::HashMap<u64, Vec<GraphPos>>,
+        table: FxHashMap<u64, Vec<GraphPos>>,
         total_positions: usize,
     ) -> Self {
         MinimizerIndex { params, table, total_positions }

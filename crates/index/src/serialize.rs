@@ -59,7 +59,8 @@ impl MinimizerIndex {
         }
         let params = MinimizerParams::new(k, w);
         let kmer_count = cur.read_u64()? as usize;
-        let mut table = std::collections::HashMap::with_capacity(kmer_count);
+        let mut table = fxhash::FxHashMap::default();
+        table.reserve(kmer_count);
         let mut total = 0usize;
         let mut kmer = 0u64;
         for _ in 0..kmer_count {

@@ -431,7 +431,7 @@ impl Report {
 /// A timestamp captured by [`ObsShard::now`]. Carries `None` when the shard
 /// is disabled so the matching [`ObsShard::stage`] call is free.
 #[derive(Debug, Clone, Copy)]
-pub struct ObsInstant(Option<Instant>);
+pub struct ObsInstant(#[cfg_attr(not(feature = "enabled"), allow(dead_code))] Option<Instant>);
 
 impl ObsInstant {
     /// A disabled timestamp; `stage()` with it records nothing.
@@ -443,6 +443,9 @@ impl ObsInstant {
 /// once at worker finish.
 #[derive(Debug, Clone, Default)]
 pub struct ObsShard {
+    // Never read when the `enabled` feature is off: every recording body
+    // collapses to nothing, which is exactly the point.
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     on: bool,
     rep: Report,
 }
@@ -541,6 +544,7 @@ impl ObsShard {
 /// so partial metrics stay readable after a failed run.
 #[derive(Debug, Default)]
 pub struct Metrics {
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     on: bool,
     merged: Mutex<Report>,
 }

@@ -426,7 +426,9 @@ pub fn align_tail(
     // successors.
     let want = tail.len() + params.band;
     let mut reference = Vec::with_capacity(want);
-    let last_seq = graph.sequence(last);
+    // `oriented_sequence` borrows from the per-strand arenas, so spelling
+    // the continuation allocates nothing even across reverse handles.
+    let last_seq = graph.oriented_sequence(last);
     if used_on_last < last_seq.len() {
         reference.extend_from_slice(&last_seq[used_on_last..]);
     }
@@ -435,7 +437,7 @@ pub fn align_tail(
         let Some(&next) = graph.successors(cursor).first() else {
             break;
         };
-        reference.extend_from_slice(graph.sequence(next).as_ref());
+        reference.extend_from_slice(graph.oriented_sequence(next));
         cursor = next;
     }
     if reference.is_empty() {

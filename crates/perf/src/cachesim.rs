@@ -219,6 +219,12 @@ impl CacheSimProbe {
 }
 
 impl MemProbe for CacheSimProbe {
+    /// The simulator consumes the full per-base access stream: kernels with
+    /// a word-parallel fast path must fall back to their scalar loop under
+    /// this probe so `REGION_READ`/`REGION_GRAPH_SEQ` traffic keeps base
+    /// granularity (see DESIGN.md §8).
+    const ACTIVE: bool = true;
+
     fn touch(&mut self, addr: u64, len: u32) {
         let first = addr / LINE_BYTES;
         let last = (addr + len.max(1) as u64 - 1) / LINE_BYTES;

@@ -30,6 +30,16 @@ pub enum CacheEvent {
 /// byte offset of a GBWT record in its backing buffer) rather than real
 /// pointers, so traces are deterministic across runs and machines.
 pub trait MemProbe {
+    /// Whether this probe consumes the per-base `touch`/`instret`/`branch`
+    /// stream. Kernels with a data-parallel fast path may take it when
+    /// `ACTIVE` is `false`, skipping per-base event generation entirely;
+    /// when `true` they must run the scalar path so every logical access is
+    /// reported at base granularity (the cache-simulator contract).
+    ///
+    /// Defaults to `true` — a probe must opt out explicitly. [`NoProbe`]
+    /// and [`CacheTally`] (which ignores memory traffic) set `false`.
+    const ACTIVE: bool = true;
+
     /// Records a read of `len` bytes at logical address `addr`.
     fn touch(&mut self, addr: u64, len: u32);
 
@@ -58,6 +68,8 @@ pub trait MemProbe {
 pub struct NoProbe;
 
 impl MemProbe for NoProbe {
+    const ACTIVE: bool = false;
+
     #[inline(always)]
     fn touch(&mut self, _addr: u64, _len: u32) {}
 
@@ -114,6 +126,10 @@ pub struct CacheTally {
 }
 
 impl MemProbe for CacheTally {
+    /// Only [`CacheEvent`]s matter to the tally; it does not need the
+    /// per-base access stream.
+    const ACTIVE: bool = false;
+
     #[inline(always)]
     fn touch(&mut self, _addr: u64, _len: u32) {}
 
@@ -134,7 +150,9 @@ impl MemProbe for CacheTally {
     }
 }
 
-impl<P: MemProbe + ?Sized> MemProbe for &mut P {
+impl<P: MemProbe> MemProbe for &mut P {
+    const ACTIVE: bool = P::ACTIVE;
+
     #[inline(always)]
     fn touch(&mut self, addr: u64, len: u32) {
         (**self).touch(addr, len);

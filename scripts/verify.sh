@@ -17,8 +17,9 @@ cargo test --workspace -q
 echo "== streaming oracle (golden GAF through the streaming entry point) =="
 cargo test --release -q --test oracle streaming
 
-echo "== lints =="
+echo "== lints (feature matrix: obs on / obs off) =="
 cargo clippy --all-targets -- -D warnings
+cargo clippy --all-targets --no-default-features -p mg-obs -- -D warnings
 
 echo "== metrics overhead smoke (off vs on reads/sec) =="
 out="${MG_OUT:-results}"
@@ -39,6 +40,28 @@ print(f"metrics-off slowdown vs plain: {slowdown:+.2%}")
 if slowdown > 0.10:
     sys.exit(f"FAIL: metrics-off path is {slowdown:.2%} slower than plain")
 print("overhead gate: OK")
+EOF
+
+echo "== packed extension smoke (scalar vs word-parallel reads/sec) =="
+MG_SCALE="${MG_SCALE:-0.2}" MG_OUT="$out" ./target/release/smoke_packed
+
+# The word-parallel packed walk targets >= 1.25x over the scalar oracle on
+# B-yeast; single-core CI noise makes a strict bound flaky, so gate at
+# 1.10x here and treat the printed speedup as the real signal. Allocation
+# pressure must not regress: the packed path reuses the same scratch.
+python3 - "$out/BENCH_PACKED.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+speedup = rep["speedup"]
+print(f"packed/scalar speedup: {speedup:.2f}x (target 1.25x)")
+if speedup < 1.10:
+    sys.exit(f"FAIL: packed path only {speedup:.2f}x of scalar (< 1.10)")
+sa, pa = rep["scalar_allocs_per_read"], rep["packed_allocs_per_read"]
+print(f"allocs/read: scalar {sa:.2f}, packed {pa:.2f}")
+if pa > sa + 0.5:
+    sys.exit(f"FAIL: packed path allocates more per read ({pa:.2f} > {sa:.2f})")
+print(f"seeding: {rep['seeding_ns_per_read']:.0f} ns/read")
+print("packed gate: OK")
 EOF
 
 echo "== streaming smoke (peak RSS + throughput vs batch) =="

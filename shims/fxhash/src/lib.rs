@@ -1,0 +1,153 @@
+//! Offline stand-in for the `fxhash`/`rustc-hash` crates.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the Firefox hash function (FxHash) directly: a non-cryptographic,
+//! deterministic, seed-free multiply-rotate hash that is markedly faster
+//! than the standard library's SipHash for the small integer keys the
+//! minimizer index stores. Determinism matters here twice over — the
+//! mapping pipeline promises bit-identical output across runs and thread
+//! counts, and SipHash's per-process random seed would make `HashMap`
+//! iteration order (and thus any code that forgets to sort) a latent
+//! nondeterminism. FxHash has no seed at all.
+//!
+//! The algorithm matches rustc-hash 1.x (`rotate_left(5) ^ word`, then
+//! multiply by a 64-bit constant), processing 8 bytes at a time.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit multiply constant of FxHash (rustc-hash's `K`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A [`Hasher`] implementing the Firefox hash function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add_to_hash(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add_to_hash(u64::from(u32::from_le_bytes(bytes[..4].try_into().unwrap())));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            self.add_to_hash(u64::from(u16::from_le_bytes(bytes[..2].try_into().unwrap())));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // No per-process seed: two independent builders agree.
+        assert_eq!(hash_of(0xDEAD_BEEFu64), hash_of(0xDEAD_BEEFu64));
+        assert_eq!(hash_of("minimizer"), hash_of("minimizer"));
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        let hashes: Vec<u64> = (0u64..1000).map(hash_of).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len(), "no collisions on small ints");
+        // Top bytes vary (the rotate+multiply diffuses low-entropy input).
+        let top: FxHashSet<u8> = hashes.iter().map(|h| (h >> 56) as u8).collect();
+        assert!(top.len() > 100, "top byte poorly diffused: {}", top.len());
+    }
+
+    #[test]
+    fn matches_reference_recurrence() {
+        // One u64 write is (rot5(0) ^ w) * K.
+        let w = 0x0123_4567_89AB_CDEFu64;
+        let mut h = FxHasher::default();
+        h.write_u64(w);
+        assert_eq!(h.finish(), w.wrapping_mul(SEED));
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // 8 + 4 + 2 + 1 bytes exercise every tail branch.
+        let mut h = FxHasher::default();
+        h.write(&[1u8; 15]);
+        let mut manual = FxHasher::default();
+        manual.add_to_hash(u64::from_le_bytes([1; 8]));
+        manual.add_to_hash(u64::from(u32::from_le_bytes([1; 4])));
+        manual.add_to_hash(u64::from(u16::from_le_bytes([1; 2])));
+        manual.add_to_hash(1);
+        assert_eq!(h.finish(), manual.finish());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(29, "k");
+        m.insert(11, "w");
+        assert_eq!(m.get(&29), Some(&"k"));
+        let s: FxHashSet<u64> = m.keys().copied().collect();
+        assert!(s.contains(&11));
+    }
+}

@@ -42,15 +42,20 @@ fn parent_gaf<'a>(input: &'a SyntheticInput, name: &str) -> (Parent<'a>, ParentR
 /// Replays the parent's captured dump through the proxy kernels, then
 /// post-processes the raw kernel output with the parent's own rescoring
 /// path, and renders the same GAF.
-fn proxy_gaf(parent: &Parent<'_>, run: &ParentRun, input: &SyntheticInput, name: &str) -> String {
-    let options = ParentOptions::default();
+fn proxy_gaf(
+    parent: &Parent<'_>,
+    run: &ParentRun,
+    input: &SyntheticInput,
+    name: &str,
+    options: &ParentOptions,
+) -> String {
     let proxy = run_mapping(&run.dump, &input.gbz, &options.mapping);
     let alignments: Vec<_> = run
         .dump
         .reads
         .iter()
         .zip(&proxy.per_read)
-        .map(|(read_input, result)| parent.post_process(read_input, result, &options, &NullSink, 0))
+        .map(|(read_input, result)| parent.post_process(read_input, result, options, &NullSink, 0))
         .collect();
     let proxy_run = ParentRun {
         kernel_results: proxy.per_read.clone(),
@@ -70,7 +75,7 @@ fn golden_path(name: &str) -> PathBuf {
 fn proxy_reproduces_parent_gaf_byte_for_byte() {
     for (name, input) in workloads() {
         let (parent, run, expected) = parent_gaf(&input, &name);
-        let got = proxy_gaf(&parent, &run, &input, &name);
+        let got = proxy_gaf(&parent, &run, &input, &name, &ParentOptions::default());
         assert!(!expected.is_empty(), "{name}: parent emitted no alignments");
         assert_eq!(
             got, expected,
@@ -160,6 +165,33 @@ fn streaming_ingestion_reproduces_golden_gaf_across_schedulers() {
             assert_eq!(
                 got, expected,
                 "{name}: streaming GAF diverged from the batch pipeline under {kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_extension_matches_scalar_oracle_gaf_across_schedulers() {
+    // The word-parallel packed extension path (the production default —
+    // pooled workers map with no active probe) must land on the same GAF
+    // bytes as the scalar comparison loop, for every golden workload under
+    // every scheduler. `force_scalar` flips only the comparison loop; any
+    // divergence in span, score, path, or rescoring shows up byte-for-byte.
+    for (name, input) in workloads() {
+        let (parent, run, _) = parent_gaf(&input, &name);
+        for kind in minigiraffe::sched::SchedulerKind::ALL {
+            let mut packed_options = ParentOptions::default();
+            packed_options.mapping.scheduler = kind;
+            packed_options.mapping.threads = 4;
+            packed_options.mapping.batch_size = 3;
+            let mut scalar_options = packed_options.clone();
+            scalar_options.mapping.extend.force_scalar = true;
+            let packed = proxy_gaf(&parent, &run, &input, &name, &packed_options);
+            let scalar = proxy_gaf(&parent, &run, &input, &name, &scalar_options);
+            assert!(!packed.is_empty(), "{name}: no alignments under {kind}");
+            assert_eq!(
+                packed, scalar,
+                "{name}: packed extension diverged from the scalar oracle under {kind}"
             );
         }
     }
