@@ -1,0 +1,164 @@
+//! Decode-dedup smoke test for the two-tier CachedGBWT PR.
+//!
+//! Maps a synthetic dump at 4 workers two ways, holding the *effective*
+//! slot budget constant:
+//!
+//! * **baseline** — per-thread tiers only: capacity 256 × 4 threads
+//!   (1024 aggregate slots, `hot_tier_budget = 0`);
+//! * **tiered** — capacity 128 × 4 threads + a 512-record shared hot tier
+//!   (4×128 + 512 = 1024 aggregate slots).
+//!
+//! Every worker in the baseline decodes the hot records privately; the
+//! tiered run decodes each of them once, at tier build. The harness
+//! reports total decompressions (private misses, plus the tier build for
+//! the tiered run), aggregate cache heap, and throughput, and writes
+//! `BENCH_CACHE.json` (under `MG_OUT`, default the working directory).
+//! The verify gate requires fewer total decodes, a smaller aggregate cache
+//! heap, and throughput within noise of the baseline.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mg_bench::Ctx;
+use mg_core::{Mapper, MappingOptions};
+use mg_workload::{InputSetSpec, SyntheticInput};
+
+fn baseline_options() -> MappingOptions {
+    MappingOptions {
+        threads: 4,
+        cache_capacity: 256,
+        hot_tier_budget: 0,
+        ..MappingOptions::default()
+    }
+}
+
+fn tiered_options() -> MappingOptions {
+    MappingOptions {
+        threads: 4,
+        cache_capacity: 128,
+        hot_tier_budget: 512,
+        ..MappingOptions::default()
+    }
+}
+
+/// One timed trial of `reps` pooled runs, in reads/sec.
+fn trial(mapper: &Mapper<'_>, input: &SyntheticInput, options: &MappingOptions, reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(mapper.run(&input.dump, options).total_extensions());
+    }
+    (input.dump.reads.len() * reps) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Times both configurations on dedicated mappers (so one config's warm
+/// pool, caches, and tier never leak into the other), interleaving trials
+/// so environment drift hits both, and keeps each configuration's best —
+/// standard noise suppression for short makespans, which matters on
+/// oversubscribed CI hosts where four workers share a core.
+fn throughput(
+    input: &SyntheticInput,
+    baseline: &MappingOptions,
+    tiered: &MappingOptions,
+    reps: usize,
+) -> (f64, f64) {
+    let base_mapper = Mapper::new(&input.gbz);
+    let tier_mapper = Mapper::new(&input.gbz);
+    std::hint::black_box(base_mapper.run(&input.dump, baseline));
+    std::hint::black_box(tier_mapper.run(&input.dump, tiered));
+    let (mut best_base, mut best_tier) = (0.0f64, 0.0f64);
+    for _ in 0..5 {
+        best_base = best_base.max(trial(&base_mapper, input, baseline, reps));
+        best_tier = best_tier.max(trial(&tier_mapper, input, tiered, reps));
+    }
+    (best_base, best_tier)
+}
+
+/// One cold run on a fresh mapper: total decompressions (private misses
+/// plus the records decoded to populate the tier), aggregate cache heap,
+/// and the merged cache stats.
+fn cold_run(input: &SyntheticInput, options: &MappingOptions) -> (u64, u64, mg_gbwt::CacheStats) {
+    let mapper = Mapper::new(&input.gbz);
+    let results = mapper.run(&input.dump, options);
+    let tier_decodes = mapper.warm_hot_tier(options).map_or(0, |t| t.len()) as u64;
+    (results.cache.misses + tier_decodes, results.cache_heap_bytes, results.cache)
+}
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let input = ctx.generate(&InputSetSpec::b_yeast());
+    let reads = input.dump.reads.len();
+    // Map at least ~25k reads per timed trial so subsampled CI inputs
+    // don't reduce the measurement to a handful of milliseconds.
+    let reps = (25_000 / reads.max(1)).max(5);
+    let baseline = baseline_options();
+    let tiered = tiered_options();
+
+    let (base_decodes, base_heap, base_stats) = cold_run(&input, &baseline);
+    let (tier_decodes, tier_heap, tier_stats) = cold_run(&input, &tiered);
+    let (base_rps, tier_rps) = throughput(&input, &baseline, &tiered, reps);
+    let ratio = tier_rps / base_rps;
+
+    println!("input           : {} ({reads} reads, {reps} reps, 4 threads)", input.spec.name);
+    println!("slot budget     : baseline 4x256, tiered 4x128 + 512 shared (1024 each)");
+    println!("baseline        : {base_rps:>12.0} reads/s   {base_decodes:>9} decodes   {base_heap:>10} heap B");
+    println!("tiered          : {tier_rps:>12.0} reads/s   {tier_decodes:>9} decodes   {tier_heap:>10} heap B");
+    println!("throughput ratio: {ratio:.3} (target >= 0.98)");
+    println!(
+        "tiered hit rates: hot {:.3}, private {:.3}; decodes saved {}",
+        tier_stats.hot_hit_rate(),
+        tier_stats.private_hit_rate(),
+        tier_stats.decodes_saved
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"input\": \"{}\",\n",
+            "  \"reads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"threads\": 4,\n",
+            "  \"baseline_cache_capacity\": {},\n",
+            "  \"tiered_cache_capacity\": {},\n",
+            "  \"hot_tier_budget\": {},\n",
+            "  \"baseline_reads_per_sec\": {:.2},\n",
+            "  \"tiered_reads_per_sec\": {:.2},\n",
+            "  \"throughput_ratio\": {:.4},\n",
+            "  \"baseline_decodes\": {},\n",
+            "  \"tiered_decodes\": {},\n",
+            "  \"baseline_heap_bytes\": {},\n",
+            "  \"tiered_heap_bytes\": {},\n",
+            "  \"hot_hits\": {},\n",
+            "  \"hot_hit_rate\": {:.4},\n",
+            "  \"private_hit_rate\": {:.4},\n",
+            "  \"decodes_saved\": {},\n",
+            "  \"baseline_hit_rate\": {:.4},\n",
+            "  \"debug_assertions\": {}\n",
+            "}}\n"
+        ),
+        input.spec.name,
+        reads,
+        reps,
+        baseline.cache_capacity,
+        tiered.cache_capacity,
+        tiered.hot_tier_budget,
+        base_rps,
+        tier_rps,
+        ratio,
+        base_decodes,
+        tier_decodes,
+        base_heap,
+        tier_heap,
+        tier_stats.hot_hits,
+        tier_stats.hot_hit_rate(),
+        tier_stats.private_hit_rate(),
+        tier_stats.decodes_saved,
+        base_stats.hit_rate(),
+        cfg!(debug_assertions),
+    );
+    let out = std::env::var_os("MG_OUT").map(std::path::PathBuf::from).unwrap_or_default();
+    let path = out.join("BENCH_CACHE.json");
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    file.write_all(json.as_bytes()).expect("write BENCH_CACHE.json");
+    println!("wrote {}", path.display());
+}

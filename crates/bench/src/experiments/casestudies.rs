@@ -301,7 +301,15 @@ pub fn fig8(ctx: &Ctx, study: &TuningStudy) -> String {
         for &batch in &space.batch_sizes {
             let mut row = vec![batch.to_string()];
             for &capacity in &space.cache_capacities {
-                let point = TuningPoint { scheduler, batch_size: batch, cache_capacity: capacity };
+                // The heat map stays two-dimensional per scheduler: cells are
+                // shown at the default hot-tier budget (the simulated sweep
+                // is budget-insensitive, see run_sim_sweep_cached).
+                let point = TuningPoint {
+                    scheduler,
+                    batch_size: batch,
+                    cache_capacity: capacity,
+                    hot_tier_budget: TuningPoint::default_config().hot_tier_budget,
+                };
                 let cell = sweep
                     .find(point)
                     .map_or("-".to_string(), |r| format!("{:.4}", r.makespan_s));
@@ -345,13 +353,14 @@ pub fn anova(ctx: &Ctx, study: &TuningStudy) -> String {
     else {
         return "anova: D-HPRC @ chi-intel sweep missing".to_string();
     };
-    let (sched, batch, capacity) = sweep.anova_by_parameter();
+    let (sched, batch, capacity, hot) = sweep.anova_by_parameter();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, result) in [
         ("scheduler", sched),
         ("batch size", batch),
         ("cache capacity", capacity),
+        ("hot-tier budget", hot),
     ] {
         match result {
             Some(a) => {

@@ -1,0 +1,347 @@
+//! `HotTier`: a shared, immutable, pre-decoded record table.
+//!
+//! The per-thread [`CachedGbwt`](crate::CachedGbwt) duplicates the hottest
+//! GBWT records once per worker: pangenome traversal is heavily skewed
+//! toward a small core of frequently visited nodes, so with N workers the
+//! same records are decoded and stored N times. The hot tier deduplicates
+//! that core. It is built **once per run** from node visit frequency (a
+//! cheap pre-pass over the seed stream, or the previous chunk's counts in
+//! streaming mode), frozen, and shared by `Arc` across all workers. Reads
+//! are plain `&self` lookups on immutable storage — lock-free by
+//! construction, no atomics on the read path.
+//!
+//! Lookup misses fall through to the per-thread tier, which behaves exactly
+//! as before, so mapping output is byte-identical with the tier on or off.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::gbwt::Gbwt;
+use crate::record::DecodedRecord;
+
+/// Maximum load factor of the frozen table (num/den). Matches the
+/// per-thread tier so an entry budget translates to comparable probe
+/// lengths in both tiers.
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// A frozen open-addressed table of pre-decoded records, shared across
+/// workers behind an `Arc`.
+///
+/// Immutable after [`HotTierBuilder::build`]; `Send + Sync` falls out of
+/// that immutability, so worker threads read it without synchronization.
+///
+/// # Examples
+///
+/// ```
+/// use mg_graph::{Handle, NodeId};
+/// use mg_gbwt::{GbwtBuilder, HotTierBuilder};
+///
+/// let path: Vec<Handle> = [1u64, 2, 3].iter()
+///     .map(|&i| Handle::forward(NodeId::new(i))).collect();
+/// let gbwt = GbwtBuilder::new().insert(&path).build().unwrap();
+/// let mut builder = HotTierBuilder::new();
+/// builder.observe(2);
+/// builder.observe(2);
+/// builder.observe(4);
+/// let tier = builder.build(&gbwt, 8);
+/// assert_eq!(tier.len(), 2);
+/// assert_eq!(*tier.get(2).unwrap(), gbwt.record(2));
+/// assert!(tier.get(6).is_none()); // not observed: falls through
+/// ```
+#[derive(Debug)]
+pub struct HotTier {
+    /// [`Gbwt::uid`] of the index the records were decoded from.
+    gbwt_uid: u64,
+    /// Unique build identity, so a per-thread `CacheState` can tell "same
+    /// tier as last run" (keep the seen-bits) from "new tier" (reset them).
+    token: u64,
+    /// `keys[i]` holds `symbol + 1`; key 0 means empty.
+    keys: Vec<u64>,
+    values: Vec<DecodedRecord>,
+    capacity: usize,
+    len: usize,
+}
+
+impl HotTier {
+    /// [`Gbwt::uid`] of the index this tier was built from.
+    pub fn gbwt_uid(&self) -> u64 {
+        self.gbwt_uid
+    }
+
+    /// Unique identity of this build (distinct across all tiers in the
+    /// process, like [`Gbwt::uid`]).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Number of pre-decoded records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tier holds no records (every lookup falls
+    /// through).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Table capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn slot_of(&self, symbol: u64) -> usize {
+        // Fibonacci hashing, identical to the per-thread tier.
+        let h = symbol.wrapping_mul(0x9E3779B97F4A7C15);
+        (h >> (64 - self.capacity.trailing_zeros())) as usize
+    }
+
+    /// Lock-free lookup. Returns the slot index alongside the record so the
+    /// caller can attribute per-slot statistics (first-use tracking).
+    #[inline]
+    pub fn lookup(&self, symbol: u64) -> Option<(usize, &DecodedRecord)> {
+        if self.len == 0 {
+            return None;
+        }
+        let key = symbol + 1;
+        let mut slot = self.slot_of(symbol);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some((slot, &self.values[slot]));
+            }
+            if k == 0 {
+                return None;
+            }
+            slot = (slot + 1) & (self.capacity - 1);
+        }
+    }
+
+    /// Lock-free lookup of `symbol`'s pre-decoded record.
+    #[inline]
+    pub fn get(&self, symbol: u64) -> Option<&DecodedRecord> {
+        self.lookup(symbol).map(|(_, r)| r)
+    }
+
+    /// The record frozen in `slot` (as returned by [`HotTier::lookup`]).
+    #[inline]
+    pub fn slot_record(&self, slot: usize) -> &DecodedRecord {
+        &self.values[slot]
+    }
+
+    /// Approximate heap footprint in bytes (same accounting as
+    /// [`CachedGbwt::heap_bytes`](crate::CachedGbwt::heap_bytes), so the two
+    /// tiers sum into one comparable figure).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * 8
+            + self.values.capacity() * std::mem::size_of::<DecodedRecord>()
+            + self
+                .values
+                .iter()
+                .map(|v| v.edges.capacity() * 16 + v.runs.capacity() * 16)
+                .sum::<usize>()
+    }
+}
+
+/// Accumulates node-visit frequencies and freezes the top records into a
+/// [`HotTier`].
+///
+/// In batch mode the pipeline feeds it a pre-pass over the seed stream; in
+/// streaming mode the previous chunk's seeds seed the tier used by the
+/// chunks that follow.
+#[derive(Debug, Default)]
+pub struct HotTierBuilder {
+    counts: HashMap<u64, u64>,
+}
+
+impl HotTierBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        HotTierBuilder::default()
+    }
+
+    /// Counts one visit of `symbol`.
+    pub fn observe(&mut self, symbol: u64) {
+        *self.counts.entry(symbol).or_insert(0) += 1;
+    }
+
+    /// Counts one visit of `symbol` *and* its opposite orientation
+    /// (`symbol ^ 1`): the extension kernel looks up both at every anchor.
+    pub fn observe_bidir(&mut self, symbol: u64) {
+        self.observe(symbol);
+        self.observe(symbol ^ 1);
+    }
+
+    /// Number of distinct symbols observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Decodes the `budget` most frequently observed symbols from `gbwt`
+    /// and freezes them into a tier. Ties break toward the smaller symbol
+    /// so the tier contents are deterministic regardless of observation
+    /// order. A `budget` of 0 (or an empty builder) produces an empty tier.
+    pub fn build(&self, gbwt: &Gbwt, budget: usize) -> HotTier {
+        let mut ranked: Vec<(u64, u64)> = self.counts.iter().map(|(&s, &c)| (s, c)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(budget);
+        let capacity = (ranked.len() * LOAD_DEN / LOAD_NUM + 1)
+            .next_power_of_two()
+            .max(8);
+        let mut tier = HotTier {
+            gbwt_uid: gbwt.uid(),
+            token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
+            keys: vec![0; capacity],
+            values: vec![DecodedRecord::empty(); capacity],
+            capacity,
+            len: 0,
+        };
+        for (symbol, _) in ranked {
+            let mut slot = tier.slot_of(symbol);
+            while tier.keys[slot] != 0 {
+                slot = (slot + 1) & (capacity - 1);
+            }
+            tier.keys[slot] = symbol + 1;
+            tier.values[slot] = gbwt.record(symbol);
+            tier.len += 1;
+        }
+        tier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GbwtBuilder;
+    use mg_graph::{Handle, NodeId};
+
+    fn chain_gbwt(n: u64) -> Gbwt {
+        let path: Vec<Handle> = (1..=n).map(|i| Handle::forward(NodeId::new(i))).collect();
+        GbwtBuilder::new().insert(&path).build().unwrap()
+    }
+
+    #[test]
+    fn serves_exact_records_for_observed_symbols() {
+        let g = chain_gbwt(16);
+        let mut b = HotTierBuilder::new();
+        for sym in 2..g.alphabet_size() {
+            b.observe(sym);
+        }
+        let tier = b.build(&g, usize::MAX);
+        assert_eq!(tier.len() as u64, g.alphabet_size() - 2);
+        for sym in 2..g.alphabet_size() {
+            assert_eq!(*tier.get(sym).unwrap(), g.record(sym), "symbol {sym}");
+        }
+        assert!(tier.get(g.alphabet_size() + 7).is_none());
+    }
+
+    #[test]
+    fn budget_keeps_the_most_frequent_symbols() {
+        let g = chain_gbwt(8);
+        let mut b = HotTierBuilder::new();
+        for _ in 0..10 {
+            b.observe(4);
+        }
+        for _ in 0..5 {
+            b.observe(6);
+        }
+        b.observe(8);
+        let tier = b.build(&g, 2);
+        assert_eq!(tier.len(), 2);
+        assert!(tier.get(4).is_some());
+        assert!(tier.get(6).is_some());
+        assert!(tier.get(8).is_none());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let g = chain_gbwt(8);
+        // Same counts observed in two different orders must freeze the
+        // same tier contents.
+        let mut a = HotTierBuilder::new();
+        for sym in [10, 4, 8, 6] {
+            a.observe(sym);
+        }
+        let mut b = HotTierBuilder::new();
+        for sym in [6, 8, 4, 10] {
+            b.observe(sym);
+        }
+        let ta = a.build(&g, 2);
+        let tb = b.build(&g, 2);
+        for sym in [4, 6, 8, 10] {
+            assert_eq!(ta.get(sym).is_some(), tb.get(sym).is_some(), "symbol {sym}");
+        }
+        // Smallest symbols win the tie.
+        assert!(ta.get(4).is_some() && ta.get(6).is_some());
+    }
+
+    #[test]
+    fn observe_bidir_counts_both_orientations() {
+        let g = chain_gbwt(4);
+        let mut b = HotTierBuilder::new();
+        b.observe_bidir(4);
+        let tier = b.build(&g, usize::MAX);
+        assert!(tier.get(4).is_some());
+        assert!(tier.get(5).is_some());
+        assert_eq!(tier.len(), 2);
+    }
+
+    #[test]
+    fn zero_budget_and_empty_builder_yield_empty_tier() {
+        let g = chain_gbwt(4);
+        let mut b = HotTierBuilder::new();
+        b.observe(2);
+        let tier = b.build(&g, 0);
+        assert!(tier.is_empty());
+        assert!(tier.get(2).is_none());
+        let empty = HotTierBuilder::new().build(&g, 64);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn tokens_are_unique_and_uid_matches() {
+        let g = chain_gbwt(4);
+        let mut b = HotTierBuilder::new();
+        b.observe(2);
+        let t1 = b.build(&g, 8);
+        let t2 = b.build(&g, 8);
+        assert_ne!(t1.token(), t2.token());
+        assert_eq!(t1.gbwt_uid(), g.uid());
+    }
+
+    #[test]
+    fn tier_is_shareable_across_threads() {
+        let g = chain_gbwt(32);
+        let mut b = HotTierBuilder::new();
+        for sym in 2..g.alphabet_size() {
+            b.observe(sym);
+        }
+        let tier = std::sync::Arc::new(b.build(&g, usize::MAX));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let tier = std::sync::Arc::clone(&tier);
+                let g = &g;
+                s.spawn(move || {
+                    for sym in 2..g.alphabet_size() {
+                        assert_eq!(*tier.get(sym).unwrap(), g.record(sym));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn heap_bytes_counts_table_and_record_buffers() {
+        let g = chain_gbwt(16);
+        let mut b = HotTierBuilder::new();
+        for sym in 2..g.alphabet_size() {
+            b.observe(sym);
+        }
+        let tier = b.build(&g, usize::MAX);
+        assert!(tier.heap_bytes() > tier.capacity() * 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property test for the two-tier cache: a [`CachedGbwt`] with a shared
+//! pre-decoded hot tier attached must return exactly the records the
+//! single-tier cache returns, for arbitrary path sets, arbitrary symbol
+//! streams, arbitrary tier budgets, and across warm rebinds to a different
+//! GBWT or capacity mid-stream.
+
+use std::sync::Arc;
+
+use mg_gbwt::{CacheState, CachedGbwt, Gbwt, GbwtBuilder, HotTier, HotTierBuilder};
+use mg_graph::{Handle, NodeId};
+use proptest::prelude::*;
+
+fn fwd(ids: &[u64]) -> Vec<Handle> {
+    ids.iter().map(|&i| Handle::forward(NodeId::new(i))).collect()
+}
+
+fn build_gbwt(paths: &[Vec<u64>]) -> Gbwt {
+    let mut builder = GbwtBuilder::new();
+    for ids in paths {
+        builder = builder.insert(&fwd(ids));
+    }
+    builder.build().unwrap()
+}
+
+/// Builds a hot tier from the first `sample` symbols of the stream, the
+/// same frequency-driven policy the pipeline uses.
+fn tier_from_stream(gbwt: &Gbwt, stream: &[u64], sample: usize, budget: usize) -> Option<Arc<HotTier>> {
+    let mut b = HotTierBuilder::new();
+    for &sym in stream.iter().take(sample) {
+        b.observe_bidir(sym);
+    }
+    if budget == 0 || b.distinct() == 0 {
+        return None;
+    }
+    Some(Arc::new(b.build(gbwt, budget)))
+}
+
+/// Symbols that have records in a GBWT over node ids `1..max_id`: the
+/// forward/reverse node symbols `2..2*max_id+2`, plus some that don't
+/// (exercising the no-record path through both tiers).
+fn symbol_stream(max_id: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(2u64..(2 * max_id + 6), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tiered and single-tier caches agree record-for-record over a random
+    /// symbol stream, at every budget, and the tiered stats reconcile:
+    /// every hot miss fell through to the private tier.
+    #[test]
+    fn prop_two_tier_matches_single_tier(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(1u64..10, 1..12),
+            1..8,
+        ),
+        stream in symbol_stream(10),
+        budget in 0usize..32,
+        capacity in proptest::sample::select(vec![2usize, 8, 64]),
+    ) {
+        let gbwt = build_gbwt(&paths);
+        let tier = tier_from_stream(&gbwt, &stream, stream.len() / 2 + 1, budget);
+        let mut single = CachedGbwt::new(&gbwt, capacity);
+        let mut tiered = CachedGbwt::new(&gbwt, capacity).with_hot(tier.clone());
+        for &sym in &stream {
+            if !gbwt.has_record(sym) {
+                continue;
+            }
+            let a = single.record(sym).clone();
+            let b = tiered.record(sym).clone();
+            prop_assert_eq!(a, b, "symbol {} diverged (budget {})", sym, budget);
+        }
+        let s = tiered.stats();
+        if tier.is_some() {
+            // Both caches saw the same lookups, and every hot miss (and only
+            // those) fell through to the private tier.
+            prop_assert_eq!(
+                s.hot_hits + s.hot_misses,
+                single.stats().hits + single.stats().misses
+            );
+            prop_assert_eq!(s.hits + s.misses, s.hot_misses);
+        } else {
+            prop_assert_eq!(s.hot_hits + s.hot_misses, 0);
+        }
+    }
+
+    /// Mid-stream warm rebinds — same state carried to a different GBWT
+    /// (different uid) and a different capacity, with the old tier still
+    /// attached at rebind time — never produce a wrong record: the stale
+    /// tier is rejected by uid and the private tier resets.
+    #[test]
+    fn prop_rebind_mid_stream_stays_correct(
+        paths_a in proptest::collection::vec(
+            proptest::collection::vec(1u64..9, 1..10),
+            1..6,
+        ),
+        paths_b in proptest::collection::vec(
+            proptest::collection::vec(1u64..9, 1..10),
+            1..6,
+        ),
+        stream in symbol_stream(9),
+        budget in 1usize..16,
+    ) {
+        let ga = build_gbwt(&paths_a);
+        let gb = build_gbwt(&paths_b);
+        let tier_a = tier_from_stream(&ga, &stream, stream.len(), budget);
+
+        // First half against A with A's tier.
+        let mut cache = CachedGbwt::new(&ga, 8).with_hot(tier_a.clone());
+        let half = stream.len() / 2;
+        for &sym in &stream[..half] {
+            if ga.has_record(sym) {
+                prop_assert_eq!(cache.record(sym).clone(), ga.record(sym));
+            }
+        }
+
+        // Rebind the carried state to B at a different capacity. The tier
+        // belongs to A, so attaching it to a B-bound cache must be refused.
+        let state: CacheState = cache.into_state();
+        let mut cache = CachedGbwt::with_state(&gb, 16, state).with_hot(tier_a);
+        prop_assert!(cache.hot().is_none(), "stale tier survived a rebind to another GBWT");
+        for &sym in &stream[half..] {
+            if gb.has_record(sym) {
+                prop_assert_eq!(cache.record(sym).clone(), gb.record(sym));
+            }
+        }
+
+        // Rebind back to A with a fresh tier built for A: records still match.
+        let tier_a2 = tier_from_stream(&ga, &stream, stream.len(), budget);
+        let state = cache.into_state();
+        let mut cache = CachedGbwt::with_state(&ga, 4, state).with_hot(tier_a2);
+        for &sym in &stream {
+            if ga.has_record(sym) {
+                prop_assert_eq!(cache.record(sym).clone(), ga.record(sym));
+            }
+        }
+    }
+}

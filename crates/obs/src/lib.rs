@@ -96,11 +96,20 @@ pub enum Ctr {
     /// Nanoseconds the streaming producer spent blocked on a full queue
     /// (backpressure applied by the mapping consumer).
     StreamProducerBlockedNs = 15,
+    /// `CachedGbwt` record lookups served by the shared pre-decoded hot
+    /// tier (before the per-thread table was probed).
+    CacheHotHits = 16,
+    /// Record lookups that fell through the hot tier to the per-thread
+    /// table.
+    CacheHotMisses = 17,
+    /// Record decompressions skipped because the hot tier already held the
+    /// record a per-thread table would otherwise have decoded.
+    CacheDecodesSaved = 18,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
     /// All counters, in declaration order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
         Ctr::ReadsMapped,
@@ -119,6 +128,9 @@ impl Ctr {
         Ctr::StreamBatches,
         Ctr::StreamReads,
         Ctr::StreamProducerBlockedNs,
+        Ctr::CacheHotHits,
+        Ctr::CacheHotMisses,
+        Ctr::CacheDecodesSaved,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -140,6 +152,9 @@ impl Ctr {
             Ctr::StreamBatches => "stream_batches",
             Ctr::StreamReads => "stream_reads",
             Ctr::StreamProducerBlockedNs => "stream_producer_blocked_ns",
+            Ctr::CacheHotHits => "cache_hot_hits",
+            Ctr::CacheHotMisses => "cache_hot_misses",
+            Ctr::CacheDecodesSaved => "cache_decodes_saved",
         }
     }
 }
@@ -194,14 +209,22 @@ pub enum Gauge {
     ThreadsMax = 1,
     /// Deepest streaming-ingestion queue occupancy observed (in batches).
     StreamQueueDepthMax = 2,
+    /// Heap bytes frozen in the shared hot tier (one figure per run; the
+    /// per-thread tables are counted by the cache heap accounting, not
+    /// here).
+    HotTierBytes = 3,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
     /// All gauges, in declaration order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
-        [Gauge::QueueDepthMax, Gauge::ThreadsMax, Gauge::StreamQueueDepthMax];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::QueueDepthMax,
+        Gauge::ThreadsMax,
+        Gauge::StreamQueueDepthMax,
+        Gauge::HotTierBytes,
+    ];
 
     /// Stable lowercase name used by the exporters.
     pub fn name(self) -> &'static str {
@@ -209,6 +232,7 @@ impl Gauge {
             Gauge::QueueDepthMax => "queue_depth_max",
             Gauge::ThreadsMax => "threads_max",
             Gauge::StreamQueueDepthMax => "stream_queue_depth_max",
+            Gauge::HotTierBytes => "hot_tier_bytes",
         }
     }
 }

@@ -14,13 +14,13 @@
 //! instrumented through [`mg_support::regions::RegionSink`], which is what
 //! regenerates Figures 2–4.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use mg_core::dump::SeedDump;
 use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
 use mg_core::{MapScratch, Mapper, MappingOptions, StreamOptions};
-use mg_gbwt::{CachedGbwt, Gbz};
+use mg_gbwt::{CachedGbwt, Gbz, HotTier};
 use mg_index::MinimizerIndex;
 use mg_obs::{Ctr, Gauge, Hist, Metrics, ObsShard, Stage};
 use mg_sched::{bounded_queue, AnyScheduler, SchedulerKind};
@@ -206,6 +206,9 @@ impl<'a> Parent<'a> {
             obs.add(Ctr::CacheEvictions, after.evictions - before.evictions);
             obs.add(Ctr::CacheResizes, after.rehashes - before.rehashes);
             obs.add(Ctr::CacheRehashedSlots, after.rehashed_slots - before.rehashed_slots);
+            obs.add(Ctr::CacheHotHits, after.hot_hits - before.hot_hits);
+            obs.add(Ctr::CacheHotMisses, after.hot_misses - before.hot_misses);
+            obs.add(Ctr::CacheDecodesSaved, after.decodes_saved - before.decodes_saved);
         }
         (read_input, result, alignments)
     }
@@ -290,7 +293,18 @@ impl<'a> Parent<'a> {
         metrics: &Metrics,
     ) -> ParentRun {
         let start = Instant::now();
-        let chunk = self.run_chunk(reads, 0, options, sink, metrics);
+        // The parent computes seeds *during* the run, so a cold first run
+        // maps single-tier; its captured dump then freezes the tier later
+        // runs (and the streaming chunks) share.
+        let hot = self.mapper.warm_hot_tier(&options.mapping);
+        metrics.gauge_max(
+            Gauge::HotTierBytes,
+            hot.as_deref().map_or(0, HotTier::heap_bytes) as u64,
+        );
+        let chunk = self.run_chunk(reads, 0, options, sink, hot.as_ref(), metrics);
+        if hot.is_none() {
+            let _ = self.mapper.build_hot_tier(&chunk.dump_reads, &options.mapping);
+        }
         let wall = start.elapsed();
         ParentRun {
             kernel_results: chunk.kernel_results,
@@ -314,6 +328,7 @@ impl<'a> Parent<'a> {
         base_id: u64,
         options: &ParentOptions,
         sink: &(impl RegionSink + ?Sized),
+        hot: Option<&Arc<HotTier>>,
         metrics: &Metrics,
     ) -> ChunkRun {
         let n = reads.len();
@@ -322,7 +337,9 @@ impl<'a> Parent<'a> {
         let scheduler: Box<dyn AnyScheduler> =
             options.mapping.scheduler.build(options.mapping.batch_size);
         scheduler.run_erased_obs(n, options.mapping.threads.max(1), metrics, &|thread| {
-            let mut cache = CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity);
+            let mut cache =
+                CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity)
+                    .with_hot(hot.map(Arc::clone));
             let mut obs = metrics.guard();
             let slots = &slots;
             Box::new(move |i| {
@@ -356,7 +373,8 @@ impl<'a> Parent<'a> {
         if self.workflow == Workflow::Paired && options.enable_rescue {
             let _t = RegionTimer::start(sink, 0, "pair_rescue");
             let mut cache =
-                CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity);
+                CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity)
+                    .with_hot(hot.map(Arc::clone));
             for pair_start in (0..n.saturating_sub(1)).step_by(2) {
                 let (a, b) = (pair_start, pair_start + 1);
                 let (mapped, unmapped) = match (
@@ -476,6 +494,10 @@ impl<'a> Parent<'a> {
         let mut write_failure: Option<std::io::Error> = None;
         let mut pending: Vec<Vec<u8>> = Vec::new();
         let mut next_id = 0u64;
+        // Chunk 0 maps with a warm tier when an earlier run froze one;
+        // otherwise single-tier, and its computed seeds freeze the tier the
+        // chunks after it share.
+        let mut hot = self.mapper.warm_hot_tier(&options.mapping);
 
         let queue_stats = std::thread::scope(|scope| {
             let producer = scope.spawn(move || {
@@ -491,6 +513,7 @@ impl<'a> Parent<'a> {
             let mut map_pending = |pending: &mut Vec<Vec<u8>>,
                                    next_id: &mut u64,
                                    chunks: &mut u64,
+                                   hot: &mut Option<Arc<HotTier>>,
                                    write_failure: &mut Option<std::io::Error>,
                                    take: usize| {
                 let rest = pending.split_off(take.min(pending.len()));
@@ -500,9 +523,12 @@ impl<'a> Parent<'a> {
                 }
                 let base = *next_id;
                 metrics.observe(Hist::StreamChunkReads, chunk.len() as u64);
-                let out = self.run_chunk(&chunk, base, options, sink, metrics);
+                let out = self.run_chunk(&chunk, base, options, sink, hot.as_ref(), metrics);
                 *next_id += chunk.len() as u64;
                 *chunks += 1;
+                if hot.is_none() {
+                    *hot = self.mapper.build_hot_tier(&out.dump_reads, &options.mapping);
+                }
                 let gaf = crate::gaf::chunk_to_gaf(
                     self.mapper.gbz().graph(),
                     set_name,
@@ -534,6 +560,7 @@ impl<'a> Parent<'a> {
                                 &mut pending,
                                 &mut next_id,
                                 &mut chunks,
+                                &mut hot,
                                 &mut write_failure,
                                 chunk_target,
                             );
@@ -549,11 +576,22 @@ impl<'a> Parent<'a> {
             // including a trailing unpaired read, which the batch path also
             // leaves unpaired.
             let take = pending.len();
-            map_pending(&mut pending, &mut next_id, &mut chunks, &mut write_failure, take);
+            map_pending(
+                &mut pending,
+                &mut next_id,
+                &mut chunks,
+                &mut hot,
+                &mut write_failure,
+                take,
+            );
             drop(rx);
             producer.join().expect("streaming producer panicked")
         });
 
+        metrics.gauge_max(
+            Gauge::HotTierBytes,
+            hot.as_deref().map_or(0, HotTier::heap_bytes) as u64,
+        );
         metrics.add(Ctr::StreamBatches, batches_consumed);
         metrics.add(Ctr::StreamReads, reads);
         metrics.add(Ctr::StreamProducerBlockedNs, queue_stats.blocked_ns);

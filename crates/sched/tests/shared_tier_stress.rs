@@ -1,0 +1,209 @@
+//! Concurrency stress tests for the shared hot tier: every worker in the
+//! persistent pool reads one `Arc<HotTier>` lock-free while holding its own
+//! private `CachedGbwt`, and every record served must equal the GBWT's
+//! ground truth under every scheduler kind and thread count — including
+//! after a worker panic, which must leave neither a poisoned pool nor a
+//! corrupt shared tier behind.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mg_gbwt::{CachedGbwt, Gbwt, GbwtBuilder, HotTier, HotTierBuilder};
+use mg_graph::{Handle, NodeId};
+use mg_obs::{Ctr, Metrics};
+use mg_sched::{PoolTask, SchedulerKind, WorkerPool};
+
+fn fwd(ids: &[u64]) -> Vec<Handle> {
+    ids.iter().map(|&i| Handle::forward(NodeId::new(i))).collect()
+}
+
+/// A small braided haplotype set with skewed node popularity, so the tier
+/// holds genuinely hot records and misses still occur.
+fn test_gbwt() -> Gbwt {
+    let mut b = GbwtBuilder::new();
+    for _ in 0..6 {
+        b = b.insert(&fwd(&[1, 2, 4, 5, 7]));
+    }
+    b = b.insert(&fwd(&[1, 3, 4, 6, 7]));
+    b = b.insert(&fwd(&[2, 3, 5, 6, 8]));
+    b.build().unwrap()
+}
+
+/// Symbols with records, cycled by task index as each worker's lookup key.
+fn probe_symbols(gbwt: &Gbwt) -> Vec<u64> {
+    (2..2 * 10).filter(|&s| gbwt.has_record(s)).collect()
+}
+
+fn build_tier(gbwt: &Gbwt, budget: usize) -> Arc<HotTier> {
+    let mut b = HotTierBuilder::new();
+    for &sym in &probe_symbols(gbwt) {
+        b.observe_bidir(sym);
+    }
+    Arc::new(b.build(gbwt, budget))
+}
+
+/// Verifies one record per task index against the uncached GBWT and counts
+/// the visit; any divergence bumps `mismatches` (asserting inside a worker
+/// would just look like an unrelated panic).
+struct TierProbe<'a> {
+    gbwt: &'a Gbwt,
+    cache: CachedGbwt<'a>,
+    symbols: &'a [u64],
+    seen: &'a [AtomicU64],
+    mismatches: &'a AtomicU64,
+}
+
+impl TierProbe<'_> {
+    fn new<'a>(
+        gbwt: &'a Gbwt,
+        tier: &Arc<HotTier>,
+        symbols: &'a [u64],
+        seen: &'a [AtomicU64],
+        mismatches: &'a AtomicU64,
+    ) -> TierProbe<'a> {
+        TierProbe {
+            gbwt,
+            cache: CachedGbwt::new(gbwt, 4).with_hot(Some(Arc::clone(tier))),
+            symbols,
+            seen,
+            mismatches,
+        }
+    }
+}
+
+impl PoolTask for TierProbe<'_> {
+    fn run(&mut self, i: usize) {
+        let sym = self.symbols[i % self.symbols.len()];
+        if *self.cache.record(sym) != self.gbwt.record(sym) {
+            self.mismatches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.seen[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn shared_tier_reads_reconcile_to_exactly_once_processing() {
+    let gbwt = test_gbwt();
+    let symbols = probe_symbols(&gbwt);
+    // Budget 2 keeps the tier smaller than the symbol set: both hot hits
+    // and fall-through misses happen concurrently on every run.
+    let tier = build_tier(&gbwt, 2);
+    let mut pool = WorkerPool::new();
+    for kind in SchedulerKind::ALL {
+        for threads in [1usize, 2, 8] {
+            for n in [0usize, 1, 97, 1000] {
+                let metrics = Metrics::new();
+                let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                let mismatches = AtomicU64::new(0);
+                let (gbwt_ref, tier_ref) = (&gbwt, &tier);
+                let (symbols_ref, seen_ref, mis_ref) = (&symbols[..], &seen[..], &mismatches);
+                kind.build(16).run_pooled_erased_obs(
+                    &mut pool,
+                    n,
+                    threads,
+                    &metrics,
+                    &move |_t, _cell| {
+                        Box::new(TierProbe::new(gbwt_ref, tier_ref, symbols_ref, seen_ref, mis_ref))
+                    },
+                );
+                assert_eq!(
+                    mismatches.load(Ordering::Relaxed),
+                    0,
+                    "{kind}: tiered record diverged with n={n} threads={threads}"
+                );
+                for (i, c) in seen.iter().enumerate() {
+                    assert_eq!(
+                        c.load(Ordering::Relaxed),
+                        1,
+                        "{kind}: index {i} with n={n} threads={threads}"
+                    );
+                }
+                assert_eq!(
+                    metrics.report().counter(Ctr::PoolTasksCompleted),
+                    n as u64,
+                    "{kind}: completions with n={n} threads={threads}"
+                );
+            }
+        }
+    }
+    // The shared tier was read concurrently throughout; it still answers
+    // exactly like the index it was built from.
+    for &sym in &symbols {
+        if let Some(rec) = tier.get(sym) {
+            assert_eq!(*rec, gbwt.record(sym));
+        }
+    }
+}
+
+/// A tier-reading worker that detonates on one index.
+struct PanicProbe<'a> {
+    inner: TierProbe<'a>,
+    bomb: usize,
+}
+
+impl PoolTask for PanicProbe<'_> {
+    fn run(&mut self, i: usize) {
+        if i == self.bomb {
+            panic!("task {i} explodes");
+        }
+        self.inner.run(i);
+    }
+}
+
+#[test]
+fn worker_panic_leaves_the_shared_tier_and_pool_usable() {
+    let gbwt = test_gbwt();
+    let symbols = probe_symbols(&gbwt);
+    let tier = build_tier(&gbwt, 4);
+    let mut pool = WorkerPool::new();
+    let n = 200usize;
+    let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mismatches = AtomicU64::new(0);
+    let metrics = Metrics::new();
+    let (gbwt_ref, tier_ref) = (&gbwt, &tier);
+    let (symbols_ref, seen_ref, mis_ref) = (&symbols[..], &seen[..], &mismatches);
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        SchedulerKind::Dynamic.build(4).run_pooled_erased_obs(
+            &mut pool,
+            n,
+            4,
+            &metrics,
+            &move |_t, _cell| {
+                Box::new(PanicProbe {
+                    inner: TierProbe::new(gbwt_ref, tier_ref, symbols_ref, seen_ref, mis_ref),
+                    bomb: 50,
+                })
+            },
+        );
+    }));
+    assert!(caught.is_err(), "the worker panic must surface");
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0, "pre-panic reads were correct");
+
+    // The frozen tier cannot be poisoned — every entry still matches the
+    // ground truth after the crash.
+    for &sym in &symbols {
+        if let Some(rec) = tier.get(sym) {
+            assert_eq!(*rec, gbwt.record(sym));
+        }
+    }
+
+    // And the same pool + same tier run a clean pass that reconciles
+    // exactly once with zero divergence.
+    let metrics2 = Metrics::new();
+    let seen2: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mismatches2 = AtomicU64::new(0);
+    let (seen2_ref, mis2_ref) = (&seen2[..], &mismatches2);
+    SchedulerKind::Dynamic.build(4).run_pooled_erased_obs(
+        &mut pool,
+        n,
+        4,
+        &metrics2,
+        &move |_t, _cell| {
+            Box::new(TierProbe::new(gbwt_ref, tier_ref, symbols_ref, seen2_ref, mis2_ref))
+        },
+    );
+    assert_eq!(mismatches2.load(Ordering::Relaxed), 0);
+    assert!(seen2.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    assert_eq!(metrics2.report().counter(Ctr::PoolTasksCompleted), n as u64);
+}

@@ -1,10 +1,11 @@
 //! The autotuning parameter space (§VII-B).
 //!
-//! Three parameters are swept exhaustively (full cross-product): the
+//! Four parameters are swept exhaustively (full cross-product): the
 //! scheduler (OpenMP-dynamic vs the in-house work-stealing), the batch size
-//! (powers of two, 128–2048), and the initial CachedGBWT capacity (bounded
+//! (powers of two, 128–2048), the initial CachedGBWT capacity (bounded
 //! to ≤ 4096 after the Figure 6 preliminary showed larger capacities
-//! degrade). The defaults are Giraffe's: OpenMP, 512, 256.
+//! degrade), and the shared hot-tier budget (0 disables the shared tier).
+//! The defaults are Giraffe's: OpenMP, 512, 256, plus a 256-record hot tier.
 
 use mg_sched::SchedulerKind;
 
@@ -17,22 +18,29 @@ pub struct TuningPoint {
     pub batch_size: usize,
     /// Initial CachedGBWT capacity.
     pub cache_capacity: usize,
+    /// Shared pre-decoded hot-tier budget in records (0 = disabled).
+    pub hot_tier_budget: usize,
 }
 
 impl std::fmt::Display for TuningPoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/bs{}/cc{}", self.scheduler, self.batch_size, self.cache_capacity)
+        write!(
+            f,
+            "{}/bs{}/cc{}/ht{}",
+            self.scheduler, self.batch_size, self.cache_capacity, self.hot_tier_budget
+        )
     }
 }
 
 impl TuningPoint {
     /// Giraffe's default configuration: OpenMP-dynamic, batch 512,
-    /// capacity 256.
+    /// capacity 256, hot tier 256.
     pub fn default_config() -> Self {
         TuningPoint {
             scheduler: SchedulerKind::Dynamic,
             batch_size: 512,
             cache_capacity: 256,
+            hot_tier_budget: 256,
         }
     }
 }
@@ -46,16 +54,19 @@ pub struct ParamSpace {
     pub batch_sizes: Vec<usize>,
     /// Cache capacities considered.
     pub cache_capacities: Vec<usize>,
+    /// Hot-tier budgets considered (0 = per-thread tier only).
+    pub hot_tier_budgets: Vec<usize>,
 }
 
 impl Default for ParamSpace {
     /// The paper's space: {OpenMP, work-stealing} × {128..2048} ×
-    /// {256..4096}, powers of two.
+    /// {256..4096}, powers of two, plus hot-tier budgets {0, 256, 1024}.
     fn default() -> Self {
         ParamSpace {
             schedulers: SchedulerKind::TUNED.to_vec(),
             batch_sizes: vec![128, 256, 512, 1024, 2048],
             cache_capacities: vec![256, 512, 1024, 2048, 4096],
+            hot_tier_budgets: vec![0, 256, 1024],
         }
     }
 }
@@ -67,12 +78,16 @@ impl ParamSpace {
             schedulers: SchedulerKind::TUNED.to_vec(),
             batch_sizes: vec![128, 512],
             cache_capacities: vec![256, 1024],
+            hot_tier_budgets: vec![0, 256],
         }
     }
 
     /// Number of points in the cross-product.
     pub fn len(&self) -> usize {
-        self.schedulers.len() * self.batch_sizes.len() * self.cache_capacities.len()
+        self.schedulers.len()
+            * self.batch_sizes.len()
+            * self.cache_capacities.len()
+            * self.hot_tier_budgets.len()
     }
 
     /// Returns `true` for an empty space.
@@ -84,10 +99,13 @@ impl ParamSpace {
     pub fn points(&self) -> impl Iterator<Item = TuningPoint> + '_ {
         self.schedulers.iter().flat_map(move |&scheduler| {
             self.batch_sizes.iter().flat_map(move |&batch_size| {
-                self.cache_capacities.iter().map(move |&cache_capacity| TuningPoint {
-                    scheduler,
-                    batch_size,
-                    cache_capacity,
+                self.cache_capacities.iter().flat_map(move |&cache_capacity| {
+                    self.hot_tier_budgets.iter().map(move |&hot_tier_budget| TuningPoint {
+                        scheduler,
+                        batch_size,
+                        cache_capacity,
+                        hot_tier_budget,
+                    })
                 })
             })
         })
@@ -101,10 +119,11 @@ mod tests {
     #[test]
     fn default_space_matches_paper() {
         let space = ParamSpace::default();
-        assert_eq!(space.len(), 2 * 5 * 5);
+        assert_eq!(space.len(), 2 * 5 * 5 * 3);
         assert!(space.batch_sizes.contains(&128));
         assert!(space.batch_sizes.contains(&2048));
         assert!(space.cache_capacities.iter().all(|&c| c <= 4096));
+        assert!(space.hot_tier_budgets.contains(&0));
     }
 
     #[test]
@@ -122,11 +141,12 @@ mod tests {
         assert_eq!(d.scheduler, SchedulerKind::Dynamic);
         assert_eq!(d.batch_size, 512);
         assert_eq!(d.cache_capacity, 256);
+        assert_eq!(d.hot_tier_budget, 256);
     }
 
     #[test]
     fn display_is_parseable_by_eye() {
         let p = TuningPoint::default_config();
-        assert_eq!(p.to_string(), "openmp-dynamic/bs512/cc256");
+        assert_eq!(p.to_string(), "openmp-dynamic/bs512/cc256/ht256");
     }
 }
