@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 use mg_core::{cluster_seeds, extend_seed, ClusterParams, ExtendParams, Mapper, MappingOptions};
 use mg_gbwt::CachedGbwt;
-use mg_index::{extract_minimizers, DistanceIndex, MinimizerParams};
+use mg_index::{
+    extract_minimizers, extract_minimizers_into, DistanceIndex, MinimizerParams, MinimizerScratch,
+};
 use mg_support::probe::NoProbe;
 use mg_support::regions::NullSink;
 use mg_workload::{InputSetSpec, SyntheticInput};
@@ -130,9 +132,31 @@ fn bench_minimizers(c: &mut Criterion) {
         let params = MinimizerParams::new(29, 11);
         b.iter(|| black_box(extract_minimizers(black_box(seq), params)))
     });
+    // The `_into` variants are what the mapping loop actually runs: the
+    // delta against the allocating entry points above is the per-call
+    // allocation tax the scratch-threading removed.
+    group.bench_function("extract_2kb_into", |b| {
+        let seq = &hap[..hap.len().min(2048)];
+        let params = MinimizerParams::new(29, 11);
+        let mut scratch = MinimizerScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            extract_minimizers_into(black_box(seq), params, &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
     group.bench_function("query_read", |b| {
         let read = &input.sim_reads[0].bases;
         b.iter(|| black_box(input.minimizer_index.query(black_box(read), 64)))
+    });
+    group.bench_function("query_read_into", |b| {
+        let read = &input.sim_reads[0].bases;
+        let mut scratch = MinimizerScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            input.minimizer_index.query_into(black_box(read), 64, &mut scratch, &mut out);
+            black_box(out.len())
+        })
     });
     group.finish();
 }

@@ -1,0 +1,212 @@
+//! Throughput smoke test for the explicit-SIMD + batched-dataflow PR.
+//!
+//! Maps the B-yeast synthetic dump with the paper's default tuning point
+//! on the persistent worker pool two ways:
+//!
+//! * **swar** — the previous PR's production shape: the SWAR word-parallel
+//!   comparison loop with the unbatched anchor order (`extend_batch = 1`);
+//! * **simd** — this PR's default: the runtime-dispatched tier (AVX2 where
+//!   the host supports it, SWAR otherwise) plus the batched extension
+//!   dataflow (`extend_batch = 16`), so wide-block compares and
+//!   graph-position-major anchor batches run together.
+//!
+//! Both configurations must produce identical mapping output (asserted
+//! before any timing); the measured delta is therefore pure throughput.
+//!
+//! Prints all rates and writes `BENCH_SIMD.json` (under `MG_OUT`, default
+//! the working directory) with reads/sec in both shapes, the dispatched
+//! tier name, and allocations-per-read from the counting global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mg_bench::Ctx;
+use mg_core::{Mapper, MappingOptions, SimdTier};
+use mg_workload::{InputSetSpec, SyntheticInput};
+
+/// Counts heap allocations (allocs + reallocs) so the harness can report
+/// per-read allocation pressure in both modes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Times pooled mapping runs for several configurations at once,
+/// interleaved round-robin so slow drift of the host (a shared, often
+/// single-core box) hits every configuration equally; reports each
+/// configuration's best single-run rate (reads/sec, allocs/read). Best-of
+/// is the standard noise-robust statistic: external slowdowns only ever
+/// subtract throughput, so the fastest observed run is the closest to the
+/// machine's true rate.
+fn measure_interleaved(
+    mapper: &Mapper<'_>,
+    input: &SyntheticInput,
+    configs: &[&MappingOptions],
+    rounds: usize,
+) -> Vec<(f64, f64)> {
+    let reads = input.dump.reads.len();
+    // Warm-up: pool threads, caches, and the kernel scratch high-water.
+    for options in configs {
+        std::hint::black_box(mapper.run(&input.dump, options));
+    }
+    let mut best = vec![(0.0f64, f64::MAX); configs.len()];
+    for _ in 0..rounds {
+        for (i, options) in configs.iter().enumerate() {
+            let alloc_mark = allocs();
+            let t0 = Instant::now();
+            std::hint::black_box(mapper.run(&input.dump, options).total_extensions());
+            let secs = t0.elapsed().as_secs_f64();
+            let rps = reads as f64 / secs;
+            let apr = (allocs() - alloc_mark) as f64 / reads as f64;
+            if rps > best[i].0 {
+                best[i] = (rps, apr);
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let input = ctx.generate(&InputSetSpec::b_yeast());
+    let reads = input.dump.reads.len();
+    let reps: usize = std::env::var("MG_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+
+    let mapper = Mapper::new(&input.gbz);
+    // This PR's default: env-dispatched tier + batched anchors (512 / 256 /
+    // openmp-dynamic tuning point, extend_batch 16).
+    let simd_options = MappingOptions::default();
+    let tier = mg_kernels::effective_tier(simd_options.extend.simd_override);
+    // The previous PR's production shape: SWAR, unbatched, no subtree
+    // pruning.
+    let mut swar_options = simd_options.clone();
+    swar_options.extend.simd_override = Some(SimdTier::Swar);
+    swar_options.extend.prune = false;
+    swar_options.process.extend_batch = 1;
+
+    // Equal output before any timing: the dispatch ladder and the batched
+    // dataflow are locality transforms and must not move the results.
+    {
+        let a = mapper.run(&input.dump, &swar_options);
+        let b = mapper.run(&input.dump, &simd_options);
+        assert_eq!(
+            a.per_read, b.per_read,
+            "SIMD/batched output diverged from the SWAR unbatched baseline"
+        );
+    }
+
+    // MG_SCAN=1: an interleaved A/B scan across the tier × extend-batch ×
+    // pruning corner points instead of the two-way gated comparison. This
+    // is how the defaults in this file were chosen; kept because the best
+    // corner is host-dependent and worth re-checking on new machines.
+    if std::env::var_os("MG_SCAN").is_some() {
+        let specs = [
+            ("swar xb=1 p=0", Some(SimdTier::Swar), 1usize, false),
+            ("swar xb=1 p=1", Some(SimdTier::Swar), 1, true),
+            ("swar xb=16 p=1", Some(SimdTier::Swar), 16, true),
+            ("avx2 xb=1 p=1", Some(SimdTier::Avx2), 1, true),
+            ("avx2 xb=16 p=1", Some(SimdTier::Avx2), 16, true),
+        ];
+        let options: Vec<MappingOptions> = specs
+            .iter()
+            .map(|&(_, tier, xb, prune)| {
+                let mut o = simd_options.clone();
+                o.extend.simd_override = tier;
+                o.extend.prune = prune;
+                o.process.extend_batch = xb;
+                o
+            })
+            .collect();
+        let refs: Vec<&MappingOptions> = options.iter().collect();
+        let results = measure_interleaved(&mapper, &input, &refs, reps);
+        for ((label, _, _, _), (rps, _)) in specs.iter().zip(&results) {
+            println!("scan {label:<14}: {rps:>12.0} reads/s");
+        }
+        return;
+    }
+
+    let results = measure_interleaved(&mapper, &input, &[&swar_options, &simd_options], reps);
+    let (swar_rps, swar_allocs) = results[0];
+    let (simd_rps, simd_allocs) = results[1];
+    let speedup = simd_rps / swar_rps;
+
+    println!("input           : {} ({reads} reads, {reps} reps)", InputSetSpec::b_yeast().name);
+    println!(
+        "config          : {} / batch {} / capacity {} / extend_batch {}",
+        simd_options.scheduler,
+        simd_options.batch_size,
+        simd_options.cache_capacity,
+        simd_options.process.extend_batch
+    );
+    println!("dispatched tier : {}", tier.name());
+    println!("swar (xb=1)     : {swar_rps:>12.0} reads/s   {swar_allocs:>8.2} allocs/read");
+    println!("simd (xb=16)    : {simd_rps:>12.0} reads/s   {simd_allocs:>8.2} allocs/read");
+    println!("speedup         : {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"input\": \"{}\",\n",
+            "  \"reads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"scheduler\": \"{}\",\n",
+            "  \"batch_size\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"extend_batch\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"dispatched_tier\": \"{}\",\n",
+            "  \"swar_reads_per_sec\": {:.2},\n",
+            "  \"simd_reads_per_sec\": {:.2},\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"swar_allocs_per_read\": {:.2},\n",
+            "  \"simd_allocs_per_read\": {:.2},\n",
+            "  \"debug_assertions\": {}\n",
+            "}}\n"
+        ),
+        InputSetSpec::b_yeast().name,
+        reads,
+        reps,
+        simd_options.scheduler,
+        simd_options.batch_size,
+        simd_options.cache_capacity,
+        simd_options.process.extend_batch,
+        simd_options.threads,
+        tier.name(),
+        swar_rps,
+        simd_rps,
+        speedup,
+        swar_allocs,
+        simd_allocs,
+        cfg!(debug_assertions),
+    );
+    let out = std::env::var_os("MG_OUT").map(std::path::PathBuf::from).unwrap_or_default();
+    let path = out.join("BENCH_SIMD.json");
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    file.write_all(json.as_bytes()).expect("write BENCH_SIMD.json");
+    println!("wrote {}", path.display());
+}

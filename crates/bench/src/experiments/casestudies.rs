@@ -309,6 +309,7 @@ pub fn fig8(ctx: &Ctx, study: &TuningStudy) -> String {
                     batch_size: batch,
                     cache_capacity: capacity,
                     hot_tier_budget: TuningPoint::default_config().hot_tier_budget,
+                    extend_batch: TuningPoint::default_config().extend_batch,
                 };
                 let cell = sweep
                     .find(point)
@@ -353,7 +354,7 @@ pub fn anova(ctx: &Ctx, study: &TuningStudy) -> String {
     else {
         return "anova: D-HPRC @ chi-intel sweep missing".to_string();
     };
-    let (sched, batch, capacity, hot) = sweep.anova_by_parameter();
+    let (sched, batch, capacity, hot, extend) = sweep.anova_by_parameter();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, result) in [
@@ -361,6 +362,7 @@ pub fn anova(ctx: &Ctx, study: &TuningStudy) -> String {
         ("batch size", batch),
         ("cache capacity", capacity),
         ("hot-tier budget", hot),
+        ("extension batch", extend),
     ] {
         match result {
             Some(a) => {

@@ -14,6 +14,7 @@ use mg_gbwt::{BidirState, CachedGbwt};
 use mg_graph::packed::{self, BASES_PER_WORD};
 use mg_graph::{Handle, PackedReadPair, VariationGraph};
 use mg_index::GraphPos;
+use mg_kernels::{SimdTier, WORDS_PER_BLOCK};
 use mg_support::probe::MemProbe;
 
 use crate::cluster::Cluster;
@@ -46,6 +47,17 @@ pub struct ExtendParams {
     /// path is validated against; benches and differential tests flip this
     /// to compare the two on otherwise identical pipelines.
     pub force_scalar: bool,
+    /// Caps the SIMD dispatch tier for this pipeline instead of the
+    /// process-global `MG_SIMD`/`MG_FORCE_SCALAR` environment dispatch
+    /// (`None`). Clamped to the hardware tier, so `Some(Avx2)` on a
+    /// non-AVX2 host degrades to SWAR rather than faulting; benches use
+    /// this to compare tiers inside one process.
+    pub simd_override: Option<SimdTier>,
+    /// Branch-and-bound pruning of DFS subtrees that provably cannot beat
+    /// the running best prefix (see `subtree_is_dead`). Applied identically
+    /// by the scalar and packed walks, so differential tests stay exact;
+    /// exposed so benches can A/B the pruning inside one process.
+    pub prune: bool,
 }
 
 impl Default for ExtendParams {
@@ -56,7 +68,21 @@ impl Default for ExtendParams {
             max_mismatches: 4,
             max_branch_steps: 64,
             force_scalar: false,
+            simd_override: None,
+            prune: true,
         }
+    }
+}
+
+/// The comparison tier the extension walk will actually run for a pipeline
+/// instantiated with probe `P` and `params`: [`SimdTier::Scalar`] whenever
+/// the probe consumes per-base traffic or the oracle path is forced,
+/// otherwise the dispatched tier (see [`mg_kernels::effective_tier`]).
+pub fn active_tier<P: MemProbe>(params: &ExtendParams) -> SimdTier {
+    if P::ACTIVE || params.force_scalar {
+        SimdTier::Scalar
+    } else {
+        mg_kernels::effective_tier(params.simd_override)
     }
 }
 
@@ -71,6 +97,14 @@ pub struct ProcessParams {
     pub max_extensions_per_read: usize,
     /// Extensions scoring below this are discarded.
     pub min_extension_score: i32,
+    /// Anchor batch size of the extension dataflow: after deduplication a
+    /// cluster's anchors are processed in batches of this size, each batch
+    /// sorted by graph position so consecutive extensions walk the same
+    /// packed node words and GBWT records while they are hot. `0` or `1`
+    /// disables batching (the pre-batching anchor order). Output is
+    /// invariant: extensions are canonicalized across the whole read, so
+    /// batch size only changes locality, never the GAF (pinned by tests).
+    pub extend_batch: usize,
 }
 
 impl Default for ProcessParams {
@@ -80,6 +114,7 @@ impl Default for ProcessParams {
             cluster_score_cutoff: 0.5,
             max_extensions_per_read: 16,
             min_extension_score: 1,
+            extend_batch: 16,
         }
     }
 }
@@ -142,6 +177,34 @@ pub struct ExtendScratch {
     /// The current read packed 2 bits/base, both strands, with `N` lane
     /// masks — packed once per read (every seed of the read reuses it).
     packed: PackedReadPair,
+    /// Kernel activity accumulated since the last [`ExtendScratch::take_stats`].
+    stats: KernelStats,
+}
+
+/// Counters of SIMD and batching activity inside the extension kernel,
+/// accumulated in the scratch (plain `u64`s — the kernel never touches an
+/// observability shard directly) and drained per read into mg-obs by the
+/// mapping pipeline.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// 256-bit comparison blocks executed by the wide walk.
+    pub wide_blocks: u64,
+    /// Base lanes compared inside those wide blocks.
+    pub wide_lanes: u64,
+    /// Anchor batches formed by the batched extension dataflow.
+    pub batches: u64,
+    /// Anchors summed over those batches (`batch_anchors / batches` is the
+    /// mean batch fill).
+    pub batch_anchors: u64,
+    /// DFS subtrees skipped by branch-and-bound pruning (`subtree_is_dead`).
+    pub pruned_frames: u64,
+}
+
+impl ExtendScratch {
+    /// Returns and resets the kernel activity counters.
+    pub fn take_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
+    }
 }
 
 /// Reconstructs a walk path from the arena's parent chain into `out`, in
@@ -212,7 +275,7 @@ pub fn extend_seed_with_scratch<P: MemProbe>(
         backward: mg_gbwt::SearchState { node: sym ^ 1, start: 0, end: bwd_total },
     };
 
-    if !(P::ACTIVE || params.force_scalar) {
+    if active_tier::<P>(params) != SimdTier::Scalar {
         // The packed walk compares word-parallel; pack both strands of the
         // read once (a no-op for every seed of the read after the first).
         scratch.packed.prepare(read);
@@ -326,10 +389,13 @@ fn walk<P: MemProbe>(
     probe: &mut P,
     scratch: &mut ExtendScratch,
 ) -> DirectionResult {
-    if P::ACTIVE || params.force_scalar {
-        walk_scalar(dir, graph, cache, read, seed, init, params, budget, probe, scratch)
-    } else {
-        walk_packed(dir, graph, cache, read, seed, init, params, budget, probe, scratch)
+    match active_tier::<P>(params) {
+        SimdTier::Scalar => {
+            walk_scalar(dir, graph, cache, read, seed, init, params, budget, probe, scratch)
+        }
+        tier => {
+            walk_packed(dir, graph, cache, read, seed, init, params, budget, probe, scratch, tier)
+        }
     }
 }
 
@@ -369,6 +435,18 @@ fn walk_scalar<P: MemProbe>(
         path: NO_PATH,
     });
     while let Some(mut frame) = scratch.stack.pop() {
+        // Branch-and-bound: frames pushed before the best prefix improved
+        // are often provably unable to beat it now; skipping them is exact
+        // (see `subtree_is_dead`) and prunes whole bubble arms once a
+        // clean full-length walk has been found.
+        let read_rem = match dir {
+            Dir::Right => read.len() - seed.read_offset as usize - frame.consumed as usize,
+            Dir::Left => (seed.read_offset - frame.consumed) as usize,
+        };
+        if subtree_is_dead(&frame, read_rem, &best, params) {
+            scratch.stats.pruned_frames += 1;
+            continue;
+        }
         // How many bases this node offers in walk order, and the graph
         // offset of the c-th of them. The anchor node only offers the span
         // on the walk's side of the anchor (inclusive of the anchor base on
@@ -408,8 +486,20 @@ fn walk_scalar<P: MemProbe>(
                 }
             };
             if frame.node_off >= avail {
-                // Node exhausted: branch over haplotype-consistent edges.
-                if steps < params.max_branch_steps {
+                // Node exhausted: branch over haplotype-consistent edges —
+                // unless the subtree is already output-dead (children start
+                // from this frame's exact `(score, consumed)`, so the bound
+                // that would prune them at pop also holds here, and the
+                // record scan can be skipped outright).
+                let read_rem = match dir {
+                    Dir::Right => {
+                        read.len() - seed.read_offset as usize - frame.consumed as usize
+                    }
+                    Dir::Left => (seed.read_offset - frame.consumed) as usize,
+                };
+                if steps < params.max_branch_steps
+                    && !subtree_is_dead(&frame, read_rem, &best, params)
+                {
                     branch_states_into(
                         cache, &frame.state, dir == Dir::Left, &mut steps, params, probe,
                         &mut scratch.branches, &mut scratch.before, &mut scratch.counts,
@@ -470,6 +560,31 @@ fn walk_scalar<P: MemProbe>(
     best
 }
 
+/// Returns `true` when no continuation of `frame` can replace `best` under
+/// [`best_check`]'s comparison, so the frame's whole DFS subtree is
+/// output-dead and can be skipped. Admissible only for non-negative scoring
+/// (the default): the per-base score delta is then at most `match_score`,
+/// so the all-match continuation `(score + match_score * read_rem,
+/// consumed + read_rem)` bounds every reachable `(score, consumed)` pair.
+/// The bound uses only frame-local values that the scalar and packed walks
+/// hold identically at the same DFS points, so both walks prune the same
+/// frames and stay bit-for-bit comparable — including the shared branch
+/// step budget, which evolves identically.
+#[inline(always)]
+fn subtree_is_dead(
+    frame: &Frame,
+    read_rem: usize,
+    best: &DirectionResult,
+    params: &ExtendParams,
+) -> bool {
+    if !params.prune || params.match_score < 0 || params.mismatch_penalty < 0 {
+        return false;
+    }
+    let smax = frame.score + params.match_score * read_rem as i32;
+    let cmax = frame.consumed + read_rem as u32;
+    smax < best.score || (smax == best.score && cmax <= best.consumed)
+}
+
 /// Updates the running best prefix from the frame, with the scalar loop's
 /// exact comparison (better score, or equal score and longer prefix).
 #[inline(always)]
@@ -513,9 +628,48 @@ fn apply_match_run(frame: &mut Frame, run: u32, params: &ExtendParams, best: &mu
     }
 }
 
+/// Walks the set lanes of one comparison word in base order — the gaps
+/// between them are match runs — over the first `chunk` lanes. Returns
+/// `true` when the mismatch budget is exhausted: the mismatch is not
+/// consumed and the caller kills the frame without branching, exactly like
+/// the scalar loop's break.
+#[inline(always)]
+fn walk_lanes(
+    mut lanes: u64,
+    chunk: usize,
+    frame: &mut Frame,
+    best: &mut DirectionResult,
+    params: &ExtendParams,
+    budget: u32,
+) -> bool {
+    let mut pos = 0usize;
+    while lanes != 0 {
+        let mm = (lanes.trailing_zeros() >> 1) as usize;
+        apply_match_run(frame, (mm - pos) as u32, params, best);
+        frame.mismatches += 1;
+        if frame.mismatches > budget {
+            return true;
+        }
+        frame.score -= params.mismatch_penalty;
+        frame.consumed += 1;
+        frame.node_off += 1;
+        best_check(frame, best);
+        pos = mm + 1;
+        lanes &= lanes - 1;
+    }
+    apply_match_run(frame, (chunk - pos) as u32, params, best);
+    false
+}
+
 /// The word-parallel comparison walk: XORs 2-bit packed windows of the read
 /// against the node's packed arena, 32 bases per step, and only spends
 /// per-base work on the mismatching lanes. See [`walk`].
+///
+/// At `tier >= Avx2` spans longer than one word are compared as one
+/// 256-bit block ([`mg_kernels::wide_mismatch_lanes`]): four XOR/fold lanes
+/// per instruction, with the per-word lane walk unchanged — the wide path
+/// only changes how the lane words are produced, so it is bit-identical to
+/// SWAR by construction (and pinned so by proptests).
 ///
 /// Both directions compare *ascending* packed buffers: a leftward walk
 /// flips to the reverse-complement read buffer against the flipped handle's
@@ -523,6 +677,14 @@ fn apply_match_run(frame: &mut Frame, run: u32, params: &ExtendParams, best: &mu
 /// so equality is preserved base-for-base). Read `N` lanes arrive
 /// pre-masked as forced mismatches from [`PackedReadPair`]; the graph side
 /// needs no mask because [`VariationGraph::add_node`] rejects non-`ACGT`.
+///
+/// The wide rung pays one `#[target_feature]` call per 128-base block
+/// ([`mg_kernels::wide_gather_mismatch`] — both gathers and the fold fused
+/// behind a single boundary), and only engages on spans that fill a whole
+/// block; shorter spans take the word-at-a-time loop on every tier. Both
+/// shapes were measured: hoisting the dispatch to once-per-walk (the whole
+/// body inside an AVX2 feature region) pessimized the surrounding DFS
+/// codegen by far more than the ~18k per-block calls cost.
 #[allow(clippy::too_many_arguments)]
 fn walk_packed<P: MemProbe>(
     dir: Dir,
@@ -535,10 +697,21 @@ fn walk_packed<P: MemProbe>(
     budget: u32,
     probe: &mut P,
     scratch: &mut ExtendScratch,
+    tier: SimdTier,
 ) -> DirectionResult {
     // Disjoint field borrows: the packed read is lent immutably to the
     // comparison loop while the DFS buffers are mutated.
-    let ExtendScratch { stack, arena, branches, before, counts, packed, .. } = scratch;
+    let ExtendScratch {
+        stack,
+        arena,
+        branches,
+        before,
+        counts,
+        packed,
+        stats,
+        ..
+    } = scratch;
+    let wide = tier >= SimdTier::Avx2;
     let mut best = DirectionResult {
         score: 0,
         consumed: 0,
@@ -559,6 +732,16 @@ fn walk_packed<P: MemProbe>(
         path: NO_PATH,
     });
     while let Some(mut frame) = stack.pop() {
+        // Branch-and-bound, mirroring the scalar walk exactly (same bound,
+        // same frame-local inputs, so the same frames are pruned).
+        let pop_rem = match dir {
+            Dir::Right => read.len() - seed.read_offset as usize - frame.consumed as usize,
+            Dir::Left => (seed.read_offset - frame.consumed) as usize,
+        };
+        if subtree_is_dead(&frame, pop_rem, &best, params) {
+            stats.pruned_frames += 1;
+            continue;
+        }
         let node_len = graph.node_len(frame.handle.node());
         let on_anchor = frame.path == NO_PATH;
         let avail = match (dir, on_anchor) {
@@ -596,7 +779,9 @@ fn walk_packed<P: MemProbe>(
             }
             let node_rem = avail - frame.node_off;
             if node_rem == 0 {
-                if steps < params.max_branch_steps {
+                if steps < params.max_branch_steps
+                    && !subtree_is_dead(&frame, read_rem, &best, params)
+                {
                     branch_states_into(
                         cache, &frame.state, dir == Dir::Left, &mut steps, params, probe,
                         branches, before, counts,
@@ -619,35 +804,69 @@ fn walk_packed<P: MemProbe>(
             let span = read_rem.min(node_rem);
             let mut done = 0usize;
             while done < span {
-                let chunk = (span - done).min(BASES_PER_WORD);
+                // Spans longer than one word go through the 256-bit block
+                // compare (the trailing partial word rides along, masked
+                // like the narrow path masks it); word-at-a-time SWAR
+                // handles single-word remainders. The block is anchored at
+                // the frame's current position, so the lane word for block
+                // word `j` is the one SWAR would have produced after
+                // consuming `j` words.
+                let remaining = span - done;
+                if wide && remaining > (WORDS_PER_BLOCK - 1) * BASES_PER_WORD {
+                    // Only spans that fill a whole block go wide: the
+                    // average span here is ~2 words, and gathering a fixed
+                    // 4-word block for those wastes more than the fused
+                    // compare saves (measured ~2% end-to-end).
+                    let blk = WORDS_PER_BLOCK;
+                    let take = (blk * BASES_PER_WORD).min(remaining);
+                    let rbase = rs0 + frame.consumed as usize;
+                    let gbase = gs0 + frame.node_off;
+                    let mut lw = [0u64; WORDS_PER_BLOCK];
+                    // The graph gather may pull neighbouring nodes' lanes
+                    // past the node's span (`raw_words`); `keep_lanes`
+                    // below masks every chunk to its live span before use.
+                    mg_kernels::wide_gather_mismatch(
+                        tier,
+                        src.raw_words(),
+                        view.raw_words(),
+                        rbase,
+                        gbase,
+                        &mut lw,
+                    );
+                    stats.wide_blocks += 1;
+                    stats.wide_lanes += take as u64;
+                    let mut exhausted = false;
+                    for (j, &lane_word) in lw.iter().enumerate().take(blk) {
+                        let chunk = (take - j * BASES_PER_WORD).min(BASES_PER_WORD);
+                        let mut lanes = lane_word;
+                        if src.has_n() {
+                            lanes |= src.nmask_word(rbase + j * BASES_PER_WORD);
+                        }
+                        if chunk < BASES_PER_WORD {
+                            lanes = packed::keep_lanes(lanes, chunk);
+                        }
+                        if walk_lanes(lanes, chunk, &mut frame, &mut best, params, budget) {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                    if exhausted {
+                        break 'frame;
+                    }
+                    done += take;
+                    continue;
+                }
+                let chunk = remaining.min(BASES_PER_WORD);
                 let rbase = rs0 + frame.consumed as usize;
                 let gbase = gs0 + frame.node_off;
                 let xor = src.word(rbase) ^ view.word(gbase);
-                let mut lanes = packed::keep_lanes(
-                    packed::mismatch_lanes(xor) | src.nmask_word(rbase),
-                    chunk,
-                );
-                // Walk the set lanes in base order; the gaps between them
-                // are match runs.
-                let mut pos = 0usize;
-                while lanes != 0 {
-                    let mm = (lanes.trailing_zeros() >> 1) as usize;
-                    apply_match_run(&mut frame, (mm - pos) as u32, params, &mut best);
-                    frame.mismatches += 1;
-                    if frame.mismatches > budget {
-                        // Budget exhausted: the mismatch is not consumed and
-                        // the frame dies without branching, like the scalar
-                        // loop's break.
-                        break 'frame;
-                    }
-                    frame.score -= params.mismatch_penalty;
-                    frame.consumed += 1;
-                    frame.node_off += 1;
-                    best_check(&frame, &mut best);
-                    pos = mm + 1;
-                    lanes &= lanes - 1;
+                // Clean reads (no `N`) skip the mask gather: `has_n` being
+                // false proves every nmask word is zero.
+                let nmask = if src.has_n() { src.nmask_word(rbase) } else { 0 };
+                let lanes = packed::keep_lanes(packed::mismatch_lanes(xor) | nmask, chunk);
+                if walk_lanes(lanes, chunk, &mut frame, &mut best, params, budget) {
+                    break 'frame;
                 }
-                apply_match_run(&mut frame, (chunk - pos) as u32, params, &mut best);
                 done += chunk;
             }
         }
@@ -752,6 +971,18 @@ pub fn process_until_threshold_with_scratch<P: MemProbe>(
         scratch.anchors.extend(cluster.seeds.iter().map(|&i| seeds[i]));
         scratch.anchors.sort_unstable();
         scratch.anchors.dedup();
+        // Batched dataflow: reorder each batch of anchors graph-position
+        // major, so consecutive extensions hit the same node's packed words
+        // and the same GBWT records while they are cache-hot. The final
+        // canonicalization below makes anchor order invisible in the
+        // output, so this is purely a locality transform.
+        if process.extend_batch > 1 {
+            for chunk in scratch.anchors.chunks_mut(process.extend_batch) {
+                chunk.sort_unstable_by_key(|s| (s.pos, s.read_offset));
+                scratch.stats.batches += 1;
+                scratch.stats.batch_anchors += chunk.len() as u64;
+            }
+        }
         // Index loop: each anchor is copied out so the scratch can be lent
         // to the extension below.
         for ai in 0..scratch.anchors.len() {
@@ -766,13 +997,14 @@ pub fn process_until_threshold_with_scratch<P: MemProbe>(
         }
     }
     // Deduplicate identical spans, keep the best-scoring representative.
+    // The key is a total order over extension content (mismatches and path
+    // break residual ties), so the representative each span keeps is
+    // independent of the order anchors were extended in — batching and
+    // anchor reordering provably cannot change the output.
     extensions.sort_by(|a, b| {
-        (a.read_start, a.read_end, a.pos, std::cmp::Reverse(a.score)).cmp(&(
-            b.read_start,
-            b.read_end,
-            b.pos,
-            std::cmp::Reverse(b.score),
-        ))
+        (a.read_start, a.read_end, a.pos, std::cmp::Reverse(a.score), a.mismatches, &a.path).cmp(
+            &(b.read_start, b.read_end, b.pos, std::cmp::Reverse(b.score), b.mismatches, &b.path),
+        )
     });
     extensions.dedup_by_key(|e| (e.read_start, e.read_end, e.pos));
     // Best first; deterministic tie-break by span then position.

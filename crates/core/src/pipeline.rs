@@ -31,6 +31,13 @@ use crate::types::{ReadInput, ReadResult};
 pub struct MapScratch {
     cluster: ClusterScratch,
     extend: ExtendScratch,
+    /// Minimizer-extraction buffers for pipelines that seed reads
+    /// themselves (the parent pipeline and mate rescue); the proxy maps
+    /// pre-seeded dumps and leaves these empty.
+    pub seeding: mg_index::MinimizerScratch,
+    /// Seed-hit staging buffer for [`MinimizerIndex::query_into`]
+    /// (mg_index::MinimizerIndex::query_into).
+    pub seed_hits: Vec<(u32, mg_index::GraphPos)>,
 }
 
 /// All knobs of a mapping run.
@@ -370,6 +377,18 @@ impl<'a> Mapper<'a> {
         obs.add(Ctr::ExtensionsTotal, extensions.len() as u64);
         obs.observe(Hist::SeedsPerRead, input.seeds.len() as u64);
         obs.observe(Hist::ExtensionsPerRead, extensions.len() as u64);
+        // Drain the kernel's plain-u64 activity counters into the shard
+        // (the extension walk itself never touches observability state).
+        let kernel = scratch.extend.take_stats();
+        obs.add(Ctr::SimdBlocksWide, kernel.wide_blocks);
+        obs.add(Ctr::SimdLanesActive, kernel.wide_lanes);
+        obs.add(Ctr::ExtendBatches, kernel.batches);
+        obs.add(Ctr::ExtendBatchAnchors, kernel.batch_anchors);
+        obs.add(Ctr::ExtendPrunedFrames, kernel.pruned_frames);
+        obs.gauge_max(
+            Gauge::SimdDispatchTier,
+            crate::extend::active_tier::<P>(&options.extend).as_index(),
+        );
         ReadResult { read_id, extensions }
     }
 

@@ -160,6 +160,14 @@ pub struct CacheState {
     /// across warm rebinds (where the private table would not re-decode
     /// either) and reset with the private table or on a new tier.
     hot_seen: Vec<u64>,
+    /// Most-recently-returned private-table entry, `(symbol + 1, slot)`
+    /// (key 0 = no memo). The batched extension dataflow looks the same
+    /// record up back-to-back (anchor batches sorted by graph position);
+    /// the memo short-circuits the hash-and-probe loop for that case. It is
+    /// validated against `keys[slot]` on use — a key match implies the slot
+    /// still holds this symbol's record whatever rehashing happened — and
+    /// replays the exact statistics and probe events of the hit it skips.
+    mru: (u64, usize),
 }
 
 impl CacheState {
@@ -178,6 +186,7 @@ impl CacheState {
         // tracking starts over with it.
         self.hot_token = 0;
         self.hot_seen.clear();
+        self.mru = (0, 0);
         if initial_capacity == 0 {
             self.disabled = true;
             self.capacity = 0;
@@ -240,6 +249,10 @@ impl<'a> CachedGbwt<'a> {
     /// Re-attaching the same tier build keeps the per-thread first-use
     /// tracking warm; a new build resets it.
     pub fn set_hot(&mut self, tier: Option<Arc<HotTier>>) {
+        // The memo replays private-hit statistics, which are only correct
+        // while the hot tier it bypasses stays the same; drop it on any
+        // tier change so the first lookup re-runs the full two-tier path.
+        self.state.mru = (0, 0);
         let Some(tier) = tier else {
             self.hot = None;
             return;
@@ -337,6 +350,27 @@ impl<'a> CachedGbwt<'a> {
         symbol: u64,
         probe: &mut P,
     ) -> &DecodedRecord {
+        if !P::ACTIVE && !self.state.disabled {
+            // MRU memo: the extension kernel asks for the same record
+            // back-to-back (both strands of an anchor node, batches of
+            // anchors sorted by position). A validated memo hit replays the
+            // full path's accounting — the private hit itself, plus the
+            // hot-tier miss the bypassed lookup would have recorded (the
+            // tier is frozen, so a symbol once served privately keeps
+            // missing it while the same tier is attached).
+            let (mkey, mslot) = self.state.mru;
+            if mkey == symbol + 1 && self.state.keys.get(mslot) == Some(&mkey) {
+                if self.hot.is_some() {
+                    self.state.stats.hot_misses += 1;
+                }
+                self.state.stats.hits += 1;
+                probe.touch(REGION_CACHE + mslot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
+                probe.instret(3);
+                probe.cache_event(CacheEvent::Hit);
+                probe.touch(REGION_CACHE + mslot as u64 * SLOT_BYTES + 8, 64);
+                return &self.state.values[mslot];
+            }
+        }
         if !P::ACTIVE && self.hot.is_some() {
             // Decide with a short-lived borrow, then re-borrow to return:
             // borrowck cannot see that the early-returned reference and the
@@ -376,6 +410,7 @@ impl<'a> CachedGbwt<'a> {
                 // header. (The caller's scan of edges/runs is charged by the
                 // kernels themselves, identically for hits and misses.)
                 probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES + 8, 64);
+                self.state.mru = (key, slot);
                 return &self.state.values[slot];
             }
             if self.state.keys[slot] == 0 {
@@ -401,6 +436,7 @@ impl<'a> CachedGbwt<'a> {
         std::mem::swap(&mut self.state.values[slot], &mut self.state.scratch);
         self.state.len += 1;
         probe.touch(REGION_CACHE + slot as u64 * SLOT_BYTES, SLOT_BYTES as u32);
+        self.state.mru = (key, slot);
         &self.state.values[slot]
     }
 

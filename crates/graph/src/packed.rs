@@ -16,67 +16,43 @@
 
 use crate::dna;
 
-/// Mask selecting the low bit of every 2-bit lane in a word.
-pub const LANES_LO: u64 = 0x5555_5555_5555_5555;
+// The word-level comparison primitives (and their 256-bit wide variants)
+// live in `mg-kernels` so the extension walk, the minimizer hasher, and
+// the dispatch ladder share one definition; re-exported here because this
+// module is their historical home and every packed-buffer consumer already
+// imports them from `mg_graph::packed`.
+pub use mg_kernels::{keep_lanes, mismatch_lanes, word_at, BASES_PER_WORD, LANES_LO};
 
-/// Bases per packed word.
-pub const BASES_PER_WORD: usize = 32;
-
-/// Folds an XOR of two packed words to one set low-lane bit per
-/// mismatching base: lane `j` of the result is `0b01` iff the `j`-th bases
-/// differ.
-#[inline(always)]
-pub fn mismatch_lanes(xor: u64) -> u64 {
-    (xor | (xor >> 1)) & LANES_LO
-}
-
-/// Masks a lane word down to its first `n` lanes (`n <= 32`).
-#[inline(always)]
-pub fn keep_lanes(lanes: u64, n: usize) -> u64 {
-    debug_assert!(n <= BASES_PER_WORD);
-    if n >= BASES_PER_WORD {
-        lanes
-    } else {
-        lanes & ((1u64 << (2 * n)) - 1)
-    }
-}
-
-/// Extracts the 32 bases beginning at base offset `start` from a packed
-/// buffer, crossing the word boundary when unaligned. Bases past the end of
-/// `words` read as zero; callers bound the live span with [`keep_lanes`].
-#[inline(always)]
-pub fn word_at(words: &[u64], start: usize) -> u64 {
-    let w = start / BASES_PER_WORD;
-    let b = (start % BASES_PER_WORD) * 2;
-    let lo = words.get(w).copied().unwrap_or(0) >> b;
-    if b == 0 {
-        lo
-    } else {
-        lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - b))
-    }
-}
+use mg_kernels::WORDS_PER_BLOCK;
 
 /// Packs `seq` into `words` (cleared first). Non-`ACGT` bytes pack as code
 /// `0` with their lane set in `nmask`, so a comparison against them is
 /// forced to mismatch — exactly the ASCII-compare semantics, where a read
-/// `N` never equals a graph base.
-fn pack_into(seq: &[u8], rc: bool, words: &mut Vec<u64>, nmask: &mut Vec<u64>) {
+/// `N` never equals a graph base. Both buffers carry [`WORDS_PER_BLOCK`]
+/// trailing zero words of padding so the vector block gather
+/// ([`mg_kernels::block_at_avx2`]) always finds its five source words in
+/// bounds; zero padding reads exactly like the out-of-bounds zeros
+/// [`word_at`] already synthesizes, so nothing downstream can tell.
+fn pack_into(seq: &[u8], rc: bool, words: &mut Vec<u64>, nmask: &mut Vec<u64>) -> bool {
     words.clear();
     nmask.clear();
     let n_words = seq.len().div_ceil(BASES_PER_WORD);
-    words.resize(n_words, 0);
-    nmask.resize(n_words, 0);
+    words.resize(n_words + WORDS_PER_BLOCK, 0);
+    nmask.resize(n_words + WORDS_PER_BLOCK, 0);
+    let mut any_n = false;
     for j in 0..seq.len() {
         let b = if rc { seq[seq.len() - 1 - j] } else { seq[j] };
         let code = dna::encode2(b);
         let shift = 2 * (j % BASES_PER_WORD);
         if code == dna::INVALID_CODE {
             nmask[j / BASES_PER_WORD] |= 1u64 << shift;
+            any_n = true;
         } else {
             let code = if rc { code ^ 0b11 } else { code };
             words[j / BASES_PER_WORD] |= (code as u64) << shift;
         }
     }
+    any_n
 }
 
 /// A packed buffer plus its `N` lane mask: one strand of a packed read.
@@ -85,6 +61,7 @@ pub struct PackedBuf {
     words: Vec<u64>,
     nmask: Vec<u64>,
     len: usize,
+    any_n: bool,
 }
 
 impl PackedBuf {
@@ -109,6 +86,21 @@ impl PackedBuf {
     #[inline(always)]
     pub fn nmask_word(&self, start: usize) -> u64 {
         word_at(&self.nmask, start)
+    }
+
+    /// Whether any base packed as a forced mismatch. `false` (the usual
+    /// case — clean `ACGT` reads) means every [`PackedBuf::nmask_word`] is
+    /// zero, so comparison loops can skip the mask gather entirely.
+    #[inline(always)]
+    pub fn has_n(&self) -> bool {
+        self.any_n
+    }
+
+    /// The packed words, including the [`WORDS_PER_BLOCK`] zero-padding
+    /// words that keep the vector block gather in bounds at any offset.
+    #[inline(always)]
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
     }
 }
 
@@ -136,9 +128,9 @@ impl PackedReadPair {
         }
         self.src.clear();
         self.src.extend_from_slice(read);
-        pack_into(read, false, &mut self.fwd.words, &mut self.fwd.nmask);
+        self.fwd.any_n = pack_into(read, false, &mut self.fwd.words, &mut self.fwd.nmask);
         self.fwd.len = read.len();
-        pack_into(read, true, &mut self.rc.words, &mut self.rc.nmask);
+        self.rc.any_n = pack_into(read, true, &mut self.rc.words, &mut self.rc.nmask);
         self.rc.len = read.len();
     }
 }
@@ -187,9 +179,18 @@ impl PackedSeqStore {
     /// `orientation_reverse ? reverse : forward`, with `len` bases.
     #[inline]
     pub fn view(&self, node_index: usize, len: usize, reverse: bool) -> PackedView<'_> {
-        let range = self.word_offsets[node_index - 1]..self.word_offsets[node_index];
-        let words = if reverse { &self.rc_words[range] } else { &self.words[range] };
-        PackedView { words, len }
+        let start = self.word_offsets[node_index - 1];
+        let end = self.word_offsets[node_index];
+        let arena = if reverse { &self.rc_words } else { &self.words };
+        PackedView {
+            words: &arena[start..end],
+            // Up to WORDS_PER_BLOCK of the following nodes' words ride
+            // along so the vector block gather stays on its fast path deep
+            // into the node; see `PackedView::raw_words` for the masking
+            // contract.
+            padded: &arena[start..(end + WORDS_PER_BLOCK).min(arena.len())],
+            len,
+        }
     }
 
     /// Approximate heap usage in bytes.
@@ -203,6 +204,9 @@ impl PackedSeqStore {
 #[derive(Debug, Clone, Copy)]
 pub struct PackedView<'a> {
     words: &'a [u64],
+    /// `words` plus up to [`WORDS_PER_BLOCK`] following arena words
+    /// (neighbouring nodes' bases, clamped at the arena end).
+    padded: &'a [u64],
     len: usize,
 }
 
@@ -222,6 +226,16 @@ impl PackedView<'_> {
     #[inline(always)]
     pub fn word(&self, start: usize) -> u64 {
         word_at(self.words, start)
+    }
+
+    /// The node's words extended by the padding tail, for the vector block
+    /// gather ([`mg_kernels::block_at_avx2`]). Unlike [`PackedView::word`],
+    /// lanes past `len` may spell *neighbouring nodes'* bases rather than
+    /// zeros — the caller must mask every chunk to its live span (the
+    /// comparison loops already bound each chunk with [`keep_lanes`]).
+    #[inline(always)]
+    pub fn raw_words(&self) -> &[u64] {
+        self.padded
     }
 
     /// The 2-bit code of base `offset`.

@@ -17,4 +17,7 @@ pub mod snarl;
 
 pub use distance::{DistanceIndex, DistanceScratch};
 pub use snarl::{ChainAnswer, ChainIndex};
-pub use minimizer::{extract_minimizers, GraphPos, Minimizer, MinimizerIndex, MinimizerParams};
+pub use minimizer::{
+    extract_minimizers, extract_minimizers_into, GraphPos, Minimizer, MinimizerIndex,
+    MinimizerParams, MinimizerScratch,
+};

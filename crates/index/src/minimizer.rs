@@ -65,11 +65,32 @@ impl MinimizerParams {
 
 /// Invertible 64-bit hash (Thomas Wang / minimap2 style), used to order
 /// k-mers within a window so minimizers are spread pseudo-randomly.
+///
+/// Delegates to the shared kernel definition so the vectorized 4-wide
+/// variant ([`mg_kernels::hash_kmers_x4`]) provably computes the same
+/// function; any change to one is a change to both.
+#[inline(always)]
 pub fn hash_kmer(kmer: u64) -> u64 {
-    let mut x = kmer.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
+    mg_kernels::hash_kmer(kmer)
+}
+
+/// Reusable buffers for minimizer extraction and seed queries.
+///
+/// Extraction is three passes over per-k-mer arrays (roll, hash, sweep);
+/// holding the arrays here lets a mapping thread seed every read without
+/// touching the allocator, matching the zero-alloc extension scratch.
+#[derive(Debug, Clone, Default)]
+pub struct MinimizerScratch {
+    /// Rolled 2-bit k-mer value per window position.
+    kmers: Vec<u64>,
+    /// Valid-run length (consecutive ACGT bases) ending at each window.
+    runs: Vec<u32>,
+    /// Hash per window, filled four lanes at a time.
+    hashes: Vec<u64>,
+    /// Monotonic deque of (kmer index, hash, kmer) for the sweep.
+    deque: std::collections::VecDeque<(usize, u64, u64)>,
+    /// Minimizer staging buffer for [`MinimizerIndex::query_into`].
+    mins: Vec<Minimizer>,
 }
 
 /// Extracts the (k, w)-minimizers of `seq` with a monotonic-deque sweep.
@@ -77,41 +98,89 @@ pub fn hash_kmer(kmer: u64) -> u64 {
 /// Windows containing a non-ACGT byte produce no minimizer. Consecutive
 /// windows sharing their minimizer report it once.
 pub fn extract_minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
+    let mut scratch = MinimizerScratch::default();
+    let mut out = Vec::new();
+    extract_minimizers_into(seq, params, &mut scratch, &mut out);
+    out
+}
+
+/// [`extract_minimizers`] into caller-owned buffers: clears `out`, reuses
+/// `scratch`, allocates only on high-water growth.
+///
+/// Three passes: (1) one branchless roll of the 2-bit encoder records every
+/// window's k-mer and valid-run length, with the k-mask and encoder lookups
+/// hoisted out of any per-window work; (2) the windows are hashed four at a
+/// time through [`mg_kernels::hash_kmers_x4`] (gap windows hash garbage that
+/// pass 3 never reads); (3) a pure deque sweep over the precomputed arrays
+/// picks each window's minimizer exactly as the single-pass version did.
+pub fn extract_minimizers_into(
+    seq: &[u8],
+    params: MinimizerParams,
+    scratch: &mut MinimizerScratch,
+    out: &mut Vec<Minimizer>,
+) {
+    out.clear();
     let k = params.k;
     let w = params.w;
     if seq.len() < k {
-        return Vec::new();
+        return;
     }
     let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
-    let mut out: Vec<Minimizer> = Vec::new();
-    // Deque of (kmer index, hash), increasing hash from front to back.
-    let mut deque: std::collections::VecDeque<(usize, u64, u64)> = std::collections::VecDeque::new();
+    let n_kmers = seq.len() + 1 - k;
+    let MinimizerScratch { kmers, runs, hashes, deque, .. } = scratch;
+
+    // Pass 1: roll the encoder once over the bases. An invalid byte zeroes
+    // both the running k-mer and the valid-run length instead of taking an
+    // unpredictable branch, so a window reset costs the same as a base.
+    kmers.clear();
+    runs.clear();
+    kmers.reserve(n_kmers);
+    runs.reserve(n_kmers);
     let mut current = 0u64;
     let mut valid = 0usize; // number of consecutive valid bases ending here
     for (i, &b) in seq.iter().enumerate() {
-        // Branchless roll sharing the packed store's 2-bit encoder
-        // (`dna::encode2`): an invalid byte zeroes both the running k-mer
-        // and the valid-run length instead of taking an unpredictable
-        // branch, so the window reset costs the same as a regular base.
         let code = dna::encode2(b);
         let ok = (code != dna::INVALID_CODE) as u64;
         current = (((current << 2) | (code & 0b11) as u64) & mask) * ok;
         valid = (valid + 1) * ok as usize;
-        if i + 1 < k {
+        if i + 1 >= k {
+            kmers.push(current);
+            runs.push(valid.min(u32::MAX as usize) as u32);
+        }
+    }
+
+    // Pass 2: hash four windows per iteration; the scalar tail covers the
+    // remainder with the identical bit pattern.
+    hashes.clear();
+    hashes.resize(n_kmers, 0);
+    let mut j = 0;
+    while j + 4 <= n_kmers {
+        let block: [u64; 4] = kmers[j..j + 4].try_into().unwrap();
+        let mut hs = [0u64; 4];
+        mg_kernels::hash_kmers_x4(&block, &mut hs);
+        hashes[j..j + 4].copy_from_slice(&hs);
+        j += 4;
+    }
+    for idx in j..n_kmers {
+        hashes[idx] = mg_kernels::hash_kmer(kmers[idx]);
+    }
+
+    // Pass 3: monotonic-deque sweep over the precomputed arrays.
+    deque.clear();
+    let full_run = (k + w - 1).min(u32::MAX as usize) as u32;
+    for kmer_idx in 0..n_kmers {
+        let run = runs[kmer_idx];
+        if (run as usize) < k {
+            // K-mer spans an invalid base: nothing enters the deque, so
+            // stale candidates cannot linger across the gap.
             continue;
         }
-        let kmer_idx = i + 1 - k;
-        if valid < k {
-            // K-mer spans an invalid base: flush the deque of anything that
-            // would otherwise linger across the gap.
-            continue;
-        }
-        let h = hash_kmer(current);
+        let h = hashes[kmer_idx];
         // Strict comparison keeps the earliest k-mer on hash ties.
         while deque.back().is_some_and(|&(_, bh, _)| bh > h) {
             deque.pop_back();
         }
-        deque.push_back((kmer_idx, h, current));
+        deque.push_back((kmer_idx, h, kmers[kmer_idx]));
         // Window of k-mers ending at kmer_idx covers [kmer_idx + 1 - w, kmer_idx];
         // evict candidates that fell out on the left.
         while deque.front().is_some_and(|&(idx, _, _)| idx + w <= kmer_idx) {
@@ -121,7 +190,7 @@ pub fn extract_minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer>
             // Window complete: the front is the minimizer, but only if the
             // whole window is valid k-mers (no gaps since window start).
             let window_start = kmer_idx + 1 - w;
-            if valid >= k + w - 1 || window_start_valid(&deque, window_start) {
+            if run >= full_run || window_start_valid(deque, window_start) {
                 if let Some(&(idx, _, kmer)) = deque.front() {
                     if out.last().map(|m| m.offset as usize) != Some(idx) {
                         out.push(Minimizer { kmer, offset: idx as u32 });
@@ -130,7 +199,6 @@ pub fn extract_minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer>
             }
         }
     }
-    out
 }
 
 /// A window is usable if its minimum candidate is inside it; gaps drop
@@ -181,10 +249,11 @@ impl MinimizerIndex {
         I: IntoIterator<Item = &'a [Handle]>,
     {
         let mut table: FxHashMap<u64, Vec<GraphPos>> = FxHashMap::default();
+        let mut scratch = MinimizerScratch::default();
         for path in paths {
-            Self::index_path(graph, path, params, &mut table);
+            Self::index_path(graph, path, params, &mut table, &mut scratch);
             let flipped: Vec<Handle> = path.iter().rev().map(|h| h.flip()).collect();
-            Self::index_path(graph, &flipped, params, &mut table);
+            Self::index_path(graph, &flipped, params, &mut table, &mut scratch);
         }
         let mut total = 0;
         for positions in table.values_mut() {
@@ -204,6 +273,7 @@ impl MinimizerIndex {
         path: &[Handle],
         params: MinimizerParams,
         table: &mut FxHashMap<u64, Vec<GraphPos>>,
+        scratch: &mut MinimizerScratch,
     ) {
         // Spell the path and remember, per base, its graph position.
         let mut seq = Vec::new();
@@ -215,12 +285,15 @@ impl MinimizerIndex {
                 pos_of_base.push(GraphPos::new(h, off as u32));
             }
         }
-        for m in extract_minimizers(&seq, params) {
+        let mut mins = std::mem::take(&mut scratch.mins);
+        extract_minimizers_into(&seq, params, scratch, &mut mins);
+        for m in &mins {
             table
                 .entry(m.kmer)
                 .or_default()
                 .push(pos_of_base[m.offset as usize]);
         }
+        scratch.mins = mins;
     }
 
     /// The minimizer scheme parameters.
@@ -264,8 +337,29 @@ impl MinimizerIndex {
     ///
     /// Returns `(read offset, graph position)` pairs.
     pub fn query(&self, read: &[u8], hard_hit_cap: usize) -> Vec<(u32, GraphPos)> {
+        let mut scratch = MinimizerScratch::default();
         let mut out = Vec::new();
-        for m in extract_minimizers(read, self.params) {
+        self.query_into(read, hard_hit_cap, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`MinimizerIndex::query`] into caller-owned buffers: clears `out` and
+    /// fills it with `(read offset, graph position)` pairs, reusing
+    /// `scratch` for the extraction sweep so a mapping thread seeds every
+    /// read without touching the allocator.
+    pub fn query_into(
+        &self,
+        read: &[u8],
+        hard_hit_cap: usize,
+        scratch: &mut MinimizerScratch,
+        out: &mut Vec<(u32, GraphPos)>,
+    ) {
+        out.clear();
+        // The staging buffer rides in the scratch, taken out for the call so
+        // the extraction may borrow the remaining fields mutably.
+        let mut mins = std::mem::take(&mut scratch.mins);
+        extract_minimizers_into(read, self.params, scratch, &mut mins);
+        for m in &mins {
             if let Some(positions) = self.table.get(&m.kmer) {
                 if positions.len() > hard_hit_cap {
                     continue;
@@ -275,7 +369,7 @@ impl MinimizerIndex {
                 }
             }
         }
-        out
+        scratch.mins = mins;
     }
 }
 
@@ -341,6 +435,91 @@ mod tests {
     fn pack(seq: &[u8]) -> u64 {
         seq.iter()
             .fold(0u64, |acc, &b| (acc << 2) | dna::encode_base(b) as u64)
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_extraction() {
+        let params = MinimizerParams::new(7, 4);
+        let mut scratch = MinimizerScratch::default();
+        let mut out = Vec::new();
+        let seqs: [&[u8]; 4] = [
+            b"ACGTTGCAACGTACGTTGCATTGACCAGTTGACGTACCAGGTT",
+            b"ACGNACGTACGTNNACGTACGTACGT",
+            b"TTTTTTTTTTTTTTTT",
+            b"ACG",
+        ];
+        for seq in seqs {
+            extract_minimizers_into(seq, params, &mut scratch, &mut out);
+            assert_eq!(out, extract_minimizers(seq, params), "seq {seq:?}");
+        }
+    }
+
+    #[test]
+    fn query_into_matches_query_and_reuses_buffers() {
+        let (p, index) = sample_index();
+        let hap = p.paths()[0].sequence(p.graph());
+        let mut scratch = MinimizerScratch::default();
+        let mut out = Vec::new();
+        for window in hap.windows(24).step_by(5) {
+            index.query_into(window, 1000, &mut scratch, &mut out);
+            assert_eq!(out, index.query(window, 1000));
+        }
+    }
+
+    /// Micro-bench guard for the hoisted three-pass extraction: rolling the
+    /// encoder once and hashing windows in blocks must beat a naive sweep
+    /// that re-packs and re-hashes each window from scratch. The naive
+    /// baseline does ~k times the encoding work, so even a noisy single-core
+    /// CI box cannot flip the comparison unless the rolled path regresses
+    /// catastrophically.
+    #[test]
+    fn micro_bench_rolled_extraction_beats_naive_recompute() {
+        let params = MinimizerParams::default(); // k = 29, w = 11
+        let k = params.k;
+        let w = params.w;
+        // Deterministic pseudo-random sequence, long enough to dominate
+        // timer noise.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let seq: Vec<u8> = (0..200_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 60) as usize & 3]
+            })
+            .collect();
+
+        let mut scratch = MinimizerScratch::default();
+        let mut out = Vec::new();
+        extract_minimizers_into(&seq, params, &mut scratch, &mut out); // warm
+        let t0 = std::time::Instant::now();
+        extract_minimizers_into(&seq, params, &mut scratch, &mut out);
+        let rolled = t0.elapsed();
+
+        // Naive per-window recompute: pack and hash every k-mer of every
+        // window independently (the shape the satellite fix removes).
+        let naive_sweep = |seq: &[u8]| -> Vec<(u32, u64)> {
+            let mut mins = Vec::new();
+            for ws in 0..=(seq.len() + 1 - k - w) {
+                let best = (ws..ws + w)
+                    .min_by_key(|&i| (hash_kmer(pack(&seq[i..i + k])), i))
+                    .unwrap();
+                let entry = (best as u32, pack(&seq[best..best + k]));
+                if mins.last() != Some(&entry) {
+                    mins.push(entry);
+                }
+            }
+            mins
+        };
+        let t1 = std::time::Instant::now();
+        let naive = naive_sweep(&seq);
+        let per_window = t1.elapsed();
+
+        // Same answer, and the rolled path must not be slower.
+        let fast: Vec<(u32, u64)> = out.iter().map(|m| (m.offset, m.kmer)).collect();
+        assert_eq!(fast, naive);
+        assert!(
+            rolled <= per_window,
+            "rolled extraction ({rolled:?}) slower than naive per-window recompute ({per_window:?})"
+        );
     }
 
     fn sample_index() -> (mg_graph::Pangenome, MinimizerIndex) {

@@ -105,11 +105,23 @@ pub enum Ctr {
     /// Record decompressions skipped because the hot tier already held the
     /// record a per-thread table would otherwise have decoded.
     CacheDecodesSaved = 18,
+    /// 256-bit comparison blocks executed by the wide extension walk.
+    SimdBlocksWide = 19,
+    /// Base lanes compared inside those wide blocks.
+    SimdLanesActive = 20,
+    /// Anchor batches formed by the batched extension dataflow.
+    ExtendBatches = 21,
+    /// Anchors summed over those batches (`extend_batch_anchors /
+    /// extend_batches` is the mean batch fill).
+    ExtendBatchAnchors = 22,
+    /// Extension DFS subtrees skipped by branch-and-bound pruning (they
+    /// provably could not beat the best prefix already found).
+    ExtendPrunedFrames = 23,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 24;
     /// All counters, in declaration order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
         Ctr::ReadsMapped,
@@ -131,6 +143,11 @@ impl Ctr {
         Ctr::CacheHotHits,
         Ctr::CacheHotMisses,
         Ctr::CacheDecodesSaved,
+        Ctr::SimdBlocksWide,
+        Ctr::SimdLanesActive,
+        Ctr::ExtendBatches,
+        Ctr::ExtendBatchAnchors,
+        Ctr::ExtendPrunedFrames,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -155,6 +172,11 @@ impl Ctr {
             Ctr::CacheHotHits => "cache_hot_hits",
             Ctr::CacheHotMisses => "cache_hot_misses",
             Ctr::CacheDecodesSaved => "cache_decodes_saved",
+            Ctr::SimdBlocksWide => "simd_blocks_wide",
+            Ctr::SimdLanesActive => "simd_lanes_active",
+            Ctr::ExtendBatches => "extend_batches",
+            Ctr::ExtendBatchAnchors => "extend_batch_anchors",
+            Ctr::ExtendPrunedFrames => "extend_pruned_frames",
         }
     }
 }
@@ -213,17 +235,21 @@ pub enum Gauge {
     /// per-thread tables are counted by the cache heap accounting, not
     /// here).
     HotTierBytes = 3,
+    /// Highest SIMD dispatch tier the extension kernel ran at (0 scalar,
+    /// 1 SWAR, 2 AVX2 — [`mg-kernels`]' `SimdTier::as_index`).
+    SimdDispatchTier = 4,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
     /// All gauges, in declaration order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::QueueDepthMax,
         Gauge::ThreadsMax,
         Gauge::StreamQueueDepthMax,
         Gauge::HotTierBytes,
+        Gauge::SimdDispatchTier,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -233,6 +259,7 @@ impl Gauge {
             Gauge::ThreadsMax => "threads_max",
             Gauge::StreamQueueDepthMax => "stream_queue_depth_max",
             Gauge::HotTierBytes => "hot_tier_bytes",
+            Gauge::SimdDispatchTier => "simd_dispatch_tier",
         }
     }
 }

@@ -135,13 +135,18 @@ impl<'a> Parent<'a> {
             sink,
             thread,
             probe,
+            &mut MapScratch::default(),
             &mut ObsShard::disabled(),
         )
     }
 
-    /// [`Parent::map_read_full`] with a metrics shard: records the seeding
-    /// span, the kernel spans and counters (via the shared mapper), the
-    /// rescoring span, and the per-read cache-statistics delta.
+    /// [`Parent::map_read_full`] with a metrics shard and caller-owned
+    /// scratch: records the seeding span, the kernel spans and counters
+    /// (via the shared mapper), the rescoring span, and the per-read
+    /// cache-statistics delta. The scratch carries the kernel buffers *and*
+    /// the seeding buffers, so a worker that holds one maps every read —
+    /// extraction, query, clustering, extension — without per-read heap
+    /// allocation.
     #[allow(clippy::too_many_arguments)]
     pub fn map_read_full_obs<P: MemProbe>(
         &self,
@@ -152,6 +157,7 @@ impl<'a> Parent<'a> {
         sink: &(impl RegionSink + ?Sized),
         thread: usize,
         probe: &mut P,
+        scratch: &mut MapScratch,
         obs: &mut ObsShard,
     ) -> (ReadInput, ReadResult, Vec<Alignment>) {
         let stats_before = if obs.is_on() { Some(cache.stats()) } else { None };
@@ -170,11 +176,18 @@ impl<'a> Parent<'a> {
             // from the proxy's in the paper's Table V.
             probe.touch(0x6000_0000_0000 + read_id * 4096, input.len() as u32);
             probe.instret(4 * input.len() as u64);
-            let seeds: Vec<Seed> = self
-                .minimizer
-                .query(&input, options.hard_hit_cap)
-                .into_iter()
-                .map(|(off, pos)| Seed::new(off, pos))
+            self.minimizer.query_into(
+                &input,
+                options.hard_hit_cap,
+                &mut scratch.seeding,
+                &mut scratch.seed_hits,
+            );
+            // The seed list itself moves into the dump record below, so this
+            // one Vec per read is part of the output, not scratch churn.
+            let seeds: Vec<Seed> = scratch
+                .seed_hits
+                .iter()
+                .map(|&(off, pos)| Seed::new(off, pos))
                 .collect();
             probe.touch(
                 0x7000_0000_0000 + (read_id % 512) * 65536,
@@ -193,7 +206,7 @@ impl<'a> Parent<'a> {
             sink,
             thread,
             probe,
-            &mut MapScratch::default(),
+            scratch,
             obs,
         );
         let t0 = obs.now();
@@ -341,6 +354,7 @@ impl<'a> Parent<'a> {
                 CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity)
                     .with_hot(hot.map(Arc::clone));
             let mut obs = metrics.guard();
+            let mut scratch = MapScratch::default();
             let slots = &slots;
             Box::new(move |i| {
                 let out = self.map_read_full_obs(
@@ -351,6 +365,7 @@ impl<'a> Parent<'a> {
                     sink,
                     thread,
                     &mut NoProbe,
+                    &mut scratch,
                     &mut obs,
                 );
                 slots[i].set(out).expect("each read mapped once");
@@ -375,6 +390,7 @@ impl<'a> Parent<'a> {
             let mut cache =
                 CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity)
                     .with_hot(hot.map(Arc::clone));
+            let mut scratch = MapScratch::default();
             for pair_start in (0..n.saturating_sub(1)).step_by(2) {
                 let (a, b) = (pair_start, pair_start + 1);
                 let (mapped, unmapped) = match (
@@ -398,6 +414,7 @@ impl<'a> Parent<'a> {
                     sink,
                     0,
                     &mut NoProbe,
+                    &mut scratch,
                 ) {
                     alignments[unmapped] = align_read(&result, &options.align);
                     rescued[unmapped] = Some(result);

@@ -7,9 +7,10 @@
 //! (repeats suppressed by the hit cap, or error-dense reads).
 
 use mg_core::types::{ReadInput, ReadResult, Seed};
-use mg_core::{Mapper, MappingOptions};
+use mg_core::{MapScratch, Mapper, MappingOptions};
 use mg_gbwt::CachedGbwt;
 use mg_index::{GraphPos, MinimizerIndex};
+use mg_obs::ObsShard;
 use mg_support::probe::MemProbe;
 use mg_support::regions::RegionSink;
 
@@ -51,14 +52,22 @@ pub fn rescue_mate<P: MemProbe>(
     sink: &(impl RegionSink + ?Sized),
     thread: usize,
     probe: &mut P,
+    scratch: &mut MapScratch,
 ) -> Option<ReadResult> {
     let graph = mapper.gbz().graph();
     let dist = mapper.distance_index();
-    // Relaxed re-seed, restricted to the fragment neighbourhood.
-    let seeds: Vec<Seed> = minimizer
-        .query(&mate_input.bases, params.rescue_hit_cap)
-        .into_iter()
-        .filter_map(|(off, pos)| {
+    // Relaxed re-seed into the scratch buffers, restricted to the fragment
+    // neighbourhood.
+    minimizer.query_into(
+        &mate_input.bases,
+        params.rescue_hit_cap,
+        &mut scratch.seeding,
+        &mut scratch.seed_hits,
+    );
+    let seeds: Vec<Seed> = scratch
+        .seed_hits
+        .iter()
+        .filter_map(|&(off, pos)| {
             let near = [pos, GraphPos::new(pos.handle.flip(), 0)]
                 .iter()
                 .any(|&candidate| {
@@ -77,7 +86,17 @@ pub fn rescue_mate<P: MemProbe>(
         bases: mate_input.bases.clone(),
         seeds,
     };
-    let result = mapper.map_read(cache, mate_id, &rescoped, options, sink, thread, probe);
+    let result = mapper.map_read_with_scratch(
+        cache,
+        mate_id,
+        &rescoped,
+        options,
+        sink,
+        thread,
+        probe,
+        scratch,
+        &mut ObsShard::disabled(),
+    );
     (!result.extensions.is_empty()).then_some(result)
 }
 
@@ -151,6 +170,7 @@ mod tests {
                 &NullSink,
                 0,
                 &mut NoProbe,
+                &mut MapScratch::default(),
             );
             let rescued = rescued.expect("mate rescued");
             assert!(!rescued.extensions.is_empty());
@@ -199,6 +219,7 @@ mod tests {
             &NullSink,
             0,
             &mut NoProbe,
+            &mut MapScratch::default(),
         );
         // With limit 0 only the anchor position itself qualifies; a result,
         // if any, must start exactly there.

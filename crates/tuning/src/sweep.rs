@@ -65,11 +65,12 @@ impl SweepResult {
     }
 
     /// One-way ANOVA of makespan grouped by each parameter, in the order
-    /// `(scheduler, batch size, cache capacity, hot-tier budget)`.
+    /// `(scheduler, batch size, cache capacity, hot-tier budget,
+    /// extension batch)`.
     #[allow(clippy::type_complexity)]
     pub fn anova_by_parameter(
         &self,
-    ) -> (Option<Anova>, Option<Anova>, Option<Anova>, Option<Anova>) {
+    ) -> (Option<Anova>, Option<Anova>, Option<Anova>, Option<Anova>, Option<Anova>) {
         let group = |key: &dyn Fn(&TuningPoint) -> u64| -> Vec<Vec<f64>> {
             let mut groups: std::collections::BTreeMap<u64, Vec<f64>> =
                 std::collections::BTreeMap::new();
@@ -82,11 +83,13 @@ impl SweepResult {
         let by_batch = group(&|p: &TuningPoint| p.batch_size as u64);
         let by_capacity = group(&|p: &TuningPoint| p.cache_capacity as u64);
         let by_hot = group(&|p: &TuningPoint| p.hot_tier_budget as u64);
+        let by_extend = group(&|p: &TuningPoint| p.extend_batch as u64);
         (
             one_way_anova(&by_sched),
             one_way_anova(&by_batch),
             one_way_anova(&by_capacity),
             one_way_anova(&by_hot),
+            one_way_anova(&by_extend),
         )
     }
 }
@@ -123,7 +126,7 @@ pub fn run_host_sweep_metrics(
     let mapper = Mapper::new(gbz);
     let mut records = Vec::with_capacity(space.len());
     for point in space.points() {
-        let options = MappingOptions {
+        let mut options = MappingOptions {
             threads,
             batch_size: point.batch_size,
             cache_capacity: point.cache_capacity,
@@ -131,6 +134,8 @@ pub fn run_host_sweep_metrics(
             hot_tier_budget: point.hot_tier_budget,
             ..base_options.clone()
         };
+        // Nested field: the struct-update spread above cannot reach it.
+        options.process.extend_batch = point.extend_batch;
         let mut best = f64::INFINITY;
         for _ in 0..repeats.max(1) {
             let out = mapper.run_with_metrics(dump, &options, metrics);
@@ -300,6 +305,7 @@ mod tests {
                 batch_size: b,
                 cache_capacity: c,
                 hot_tier_budget: 256,
+                extend_batch: 16,
             },
             makespan_s: t,
         }
@@ -340,6 +346,7 @@ mod tests {
             batch_size: 1,
             cache_capacity: 1,
             hot_tier_budget: 0,
+            extend_batch: 1,
         };
         assert!(sweep.speedup_over(missing).is_none());
     }
@@ -363,14 +370,16 @@ mod tests {
             }
         }
         let sweep = SweepResult { records, infeasible: 0 };
-        let (sched, batch, capacity, hot) = sweep.anova_by_parameter();
+        let (sched, batch, capacity, hot, extend) = sweep.anova_by_parameter();
         let capacity = capacity.unwrap();
         assert!(capacity.is_significant(), "capacity p={}", capacity.p_value);
         assert!(!sched.unwrap().is_significant());
         assert!(!batch.unwrap().is_significant());
-        // Every record shares one hot-tier budget, so there is a single
-        // group and no ANOVA can be computed for that axis.
+        // Every record shares one hot-tier budget (and one extension
+        // batch), so those axes have a single group each and no ANOVA can
+        // be computed for them.
         assert!(hot.is_none());
+        assert!(extend.is_none());
     }
 
     #[test]

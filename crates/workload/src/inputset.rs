@@ -46,6 +46,13 @@ pub struct InputSetSpec {
     pub minimizer: MinimizerParams,
     /// Seeds with more hits than this are dropped (repeat filter).
     pub hard_hit_cap: usize,
+    /// Maximum node length of the constructed graph. Giraffe's GBZ caps
+    /// nodes at 1024 bases, so real graphs carry long unary runs between
+    /// variant sites; the paper sets use that cap (node lengths are then
+    /// bounded by variant spacing), while the tiny test set keeps the
+    /// vg-chop 32 so every span fits one packed word and golden snapshots
+    /// stay put.
+    pub max_node_len: usize,
 }
 
 impl InputSetSpec {
@@ -61,6 +68,7 @@ impl InputSetSpec {
             read_sim: ReadSimParams { read_len: 148, ..Default::default() },
             minimizer: MinimizerParams::new(29, 11),
             hard_hit_cap: 64,
+            max_node_len: 1024,
         }
     }
 
@@ -73,9 +81,10 @@ impl InputSetSpec {
             variants: VariantParams { mean_spacing: 150, ..Default::default() },
             haplotypes: 8,
             reads: 6_000,
-            read_sim: ReadSimParams { read_len: 100, ..Default::default() },
+            read_sim: ReadSimParams { read_len: 150, ..Default::default() },
             minimizer: MinimizerParams::new(29, 11),
             hard_hit_cap: 64,
+            max_node_len: 1024,
         }
     }
 
@@ -91,6 +100,7 @@ impl InputSetSpec {
             read_sim: ReadSimParams { read_len: 148, ..Default::default() },
             minimizer: MinimizerParams::new(29, 11),
             hard_hit_cap: 64,
+            max_node_len: 1024,
         }
     }
 
@@ -106,6 +116,7 @@ impl InputSetSpec {
             read_sim: ReadSimParams { read_len: 148, ..Default::default() },
             minimizer: MinimizerParams::new(29, 11),
             hard_hit_cap: 64,
+            max_node_len: 1024,
         }
     }
 
@@ -131,6 +142,7 @@ impl InputSetSpec {
             read_sim: ReadSimParams { read_len: 60, error_rate: 0.001, ..Default::default() },
             minimizer: MinimizerParams::new(15, 5),
             hard_hit_cap: 128,
+            max_node_len: 32,
         }
     }
 
@@ -190,6 +202,7 @@ impl SyntheticInput {
         let pangenome = PangenomeBuilder::new(reference)
             .variants(variants)
             .haplotypes(panel)
+            .max_node_len(spec.max_node_len)
             .build()?;
         let hap_seqs: Vec<Vec<u8>> = pangenome
             .paths()

@@ -405,12 +405,13 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         ),
         None => println!("default configuration not in the sweep space"),
     }
-    let (sched, batch, capacity, hot) = sweep.anova_by_parameter();
+    let (sched, batch, capacity, hot, extend) = sweep.anova_by_parameter();
     for (name, a) in [
         ("scheduler", sched),
         ("batch", batch),
         ("capacity", capacity),
         ("hot-tier", hot),
+        ("extend-batch", extend),
     ] {
         if let Some(a) = a {
             println!(

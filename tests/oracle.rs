@@ -244,6 +244,78 @@ fn hot_tier_leaves_gaf_byte_identical_across_schedulers() {
 }
 
 #[test]
+fn simd_tiers_and_batching_leave_gaf_byte_identical_across_schedulers() {
+    // The explicit-SIMD dispatch ladder and the batched extension dataflow
+    // are pure locality/throughput transforms: every dispatch tier the host
+    // supports, batched or unbatched, must land on the same GAF bytes as
+    // the scalar comparison loop with batching disabled, for every golden
+    // workload under every scheduler — in both the batch replay and the
+    // streaming pipeline.
+    let top = mg_kernels::hardware_tier();
+    let tiers: Vec<mg_kernels::SimdTier> = [
+        mg_kernels::SimdTier::Scalar,
+        mg_kernels::SimdTier::Swar,
+        mg_kernels::SimdTier::Avx2,
+    ]
+    .into_iter()
+    .filter(|&t| t <= top)
+    .collect();
+    for (name, input) in workloads() {
+        let (parent, run, _) = parent_gaf(&input, &name);
+        let fastq = fastq_bytes(&input);
+        for kind in minigiraffe::sched::SchedulerKind::ALL {
+            let mut oracle = ParentOptions::default();
+            oracle.mapping.scheduler = kind;
+            oracle.mapping.threads = 4;
+            oracle.mapping.batch_size = 3;
+            oracle.mapping.extend.force_scalar = true;
+            oracle.mapping.process.extend_batch = 1;
+            let expected = proxy_gaf(&parent, &run, &input, &name, &oracle);
+            assert!(!expected.is_empty(), "{name}: no alignments under {kind}");
+            for &tier in &tiers {
+                for batch in [1usize, 16, 64] {
+                    let mut options = oracle.clone();
+                    options.mapping.extend.force_scalar = false;
+                    options.mapping.extend.simd_override = Some(tier);
+                    options.mapping.process.extend_batch = batch;
+                    let got = proxy_gaf(&parent, &run, &input, &name, &options);
+                    assert_eq!(
+                        got, expected,
+                        "{name}: {} tier with extend_batch {batch} diverged \
+                         from the scalar unbatched oracle under {kind}",
+                        tier.name()
+                    );
+                }
+            }
+
+            // Streaming: top tier, batched, against the scalar unbatched
+            // oracle through the same chunked entry point.
+            let stream = StreamOptions { queue_batches: 2, chunk_reads: 7 };
+            let mut stream_gafs = Vec::new();
+            let mut top_options = oracle.clone();
+            top_options.mapping.extend.force_scalar = false;
+            top_options.mapping.extend.simd_override = Some(top);
+            top_options.mapping.process.extend_batch = 16;
+            for options in [&oracle, &top_options] {
+                let batches = FastqReader::new(&fastq[..])
+                    .batches(5)
+                    .map(|item| item.map(|recs| recs.into_iter().map(|r| r.bases).collect()));
+                let p = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+                let mut gaf = Vec::new();
+                p.run_streaming(batches, options, &stream, &name, &mut gaf)
+                    .unwrap_or_else(|e| panic!("{name}: streaming run failed under {kind}: {e}"));
+                stream_gafs.push(gaf);
+            }
+            assert_eq!(
+                stream_gafs[1], stream_gafs[0],
+                "{name}: SIMD batched streaming GAF diverged from the scalar \
+                 unbatched oracle under {kind}"
+            );
+        }
+    }
+}
+
+#[test]
 fn distance_prefilter_leaves_gaf_byte_identical() {
     // `maybe_within` is a conservative bound: pairs it screens out are
     // provably beyond the clustering limit, so disabling the prefilter must
