@@ -64,6 +64,7 @@ pub use extend::{
 pub use mg_kernels::SimdTier;
 pub use pipeline::{
     run_mapping, MapScratch, Mapper, MappingOptions, MappingResults, StreamOptions, StreamSummary,
+    ThreadPersist,
 };
 pub use types::{Extension, ExtensionKey, ReadInput, ReadResult, Seed, Workflow};
 pub use validate::{validate, ValidationReport};

@@ -283,6 +283,23 @@ impl<'a> Mapper<'a> {
         self.gbz
     }
 
+    /// The persistent worker pool, for callers that drive their own pooled
+    /// scheduler dispatch against this mapper's threads (the parent
+    /// pipeline, the serving executor). Dispatches serialize on the lock;
+    /// lock it with [`Mapper::lock_pool`] so a panic that unwound through
+    /// an earlier dispatch (the pool itself survives worker panics) does
+    /// not poison every later run.
+    pub fn worker_pool(&self) -> &std::sync::Mutex<WorkerPool> {
+        &self.pool
+    }
+
+    /// Locks the worker pool, shrugging off poison: the pool catches
+    /// worker panics internally and stays usable, so a panic that escaped
+    /// a previous dispatch left the pool itself coherent.
+    pub fn lock_pool(&self) -> std::sync::MutexGuard<'_, WorkerPool> {
+        self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The distance index.
     pub fn distance_index(&self) -> &DistanceIndex {
         &self.dist
@@ -431,7 +448,7 @@ impl<'a> Mapper<'a> {
         sink: &(impl RegionSink + ?Sized),
         metrics: &Metrics,
     ) -> MappingResults {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.lock_pool();
         let start = Instant::now();
         // Frequency pre-pass over the seed stream (or a warm tier from an
         // earlier run at the same budget), then the one parallel dispatch.
@@ -573,7 +590,7 @@ impl<'a> Mapper<'a> {
     {
         let chunk_target = stream.chunk_target(options);
         let (tx, rx) = bounded_queue(stream.queue_batches.max(1));
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.lock_pool();
         let start = Instant::now();
 
         let mut reads = 0u64;
@@ -716,10 +733,19 @@ type StatsCollector = std::sync::Mutex<Vec<(CacheStats, u64)>>;
 
 /// What a pool thread keeps between runs: its cache storage (rebound warm
 /// when the pangenome and capacity match) and the kernel scratch buffers.
+///
+/// Public so every pooled dispatch against a [`Mapper`]'s worker pool —
+/// the proxy loop here, the parent pipeline's chunk mapper, the serving
+/// executor — stashes the same cell type, and warm state carries across
+/// them instead of being cold-dropped at each boundary.
 #[derive(Default)]
-struct ThreadPersist {
-    cache: CacheState,
-    scratch: MapScratch,
+pub struct ThreadPersist {
+    /// Detached `CachedGbwt` storage; rebind with
+    /// [`CachedGbwt::with_state`], which starts warm when the GBWT and
+    /// capacity are unchanged.
+    pub cache: CacheState,
+    /// Kernel + seeding scratch buffers.
+    pub scratch: MapScratch,
 }
 
 /// Per-thread mapping state for one run: owns the thread's `CachedGbwt`

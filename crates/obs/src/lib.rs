@@ -117,11 +117,23 @@ pub enum Ctr {
     /// Extension DFS subtrees skipped by branch-and-bound pruning (they
     /// provably could not beat the best prefix already found).
     ExtendPrunedFrames = 23,
+    /// Mapping jobs admitted by the server's pending queue.
+    ServeJobsAccepted = 24,
+    /// Mapping jobs refused with `BUSY` (queue full, per-client cap, or
+    /// draining).
+    ServeJobsRejected = 25,
+    /// Mapping jobs that ran to `DONE`.
+    ServeJobsCompleted = 26,
+    /// Mapping jobs that ended with a per-job error frame (corrupt input
+    /// or a worker panic inside the job).
+    ServeJobsFailed = 27,
+    /// GAF bytes streamed to server clients.
+    ServeGafBytes = 28,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 29;
     /// All counters, in declaration order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
         Ctr::ReadsMapped,
@@ -148,6 +160,11 @@ impl Ctr {
         Ctr::ExtendBatches,
         Ctr::ExtendBatchAnchors,
         Ctr::ExtendPrunedFrames,
+        Ctr::ServeJobsAccepted,
+        Ctr::ServeJobsRejected,
+        Ctr::ServeJobsCompleted,
+        Ctr::ServeJobsFailed,
+        Ctr::ServeGafBytes,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -177,6 +194,11 @@ impl Ctr {
             Ctr::ExtendBatches => "extend_batches",
             Ctr::ExtendBatchAnchors => "extend_batch_anchors",
             Ctr::ExtendPrunedFrames => "extend_pruned_frames",
+            Ctr::ServeJobsAccepted => "serve_jobs_accepted",
+            Ctr::ServeJobsRejected => "serve_jobs_rejected",
+            Ctr::ServeJobsCompleted => "serve_jobs_completed",
+            Ctr::ServeJobsFailed => "serve_jobs_failed",
+            Ctr::ServeGafBytes => "serve_gaf_bytes",
         }
     }
 }
@@ -195,11 +217,18 @@ pub enum Hist {
     SweepMakespanUs = 3,
     /// Reads per mapping chunk assembled by the streaming consumer.
     StreamChunkReads = 4,
+    /// Server job latency (submit to `DONE`), in microseconds.
+    ServeJobLatencyUs = 5,
+    /// Time served jobs spent queued before their first chunk was
+    /// dispatched, in microseconds.
+    ServeQueueWaitUs = 6,
+    /// Reads per served mapping job.
+    ServeJobReads = 7,
 }
 
 impl Hist {
     /// Number of histograms.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 8;
     /// All histograms, in declaration order.
     pub const ALL: [Hist; Hist::COUNT] = [
         Hist::SeedsPerRead,
@@ -207,6 +236,9 @@ impl Hist {
         Hist::BatchReads,
         Hist::SweepMakespanUs,
         Hist::StreamChunkReads,
+        Hist::ServeJobLatencyUs,
+        Hist::ServeQueueWaitUs,
+        Hist::ServeJobReads,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -217,6 +249,9 @@ impl Hist {
             Hist::BatchReads => "batch_reads",
             Hist::SweepMakespanUs => "sweep_makespan_us",
             Hist::StreamChunkReads => "stream_chunk_reads",
+            Hist::ServeJobLatencyUs => "serve_job_latency_us",
+            Hist::ServeQueueWaitUs => "serve_queue_wait_us",
+            Hist::ServeJobReads => "serve_job_reads",
         }
     }
 }
@@ -238,11 +273,15 @@ pub enum Gauge {
     /// Highest SIMD dispatch tier the extension kernel ran at (0 scalar,
     /// 1 SWAR, 2 AVX2 — [`mg-kernels`]' `SimdTier::as_index`).
     SimdDispatchTier = 4,
+    /// Deepest server pending-job queue occupancy observed.
+    ServePendingMax = 5,
+    /// Most jobs the server executor interleaved at once.
+    ServeActiveMax = 6,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
     /// All gauges, in declaration order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::QueueDepthMax,
@@ -250,6 +289,8 @@ impl Gauge {
         Gauge::StreamQueueDepthMax,
         Gauge::HotTierBytes,
         Gauge::SimdDispatchTier,
+        Gauge::ServePendingMax,
+        Gauge::ServeActiveMax,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -260,6 +301,8 @@ impl Gauge {
             Gauge::StreamQueueDepthMax => "stream_queue_depth_max",
             Gauge::HotTierBytes => "hot_tier_bytes",
             Gauge::SimdDispatchTier => "simd_dispatch_tier",
+            Gauge::ServePendingMax => "serve_pending_max",
+            Gauge::ServeActiveMax => "serve_active_max",
         }
     }
 }
@@ -354,6 +397,29 @@ impl Report {
     #[inline]
     pub fn gauge(&self, g: Gauge) -> u64 {
         self.gauges[g as usize]
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 < q <= 1.0`) of a
+    /// histogram, from its log2 buckets: the inclusive upper edge of the
+    /// first bucket whose cumulative count reaches `ceil(q × count)`.
+    /// Returns 0 for an empty histogram. The estimate is exact for values
+    /// 0 and 1 and otherwise overshoots by less than 2× — tight enough for
+    /// the p50/p99 latency figures the server's `STATS` reply exports.
+    pub fn hist_quantile(&self, h: Hist, q: f64) -> u64 {
+        let total = self.hist_counts[h as usize];
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (b, n) in self.hist_buckets[h as usize].iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                // Bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b).
+                return if b == 0 { 0 } else { (1u64 << b) - 1 };
+            }
+        }
+        u64::MAX
     }
 
     #[inline]
@@ -926,6 +992,34 @@ mod tests {
         a.add(Ctr::ReadsMapped, 1);
         assert_eq!(a.report(), Report::default());
         assert!(std::ptr::eq(a, Metrics::off_ref()));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn hist_quantile_tracks_bucket_edges() {
+        let metrics = Metrics::new();
+        let mut s = metrics.shard();
+        // 90 small values and 10 large ones: p50 lands in the small
+        // bucket, p99 in the large one.
+        for _ in 0..90 {
+            s.observe(Hist::ServeJobLatencyUs, 3);
+        }
+        for _ in 0..10 {
+            s.observe(Hist::ServeJobLatencyUs, 1000);
+        }
+        metrics.absorb(&s);
+        let rep = metrics.report();
+        let p50 = rep.hist_quantile(Hist::ServeJobLatencyUs, 0.50);
+        let p99 = rep.hist_quantile(Hist::ServeJobLatencyUs, 0.99);
+        // 3 lives in [2, 4) -> upper edge 3; 1000 in [512, 1024) -> 1023.
+        assert_eq!(p50, 3);
+        assert_eq!(p99, 1023);
+        assert_eq!(rep.hist_quantile(Hist::ServeQueueWaitUs, 0.99), 0);
+        // All-zero observations quantile to exactly zero.
+        let mut z = metrics.shard();
+        z.observe(Hist::ServeQueueWaitUs, 0);
+        metrics.absorb(&z);
+        assert_eq!(metrics.report().hist_quantile(Hist::ServeQueueWaitUs, 0.5), 0);
     }
 
     #[test]

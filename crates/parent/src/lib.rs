@@ -31,5 +31,5 @@ pub mod rescue;
 pub use align::{align_read, annotate_haplotypes, pair_check, AlignParams, Alignment};
 pub use gaf::{alignment_to_gaf, chunk_to_gaf, path_to_gaf, run_to_gaf};
 pub use gapped::{banded_global, cigar_string, CigarOp, GapParams, GappedAlignment};
-pub use pipeline::{Parent, ParentOptions, ParentRun, ParentStreamSummary};
+pub use pipeline::{ChunkRun, Parent, ParentOptions, ParentRun, ParentStreamSummary};
 pub use rescue::{rescue_mate, RescueParams};

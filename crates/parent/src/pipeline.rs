@@ -19,11 +19,11 @@ use std::time::{Duration, Instant};
 
 use mg_core::dump::SeedDump;
 use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
-use mg_core::{MapScratch, Mapper, MappingOptions, StreamOptions};
+use mg_core::{MapScratch, Mapper, MappingOptions, StreamOptions, ThreadPersist};
 use mg_gbwt::{CachedGbwt, Gbz, HotTier};
 use mg_index::MinimizerIndex;
 use mg_obs::{Ctr, Gauge, Hist, Metrics, ObsShard, Stage};
-use mg_sched::{bounded_queue, AnyScheduler, SchedulerKind};
+use mg_sched::{bounded_queue, AnyScheduler, PoolCell, PoolTask, SchedulerKind};
 use mg_support::probe::{MemProbe, NoProbe};
 use mg_support::regions::{NullSink, RegionSink, RegionTimer};
 
@@ -46,6 +46,12 @@ pub struct ParentOptions {
     pub enable_rescue: bool,
     /// Rescue configuration.
     pub rescue: RescueParams,
+    /// Fault injection for resilience tests: panic inside the pool worker
+    /// mapping this global read id. `None` (the default, and the only
+    /// sensible production value) injects nothing. The serving tests use
+    /// this to prove a panicking job fails alone while the shared pool
+    /// survives.
+    pub fault_read: Option<u64>,
 }
 
 impl Default for ParentOptions {
@@ -60,6 +66,7 @@ impl Default for ParentOptions {
             max_fragment: 1200,
             enable_rescue: true,
             rescue: RescueParams::default(),
+            fault_read: None,
         }
     }
 }
@@ -111,6 +118,11 @@ impl<'a> Parent<'a> {
     /// The shared kernel mapper.
     pub fn mapper(&self) -> &Mapper<'a> {
         &self.mapper
+    }
+
+    /// The workflow this parent was built for.
+    pub fn workflow(&self) -> Workflow {
+        self.workflow
     }
 
     /// Maps one read end-to-end: seeding, kernels, post-processing.
@@ -328,6 +340,31 @@ impl<'a> Parent<'a> {
         }
     }
 
+    /// Maps one chunk of reads (global ids `base_id..base_id + reads.len()`)
+    /// through the full per-read workflow plus the pair-local
+    /// post-processing, on the mapper's persistent worker pool, without
+    /// region instrumentation.
+    ///
+    /// This is the serving entry point: a long-lived executor calls it
+    /// once per (job, chunk), interleaving chunks of different jobs on the
+    /// same pool, and renders each returned [`ChunkRun`] with
+    /// [`crate::gaf::chunk_to_gaf`]. Because read ids are global and
+    /// per-read work is deterministic and cache-independent, the
+    /// concatenated chunk GAF is byte-identical to a batch run over the
+    /// same reads regardless of how jobs were interleaved. For paired
+    /// workflows `reads` must start on a pair boundary (`base_id` even)
+    /// so rescue and pair check see whole pairs.
+    pub fn map_chunk(
+        &self,
+        reads: &[Vec<u8>],
+        base_id: u64,
+        options: &ParentOptions,
+        hot: Option<&Arc<HotTier>>,
+        metrics: &Metrics,
+    ) -> ChunkRun {
+        self.run_chunk(reads, base_id, options, &NullSink, hot, metrics)
+    }
+
     /// Maps `reads` (global ids `base_id..`) through the full per-read
     /// workflow plus the pair-local post-processing (rescue + pair check).
     /// Both the batch path (whole input, base 0) and the streaming path
@@ -349,28 +386,44 @@ impl<'a> Parent<'a> {
             (0..n).map(|_| OnceLock::new()).collect();
         let scheduler: Box<dyn AnyScheduler> =
             options.mapping.scheduler.build(options.mapping.batch_size);
-        scheduler.run_erased_obs(n, options.mapping.threads.max(1), metrics, &|thread| {
-            let mut cache =
-                CachedGbwt::new(self.mapper.gbz().gbwt(), options.mapping.cache_capacity)
-                    .with_hot(hot.map(Arc::clone));
-            let mut obs = metrics.guard();
-            let mut scratch = MapScratch::default();
-            let slots = &slots;
-            Box::new(move |i| {
-                let out = self.map_read_full_obs(
-                    &mut cache,
-                    base_id + i as u64,
-                    &reads[i],
+        // Dispatch onto the mapper's persistent pool: each pool thread
+        // rebinds its kept cache storage warm (same pangenome, same
+        // capacity) and reuses its scratch, sharing the cells the proxy
+        // loop stashes. Parent runs on one mapper serialize on the pool
+        // lock, which is what lets a long-lived server interleave many
+        // jobs chunk-by-chunk on one set of threads.
+        let mut pool = self.mapper.lock_pool();
+        scheduler.run_pooled_erased_obs(
+            &mut pool,
+            n,
+            options.mapping.threads.max(1),
+            metrics,
+            &|thread, cell| {
+                let persist = match cell.downcast_mut::<ThreadPersist>() {
+                    Some(p) => std::mem::take(p),
+                    None => ThreadPersist::default(),
+                };
+                Box::new(ParentWorker {
+                    parent: self,
+                    reads,
+                    base_id,
                     options,
                     sink,
                     thread,
-                    &mut NoProbe,
-                    &mut scratch,
-                    &mut obs,
-                );
-                slots[i].set(out).expect("each read mapped once");
-            })
-        });
+                    slots: &slots,
+                    cache: CachedGbwt::with_state(
+                        self.mapper.gbz().gbwt(),
+                        options.mapping.cache_capacity,
+                        persist.cache,
+                    )
+                    .with_hot(hot.map(Arc::clone)),
+                    scratch: persist.scratch,
+                    metrics,
+                    obs: metrics.shard(),
+                })
+            },
+        );
+        drop(pool);
         let mut dump_reads = Vec::with_capacity(n);
         let mut kernel_results = Vec::with_capacity(n);
         let mut alignments = Vec::with_capacity(n);
@@ -631,12 +684,71 @@ impl<'a> Parent<'a> {
     }
 }
 
-/// One mapped chunk of a parent run, before assembly into a [`ParentRun`].
-struct ChunkRun {
-    dump_reads: Vec<ReadInput>,
-    kernel_results: Vec<ReadResult>,
-    alignments: Vec<Vec<Alignment>>,
-    rescued: Vec<Option<ReadResult>>,
+/// One mapped chunk of a parent run: everything
+/// [`Parent::map_chunk`] produces for `reads[i]` at global id
+/// `base_id + i`. The batch path assembles these into a [`ParentRun`];
+/// the serving executor renders each one to GAF with
+/// [`crate::gaf::chunk_to_gaf`] and streams it out.
+#[derive(Debug, Clone)]
+pub struct ChunkRun {
+    /// Captured dump records (read bases + computed seeds), one per read.
+    pub dump_reads: Vec<ReadInput>,
+    /// Raw kernel outputs, one per read.
+    pub kernel_results: Vec<ReadResult>,
+    /// Post-processed alignments per read.
+    pub alignments: Vec<Vec<Alignment>>,
+    /// Mates recovered by rescue (index = read offset in the chunk).
+    pub rescued: Vec<Option<ReadResult>>,
+}
+
+/// Per-thread mapping state for one parent chunk on the mapper's worker
+/// pool: owns the thread's warm-rebound `CachedGbwt` and scratch, maps the
+/// reads the scheduler assigns it, and at `finish` merges its metrics
+/// shard and stashes the warm state back into the thread's pool cell (the
+/// same [`ThreadPersist`] cell the proxy loop uses, so warmth carries
+/// across proxy and parent dispatches).
+struct ParentWorker<'e, 'g, S: RegionSink + ?Sized> {
+    parent: &'e Parent<'g>,
+    reads: &'e [Vec<u8>],
+    base_id: u64,
+    options: &'e ParentOptions,
+    sink: &'e S,
+    thread: usize,
+    slots: &'e [OnceLock<(ReadInput, ReadResult, Vec<Alignment>)>],
+    cache: CachedGbwt<'g>,
+    scratch: MapScratch,
+    metrics: &'e Metrics,
+    obs: ObsShard,
+}
+
+impl<S: RegionSink + ?Sized> PoolTask for ParentWorker<'_, '_, S> {
+    fn run(&mut self, i: usize) {
+        let read_id = self.base_id + i as u64;
+        if self.options.fault_read == Some(read_id) {
+            panic!("injected fault mapping read {read_id}");
+        }
+        let out = self.parent.map_read_full_obs(
+            &mut self.cache,
+            read_id,
+            &self.reads[i],
+            self.options,
+            self.sink,
+            self.thread,
+            &mut NoProbe,
+            &mut self.scratch,
+            &mut self.obs,
+        );
+        self.slots[i].set(out).expect("each read mapped once");
+    }
+
+    fn finish(self: Box<Self>, cell: &mut PoolCell) {
+        let this = *self;
+        this.metrics.absorb(&this.obs);
+        *cell = Box::new(ThreadPersist {
+            cache: this.cache.into_state(),
+            scratch: this.scratch,
+        });
+    }
 }
 
 /// What a streaming parent run reports; the per-read outputs left through

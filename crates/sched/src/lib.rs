@@ -25,9 +25,11 @@
 //! # let _ = SchedulerKind::Dynamic;
 //! ```
 
+mod admission;
 mod pool;
 mod queue;
 
+pub use admission::{AdmissionError, AdmissionQueue, AdmissionStats};
 pub use pool::{PoolCell, PoolTask, WorkerPool};
 pub use queue::{bounded_queue, QueueStats, StreamReceiver, StreamSender};
 

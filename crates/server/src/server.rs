@@ -1,0 +1,584 @@
+//! The long-lived mapping server.
+//!
+//! One [`MappingServer`] owns the expensive state — the pangenome, the
+//! minimizer index, the distance index, the mapper's persistent worker
+//! pool and its GBWT hot tier — and multiplexes mapping jobs from many
+//! concurrent clients onto it. Connections are cheap threads that parse
+//! frames and talk to the admission queue; all mapping happens on one
+//! executor thread that interleaves admitted jobs *chunk by chunk* on the
+//! shared pool, so a large job cannot starve a small one and the pool's
+//! per-thread caches stay warm across job boundaries.
+//!
+//! Determinism: GAF output for a job depends only on its own reads.
+//! Chunks carry global read ids (`base_id`), per-read work is
+//! deterministic and cache-independent, and paired chunks start on pair
+//! boundaries — so however jobs interleave, each job's concatenated GAF is
+//! byte-identical to a one-shot [`Parent::run`] over the same reads. The
+//! harness tests hold the server to exactly that oracle.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mg_core::types::Workflow;
+use mg_obs::{bucket_of, Ctr, Gauge, Hist, Metrics, HIST_BUCKETS};
+use mg_parent::{chunk_to_gaf, Parent, ParentOptions};
+use mg_sched::AdmissionQueue;
+use mg_workload::read_fastq;
+
+use crate::protocol::{Frame, FrameDecoder, JobSummary};
+use crate::transport::{Conn, ReadOutcome};
+
+/// How a [`MappingServer`] is provisioned.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Mapping configuration shared by every job (threads, scheduler,
+    /// cache capacity, hot-tier budget, post-processing).
+    pub options: ParentOptions,
+    /// Reads per executor chunk; `0` picks `threads × batch_size`. Paired
+    /// workflows clamp this to an even value so chunks keep pairs whole.
+    pub chunk_reads: usize,
+    /// Admission: jobs the pending queue holds before `BUSY`.
+    pub max_pending: usize,
+    /// Jobs the executor interleaves at once; admitted jobs beyond this
+    /// wait in the pending queue.
+    pub max_active: usize,
+    /// Admission: per-client in-flight (pending + executing) cap.
+    pub per_client_cap: usize,
+    /// Fault injection for the resilience tests: `(job id, global read
+    /// id)` — mapping that read of that job panics inside a pool worker.
+    pub fault_job: Option<(u64, u64)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            options: ParentOptions::default(),
+            chunk_reads: 0,
+            max_pending: 16,
+            max_active: 4,
+            per_client_cap: 4,
+            fault_job: None,
+        }
+    }
+}
+
+/// One admitted mapping job.
+struct Job {
+    id: u64,
+    client: u64,
+    name: String,
+    reads: Vec<Vec<u8>>,
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    submitted: Instant,
+}
+
+/// A job the executor is actively interleaving.
+struct ActiveJob {
+    job: Job,
+    next_read: usize,
+    chunks: u64,
+    gaf_bytes: u64,
+    queue_wait_us: u64,
+    started: bool,
+}
+
+/// Shared control block: admission queue, lifecycle flags, and always-on
+/// counters (kept outside `mg_obs` so `STATS` answers truthfully even when
+/// the `enabled` feature is compiled out).
+pub struct ServerCtl {
+    queue: AdmissionQueue<Job>,
+    shutdown: AtomicBool,
+    stopped: AtomicBool,
+    next_job: AtomicU64,
+    next_client: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    reads_mapped: AtomicU64,
+    gaf_bytes: AtomicU64,
+    hot_rebuilds: AtomicU64,
+    proto_errors: AtomicU64,
+    latency_buckets: [AtomicU64; HIST_BUCKETS],
+    latency_count: AtomicU64,
+    started_at: Instant,
+}
+
+impl ServerCtl {
+    fn new(config: &ServerConfig) -> ServerCtl {
+        ServerCtl {
+            queue: AdmissionQueue::new(config.max_pending, config.per_client_cap),
+            shutdown: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+            next_client: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            reads_mapped: AtomicU64::new(0),
+            gaf_bytes: AtomicU64::new(0),
+            hot_rebuilds: AtomicU64::new(0),
+            proto_errors: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+            started_at: Instant::now(),
+        }
+    }
+
+    /// Flips the server into drain mode: in-flight and pending jobs
+    /// finish, new submissions get `BUSY (draining)`, and once the queue
+    /// is empty the executor exits.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.drain();
+    }
+
+    /// Whether the executor has exited (drain complete).
+    pub fn stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Jobs completed successfully so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed.load(Ordering::SeqCst)
+    }
+
+    /// Jobs that failed (corrupt input or a mapping fault).
+    pub fn jobs_failed(&self) -> u64 {
+        self.jobs_failed.load(Ordering::SeqCst)
+    }
+
+    /// Hot-tier builds since start. Staying at 1 across many jobs is the
+    /// residency property the serve tests assert: the tier is built once
+    /// and every later job maps against the warm copy.
+    pub fn hot_rebuilds(&self) -> u64 {
+        self.hot_rebuilds.load(Ordering::SeqCst)
+    }
+
+    /// Connections dropped for unparseable bytes.
+    pub fn proto_errors(&self) -> u64 {
+        self.proto_errors.load(Ordering::SeqCst)
+    }
+
+    fn observe_latency(&self, us: u64) {
+        self.latency_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `q`-quantile (upper bucket edge) of completed-job latency, in
+    /// microseconds, from the always-on histogram.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (b, bucket) in self.latency_buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return if b == 0 { 0 } else { (1u64 << b) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The `STATS` payload: a JSON snapshot of admission counters, job
+    /// outcomes, latency quantiles, and resident-state health.
+    pub fn stats_json(&self) -> String {
+        let a = self.queue.stats();
+        format!(
+            concat!(
+                "{{\"jobs\":{{\"accepted\":{},\"completed\":{},\"failed\":{},",
+                "\"rejected_full\":{},\"rejected_client\":{},\"rejected_draining\":{},",
+                "\"pending\":{},\"executing\":{},\"pending_high_water\":{}}},",
+                "\"latency_us\":{{\"count\":{},\"p50\":{},\"p99\":{}}},",
+                "\"reads_mapped\":{},\"gaf_bytes\":{},",
+                "\"hot_tier\":{{\"rebuilds\":{}}},",
+                "\"proto_errors\":{},\"draining\":{},\"uptime_ms\":{}}}"
+            ),
+            a.accepted,
+            self.jobs_completed(),
+            self.jobs_failed(),
+            a.rejected_full,
+            a.rejected_client,
+            a.rejected_draining,
+            a.pending,
+            a.executing,
+            a.pending_high_water,
+            self.latency_count.load(Ordering::Relaxed),
+            self.latency_quantile_us(0.50),
+            self.latency_quantile_us(0.99),
+            self.reads_mapped.load(Ordering::SeqCst),
+            self.gaf_bytes.load(Ordering::SeqCst),
+            self.hot_rebuilds(),
+            self.proto_errors(),
+            self.queue.is_draining(),
+            self.started_at.elapsed().as_millis(),
+        )
+    }
+}
+
+/// Sends one frame, swallowing I/O errors: a client that hung up mid-job
+/// must not take the executor down with it.
+fn send(writer: &Arc<Mutex<Box<dyn Write + Send>>>, frame: &Frame) {
+    let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = frame.write_to(&mut **w);
+}
+
+/// The long-lived multi-tenant mapping server.
+pub struct MappingServer<'a> {
+    parent: &'a Parent<'a>,
+    config: ServerConfig,
+    ctl: Arc<ServerCtl>,
+    metrics: Metrics,
+}
+
+impl<'a> MappingServer<'a> {
+    /// Builds a server over an already-constructed parent (index and
+    /// distance index built, pool cold).
+    pub fn new(parent: &'a Parent<'a>, config: ServerConfig) -> MappingServer<'a> {
+        let ctl = Arc::new(ServerCtl::new(&config));
+        MappingServer { parent, config, ctl, metrics: Metrics::new() }
+    }
+
+    /// The shared control block (shutdown, counters, `STATS`).
+    pub fn ctl(&self) -> &Arc<ServerCtl> {
+        &self.ctl
+    }
+
+    /// The server's metrics registry (populated when `mg-obs/enabled`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reads per executor chunk, honouring pair boundaries.
+    fn chunk_reads(&self) -> usize {
+        let mapping = &self.config.options.mapping;
+        let mut chunk = if self.config.chunk_reads == 0 {
+            mapping.threads.max(1) * mapping.batch_size.max(1)
+        } else {
+            self.config.chunk_reads
+        };
+        if self.parent.workflow() == Workflow::Paired {
+            chunk = (chunk & !1).max(2);
+        }
+        chunk.max(1)
+    }
+
+    /// Serves connections from `conns` until a client (or
+    /// [`ServerCtl::request_shutdown`]) drains the server and the last
+    /// admitted job completes. Blocks the calling thread.
+    pub fn serve(&self, conns: Receiver<Conn>) {
+        std::thread::scope(|scope| {
+            scope.spawn(|| self.executor());
+            loop {
+                if self.ctl.stopped() {
+                    break;
+                }
+                match conns.recv_timeout(Duration::from_millis(50)) {
+                    Ok(conn) => {
+                        scope.spawn(move || self.handle_conn(conn));
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // No more connections will arrive; wait for the
+                        // executor to drain.
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+        });
+    }
+
+    /// Serves TCP connections on `listener` until drained. The bench and
+    /// the CLI `serve` subcommand sit on this.
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            let ctl = Arc::clone(&self.ctl);
+            scope.spawn(move || {
+                while !ctl.stopped() {
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            let _ = stream.set_nonblocking(false);
+                            if let Ok(conn) = Conn::tcp(stream) {
+                                if tx.send(conn).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+            self.serve(rx);
+        });
+        Ok(())
+    }
+
+    /// The single mapping executor: admits jobs up to `max_active` and
+    /// round-robins one chunk per job per turn on the shared pool.
+    fn executor(&self) {
+        let ctl = &*self.ctl;
+        let mut active: VecDeque<ActiveJob> = VecDeque::new();
+        loop {
+            while active.len() < self.config.max_active.max(1) {
+                match ctl.queue.try_pop() {
+                    Some((_client, job)) => active.push_back(ActiveJob {
+                        job,
+                        next_read: 0,
+                        chunks: 0,
+                        gaf_bytes: 0,
+                        queue_wait_us: 0,
+                        started: false,
+                    }),
+                    None => break,
+                }
+            }
+            if active.is_empty() {
+                if ctl.queue.drained() {
+                    break;
+                }
+                match ctl.queue.pop_wait(Duration::from_millis(50)) {
+                    Some((_client, job)) => active.push_back(ActiveJob {
+                        job,
+                        next_read: 0,
+                        chunks: 0,
+                        gaf_bytes: 0,
+                        queue_wait_us: 0,
+                        started: false,
+                    }),
+                    None => continue,
+                }
+            }
+            let stats = ctl.queue.stats();
+            self.metrics.gauge_max(Gauge::ServePendingMax, stats.pending_high_water as u64);
+            self.metrics.gauge_max(Gauge::ServeActiveMax, active.len() as u64);
+            let mut aj = active.pop_front().expect("active job present");
+            if self.step(&mut aj) {
+                active.push_back(aj);
+            }
+        }
+        ctl.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Maps one chunk of one job. Returns `true` while the job has reads
+    /// left; emits `DONE`/`ERR` and releases admission otherwise.
+    fn step(&self, aj: &mut ActiveJob) -> bool {
+        let ctl = &*self.ctl;
+        if !aj.started {
+            aj.started = true;
+            aj.queue_wait_us = aj.job.submitted.elapsed().as_micros() as u64;
+            self.metrics.observe(Hist::ServeQueueWaitUs, aj.queue_wait_us);
+        }
+        let n = aj.job.reads.len();
+        let lo = aj.next_read;
+        let hi = (lo + self.chunk_reads()).min(n);
+        if lo < hi {
+            let mut options = self.config.options.clone();
+            if let Some((job, read)) = self.config.fault_job {
+                if job == aj.job.id {
+                    options.fault_read = Some(read);
+                }
+            }
+            let mapper = self.parent.mapper();
+            let chunk = catch_unwind(AssertUnwindSafe(|| {
+                // Warm tier when resident, else build from this chunk's
+                // freshly-computed seeds — the one rebuild the residency
+                // tests allow.
+                let hot = mapper.warm_hot_tier(&options.mapping);
+                let run = self.parent.map_chunk(
+                    &aj.job.reads[lo..hi],
+                    lo as u64,
+                    &options,
+                    hot.as_ref(),
+                    &self.metrics,
+                );
+                if hot.is_none()
+                    && mapper.build_hot_tier(&run.dump_reads, &options.mapping).is_some()
+                {
+                    ctl.hot_rebuilds.fetch_add(1, Ordering::SeqCst);
+                }
+                run
+            }));
+            match chunk {
+                Ok(run) => {
+                    let gaf = chunk_to_gaf(
+                        mapper.gbz().graph(),
+                        &aj.job.name,
+                        lo as u64,
+                        &run.dump_reads,
+                        &run.kernel_results,
+                        &run.alignments,
+                    );
+                    if !gaf.is_empty() {
+                        send(
+                            &aj.job.writer,
+                            &Frame::Gaf { job: aj.job.id, data: gaf.clone().into_bytes() },
+                        );
+                    }
+                    aj.chunks += 1;
+                    aj.gaf_bytes += gaf.len() as u64;
+                    aj.next_read = hi;
+                }
+                Err(panic) => {
+                    let what = panic_message(&*panic);
+                    send(
+                        &aj.job.writer,
+                        &Frame::Error {
+                            job: aj.job.id,
+                            message: format!("mapping fault: {what}"),
+                        },
+                    );
+                    ctl.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                    self.metrics.add(Ctr::ServeJobsFailed, 1);
+                    ctl.queue.finish(aj.job.client);
+                    return false;
+                }
+            }
+        }
+        if aj.next_read >= n {
+            let latency_us = aj.job.submitted.elapsed().as_micros() as u64;
+            ctl.observe_latency(latency_us);
+            ctl.jobs_completed.fetch_add(1, Ordering::SeqCst);
+            ctl.reads_mapped.fetch_add(n as u64, Ordering::SeqCst);
+            ctl.gaf_bytes.fetch_add(aj.gaf_bytes, Ordering::SeqCst);
+            self.metrics.add(Ctr::ServeJobsCompleted, 1);
+            self.metrics.add(Ctr::ServeGafBytes, aj.gaf_bytes);
+            self.metrics.observe(Hist::ServeJobLatencyUs, latency_us);
+            self.metrics.observe(Hist::ServeJobReads, n as u64);
+            send(
+                &aj.job.writer,
+                &Frame::Done {
+                    job: aj.job.id,
+                    summary: JobSummary {
+                        reads: n as u64,
+                        chunks: aj.chunks,
+                        gaf_bytes: aj.gaf_bytes,
+                        queue_wait_us: aj.queue_wait_us,
+                        latency_us,
+                    },
+                },
+            );
+            ctl.queue.finish(aj.job.client);
+            return false;
+        }
+        true
+    }
+
+    /// One connection: parse frames, answer control frames inline, hand
+    /// submissions to admission.
+    fn handle_conn(&self, conn: Conn) {
+        let ctl = &*self.ctl;
+        let client = ctl.next_client.fetch_add(1, Ordering::SeqCst) + 1;
+        let Conn { mut reader, writer } = conn;
+        let mut decoder = FrameDecoder::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            match reader.read_timed(&mut buf, Duration::from_millis(100)) {
+                Ok(ReadOutcome::Data(n)) => {
+                    decoder.push(&buf[..n]);
+                    loop {
+                        match decoder.next_frame() {
+                            Ok(Some(frame)) => self.dispatch(frame, client, &writer),
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Framing is lost; nothing sensible can be
+                                // sent on a stream we can no longer parse.
+                                ctl.proto_errors.fetch_add(1, Ordering::SeqCst);
+                                return;
+                            }
+                        }
+                    }
+                }
+                Ok(ReadOutcome::TimedOut) => {
+                    if ctl.stopped() {
+                        return;
+                    }
+                }
+                Ok(ReadOutcome::Eof) | Err(_) => return,
+            }
+        }
+    }
+
+    fn dispatch(&self, frame: Frame, client: u64, writer: &Arc<Mutex<Box<dyn Write + Send>>>) {
+        let ctl = &*self.ctl;
+        match frame {
+            Frame::Ping => send(writer, &Frame::Pong),
+            Frame::Stats => send(writer, &Frame::StatsReply { json: ctl.stats_json() }),
+            Frame::Shutdown => ctl.request_shutdown(),
+            Frame::Submit { name, fastq } => {
+                let job_id = ctl.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+                match read_fastq(&fastq[..]) {
+                    Err(e) => {
+                        // The job is born failed: acknowledge it so the
+                        // client can correlate, then report the parse
+                        // error. It never touches the queue, so other
+                        // clients' jobs are unaffected.
+                        ctl.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                        self.metrics.add(Ctr::ServeJobsFailed, 1);
+                        let mut w =
+                            writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        let _ = Frame::Accept { job: job_id }.write_to(&mut **w);
+                        let _ = Frame::Error { job: job_id, message: format!("bad FASTQ: {e}") }
+                            .write_to(&mut **w);
+                    }
+                    Ok(records) => {
+                        let reads: Vec<Vec<u8>> = records.into_iter().map(|r| r.bases).collect();
+                        let job = Job {
+                            id: job_id,
+                            client,
+                            name,
+                            reads,
+                            writer: Arc::clone(writer),
+                            submitted: Instant::now(),
+                        };
+                        // Hold the connection writer across the admission
+                        // verdict so the executor's first GAF frame for
+                        // this job cannot overtake our ACCEPT.
+                        let mut w =
+                            writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        match ctl.queue.try_submit(client, job) {
+                            Ok(()) => {
+                                self.metrics.add(Ctr::ServeJobsAccepted, 1);
+                                let _ = Frame::Accept { job: job_id }.write_to(&mut **w);
+                            }
+                            Err((why, _job)) => {
+                                self.metrics.add(Ctr::ServeJobsRejected, 1);
+                                let _ = Frame::Busy { reason: why.to_string() }.write_to(&mut **w);
+                            }
+                        }
+                    }
+                }
+            }
+            // Server-to-client frames arriving at the server are ignored:
+            // tolerated (the sender is confused, not malicious) but never
+            // answered.
+            Frame::Pong
+            | Frame::Accept { .. }
+            | Frame::Busy { .. }
+            | Frame::Gaf { .. }
+            | Frame::Done { .. }
+            | Frame::Error { .. }
+            | Frame::StatsReply { .. } => {}
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}

@@ -1,0 +1,204 @@
+//! Byte transports the server speaks over.
+//!
+//! The server needs exactly two capabilities from a connection: a writer
+//! that several threads can share behind a mutex, and a reader that can
+//! wait *with a timeout* so connection handlers notice shutdown without a
+//! byte arriving. [`TimedRead`] captures the latter; it is implemented for
+//! real [`TcpStream`]s and for an in-process pipe built on channels, which
+//! gives the test harness a deterministic loopback with no sockets, ports,
+//! or OS-dependent backlog behaviour.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Outcome of one timed read attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n` bytes were read into the buffer.
+    Data(usize),
+    /// The timeout elapsed with no bytes available.
+    TimedOut,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// A reader that can bound how long it blocks.
+pub trait TimedRead {
+    /// Reads into `buf`, waiting at most `timeout`.
+    fn read_timed(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<ReadOutcome>;
+}
+
+impl TimedRead for TcpStream {
+    fn read_timed(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<ReadOutcome> {
+        self.set_read_timeout(Some(timeout))?;
+        match self.read(buf) {
+            Ok(0) => Ok(ReadOutcome::Eof),
+            Ok(n) => Ok(ReadOutcome::Data(n)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(ReadOutcome::TimedOut)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Write half of an in-process pipe. Each `write` ships one message; the
+/// channel is bounded so a stalled reader applies backpressure instead of
+/// letting memory grow.
+pub struct PipeWriter {
+    tx: SyncSender<Vec<u8>>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader dropped"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Read half of an in-process pipe.
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    /// Message bytes received but not yet handed to a caller.
+    leftover: Vec<u8>,
+    cursor: usize,
+}
+
+impl PipeReader {
+    fn take_buffered(&mut self, buf: &mut [u8]) -> usize {
+        let avail = &self.leftover[self.cursor..];
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.cursor += n;
+        if self.cursor == self.leftover.len() {
+            self.leftover.clear();
+            self.cursor = 0;
+        }
+        n
+    }
+}
+
+impl TimedRead for PipeReader {
+    fn read_timed(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<ReadOutcome> {
+        if self.cursor < self.leftover.len() {
+            return Ok(ReadOutcome::Data(self.take_buffered(buf)));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.leftover = msg;
+                self.cursor = 0;
+                Ok(ReadOutcome::Data(self.take_buffered(buf)))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(ReadOutcome::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Ok(ReadOutcome::Eof),
+        }
+    }
+}
+
+/// Creates one direction of an in-process byte stream.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = sync_channel(256);
+    (PipeWriter { tx }, PipeReader { rx, leftover: Vec::new(), cursor: 0 })
+}
+
+/// One side of a bidirectional connection: a timed reader plus a writer
+/// that is shared behind a mutex so the connection handler and the job
+/// executor can interleave whole frames without tearing them.
+pub struct Conn {
+    /// Inbound bytes.
+    pub reader: Box<dyn TimedRead + Send>,
+    /// Outbound bytes; lock held across one full frame write.
+    pub writer: std::sync::Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Conn {
+    /// Wraps a TCP stream (cloned so reads and writes have independent
+    /// handles).
+    pub fn tcp(stream: TcpStream) -> io::Result<Conn> {
+        let write_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: Box::new(stream),
+            writer: std::sync::Arc::new(Mutex::new(Box::new(write_half))),
+        })
+    }
+
+    /// Creates a connected in-process pair: `(server_side, client_side)`.
+    pub fn pair() -> (Conn, Conn) {
+        let (to_client_tx, to_client_rx) = pipe();
+        let (to_server_tx, to_server_rx) = pipe();
+        let server = Conn {
+            reader: Box::new(to_server_rx),
+            writer: std::sync::Arc::new(Mutex::new(Box::new(to_client_tx))),
+        };
+        let client = Conn {
+            reader: Box::new(to_client_rx),
+            writer: std::sync::Arc::new(Mutex::new(Box::new(to_server_tx))),
+        };
+        (server, client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_moves_bytes_and_reports_eof() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"hello").unwrap();
+        w.write_all(b" world").unwrap();
+        let mut buf = [0u8; 3];
+        assert_eq!(r.read_timed(&mut buf, Duration::from_secs(1)).unwrap(), ReadOutcome::Data(3));
+        assert_eq!(&buf, b"hel");
+        assert_eq!(r.read_timed(&mut buf, Duration::from_secs(1)).unwrap(), ReadOutcome::Data(2));
+        assert_eq!(&buf[..2], b"lo");
+        assert_eq!(r.read_timed(&mut buf, Duration::from_secs(1)).unwrap(), ReadOutcome::Data(3));
+        assert_eq!(&buf, b" wo");
+        drop(w);
+        // Buffered bytes drain before EOF is reported.
+        assert_eq!(r.read_timed(&mut buf, Duration::from_secs(1)).unwrap(), ReadOutcome::Data(3));
+        assert_eq!(&buf, b"rld");
+        assert_eq!(r.read_timed(&mut buf, Duration::from_secs(1)).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn pipe_times_out_when_idle() {
+        let (_w, mut r) = pipe();
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            r.read_timed(&mut buf, Duration::from_millis(10)).unwrap(),
+            ReadOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn conn_pair_is_full_duplex() {
+        let (server, client) = Conn::pair();
+        client.writer.lock().unwrap().write_all(b"ping").unwrap();
+        server.writer.lock().unwrap().write_all(b"pong").unwrap();
+        let mut server = server;
+        let mut client = client;
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            server.reader.read_timed(&mut buf, Duration::from_secs(1)).unwrap(),
+            ReadOutcome::Data(4)
+        );
+        assert_eq!(&buf, b"ping");
+        assert_eq!(
+            client.reader.read_timed(&mut buf, Duration::from_secs(1)).unwrap(),
+            ReadOutcome::Data(4)
+        );
+        assert_eq!(&buf, b"pong");
+    }
+}

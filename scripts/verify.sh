@@ -167,4 +167,31 @@ print(f"hot hit rate {rep['hot_hit_rate']:.3f}, decodes saved {rep['decodes_save
 print("cache gate: OK")
 EOF
 
+echo "== serve smoke (8 concurrent clients over TCP vs sequential oracle) =="
+run_gated_bench smoke_serve BENCH_SERVE.json
+
+# The multi-tenant server must be correct before it is fast: every job's
+# streamed GAF is byte-compared inside the bench against a sequential
+# one-shot run on a server-untouched parent, all jobs must complete, and
+# the resident hot tier must be built exactly once across the whole run
+# (rebuilds > 1 means jobs are paying the warm-up again). Latency
+# quantiles are reported as the signal, not gated: loopback p50 on a
+# shared CI core is pure noise.
+python3 - "$out/BENCH_SERVE.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+if not rep["oracle_match"]:
+    sys.exit("FAIL: served GAF diverged from the sequential oracle")
+done, want = rep["jobs_completed"], rep["jobs_expected"]
+print(f"jobs: {done}/{want} completed, oracle byte-identical")
+if done != want:
+    sys.exit(f"FAIL: only {done}/{want} jobs completed")
+if rep["hot_tier_rebuilds"] > 1:
+    sys.exit(f"FAIL: hot tier rebuilt {rep['hot_tier_rebuilds']} times across one run")
+print(f"client latency: p50 {rep['client_p50_ms']:.1f} ms, p99 {rep['client_p99_ms']:.1f} ms")
+print(f"server latency buckets: p50 <= {rep['server_p50_us']} us, p99 <= {rep['server_p99_us']} us")
+print(f"throughput: {rep['reads_per_sec']:.0f} reads/s across {rep['clients']} clients")
+print("serve gate: OK")
+EOF
+
 echo "verify: all gates passed"

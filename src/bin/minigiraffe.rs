@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("parent") => cmd_parent(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -72,6 +73,19 @@ USAGE:
       backpressure queue and GAF is written incrementally, so memory
       stays constant in the input size (--dump is unavailable: the
       whole point is never holding the full dump).
+
+  minigiraffe serve <pangenome.mgz>
+                    [--addr HOST] [--port N]
+                    [--threads N] [--batch N] [--capacity N]
+                    [--scheduler static|dynamic|ws|vg]
+                    [--max-pending N] [--max-active N] [--client-cap N]
+                    [--chunk-reads N] [--paired true]
+      Run the long-lived mapping server: loads the pangenome and builds
+      the minimizer index once, then multiplexes concurrent FASTQ
+      mapping jobs from TCP clients onto one resident worker pool,
+      streaming GAF back per job. Admission control bounds the pending
+      queue and per-client in-flight jobs; SHUTDOWN drains gracefully.
+      See README \"server mode\" for the frame protocol.
 
   minigiraffe validate <seeds.bin> <pangenome.mgz> <expected.csv>
       Map the dump and compare against an expected-output CSV
@@ -120,18 +134,10 @@ where
     }
 }
 
-fn cmd_parent(args: &[String]) -> Result<(), String> {
-    use minigiraffe::core::Workflow;
+/// Rebuilds the minimizer index from the GBWT's haplotype paths (forward
+/// sequences; the index adds the reverse orientation itself).
+fn build_minimizer_index(gbz: &Gbz) -> Result<minigiraffe::index::MinimizerIndex, String> {
     use minigiraffe::index::{MinimizerIndex, MinimizerParams};
-    use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions};
-
-    let (positional, flags) = parse_flags(args)?;
-    let [reads_path, gbz_path] = &positional[..] else {
-        return Err("expected <reads.fastq> <pangenome.mgz>".into());
-    };
-    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
-    // Rebuild the minimizer index from the GBWT's haplotype paths (forward
-    // sequences; the index adds the reverse orientation itself).
     eprintln!("building minimizer index from {} haplotypes...", gbz.gbwt().path_count());
     let mut paths = Vec::new();
     for p in 0..gbz.gbwt().path_count() {
@@ -143,11 +149,66 @@ fn cmd_parent(args: &[String]) -> Result<(), String> {
             .collect();
         paths.push(handles);
     }
-    let index = MinimizerIndex::build(
+    Ok(MinimizerIndex::build(
         gbz.graph(),
         paths.iter().map(|p| p.as_slice()),
         MinimizerParams::default(),
+    ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use minigiraffe::core::Workflow;
+    use minigiraffe::parent::{Parent, ParentOptions};
+    use minigiraffe::server::{MappingServer, ServerConfig};
+
+    let (positional, flags) = parse_flags(args)?;
+    let [gbz_path] = &positional[..] else {
+        return Err("expected <pangenome.mgz>".into());
+    };
+    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
+    let index = build_minimizer_index(&gbz)?;
+    let workflow = if flag(&flags, "paired", false)? { Workflow::Paired } else { Workflow::Single };
+    let options = ParentOptions {
+        mapping: options_from_flags(&flags)?,
+        ..Default::default()
+    };
+    let config = ServerConfig {
+        options,
+        chunk_reads: flag(&flags, "chunk-reads", 0)?,
+        max_pending: flag(&flags, "max-pending", 16)?,
+        max_active: flag(&flags, "max-active", 4)?,
+        per_client_cap: flag(&flags, "client-cap", 4)?,
+        fault_job: None,
+    };
+    let addr: String = flag(&flags, "addr", "127.0.0.1".to_string())?;
+    let port: u16 = flag(&flags, "port", 7777)?;
+    let listener = std::net::TcpListener::bind((addr.as_str(), port))
+        .map_err(|e| format!("binding {addr}:{port}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "serving {} on {local} ({} threads, {} scheduler); SHUTDOWN frame drains and exits",
+        gbz_path,
+        config.options.mapping.threads,
+        config.options.mapping.scheduler
     );
+    let parent = Parent::new(&gbz, &index, workflow);
+    let server = MappingServer::new(&parent, config);
+    server.serve_tcp(listener).map_err(|e| format!("serving: {e}"))?;
+    println!("{}", server.ctl().stats_json());
+    Ok(())
+}
+
+fn cmd_parent(args: &[String]) -> Result<(), String> {
+    use minigiraffe::core::Workflow;
+    use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions};
+
+    let (positional, flags) = parse_flags(args)?;
+    let [reads_path, gbz_path] = &positional[..] else {
+        return Err("expected <reads.fastq> <pangenome.mgz>".into());
+    };
+    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
+    let index = build_minimizer_index(&gbz)?;
     let options = ParentOptions {
         mapping: options_from_flags(&flags)?,
         ..Default::default()

@@ -17,6 +17,8 @@
 //! - [`core`]: the proxy itself — seed clustering and the seed-and-extend
 //!   kernel, the mapping pipeline, and output validation.
 //! - [`parent`]: the Giraffe-like parent pipeline the proxy is extracted from.
+//! - [`server`]: the long-lived multi-tenant mapping server (`minigiraffe
+//!   serve`), its wire protocol, and the concurrent-client test harness.
 //! - [`perf`]: region profiling, cache simulation, machine models, and the
 //!   simulated multicore executor.
 //! - [`tuning`]: the autotuning harness and its statistics (ANOVA, geomean).
@@ -43,6 +45,7 @@ pub use mg_obs as obs;
 pub use mg_parent as parent;
 pub use mg_perf as perf;
 pub use mg_sched as sched;
+pub use mg_server as server;
 pub use mg_support as support;
 pub use mg_tuning as tuning;
 pub use mg_workload as workload;
