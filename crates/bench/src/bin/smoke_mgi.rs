@@ -1,0 +1,140 @@
+//! Cold-start smoke test for the zero-copy `.mgi` index container.
+//!
+//! Measures the two ways a mapping process can reach ready-to-map state:
+//!
+//! * **parsed** — the pre-PR shape: load the `.mgz` pangenome (decoding
+//!   every section element by element), then rebuild the minimizer index
+//!   from all haplotype paths and the distance index from the graph;
+//! * **mgi** — open the `.mgi` container: mmap, validate layout +
+//!   checksums + structural invariants, borrow every arena in place.
+//!
+//! Locks the equivalence with a differential oracle: the parent pipeline
+//! driven by the mapped bundle must produce byte-identical GAF to the
+//! parsed/rebuilt bundle. Prints both startup times and writes
+//! `BENCH_MGI.json` (under `MG_OUT`, default the working directory).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mg_bench::{parent_reads, Ctx};
+use mg_core::MgiBundle;
+use mg_gbwt::Gbz;
+use mg_index::MinimizerParams;
+use mg_parent::{run_to_gaf, Parent, ParentOptions};
+use mg_workload::InputSetSpec;
+
+/// One parsed cold start: decode the `.mgz`, rebuild both indexes.
+fn parsed_startup(mgz_path: &std::path::Path, params: MinimizerParams) -> (f64, MgiBundle) {
+    let t0 = Instant::now();
+    let gbz = Gbz::load(mgz_path).expect("load .mgz");
+    let bundle = MgiBundle::build(gbz, params).expect("build indexes");
+    (t0.elapsed().as_secs_f64(), bundle)
+}
+
+/// One mapped cold start: mmap + validate the `.mgi`.
+fn mgi_startup(mgi_path: &std::path::Path) -> (f64, MgiBundle) {
+    let t0 = Instant::now();
+    let bundle = MgiBundle::open(mgi_path).expect("open .mgi");
+    (t0.elapsed().as_secs_f64(), bundle)
+}
+
+fn parent_gaf(bundle: &MgiBundle, reads: &[Vec<u8>], workflow: mg_core::Workflow) -> String {
+    let parent = Parent::with_distance(
+        bundle.gbz(),
+        bundle.minimizer(),
+        bundle.distance().clone(),
+        workflow,
+    );
+    let run = parent.run(reads, &ParentOptions::default());
+    run_to_gaf(bundle.gbz().graph(), &run, "smoke")
+}
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let spec = InputSetSpec::b_yeast();
+    let input = ctx.generate(&spec);
+    let params = MinimizerParams::default();
+    let reps = 3usize;
+
+    let dir = std::env::temp_dir().join(format!("smoke-mgi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let mgz_path = dir.join("smoke.mgz");
+    let mgi_path = dir.join("smoke.mgi");
+    input.gbz.save(&mgz_path).expect("write .mgz");
+
+    // Parsed cold start: best of `reps` (first rep also warms the page
+    // cache for the file, same as the mgi side sees).
+    let mut parsed_s = f64::INFINITY;
+    let mut parsed_bundle = None;
+    for _ in 0..reps {
+        let (s, b) = parsed_startup(&mgz_path, params);
+        parsed_s = parsed_s.min(s);
+        parsed_bundle = Some(b);
+    }
+    let parsed_bundle = parsed_bundle.unwrap();
+
+    parsed_bundle.save(&mgi_path).expect("write .mgi");
+    let mut mgi_s = f64::INFINITY;
+    let mut mapped_bundle = None;
+    for _ in 0..reps {
+        let (s, b) = mgi_startup(&mgi_path);
+        mgi_s = mgi_s.min(s);
+        mapped_bundle = Some(b);
+    }
+    let mapped_bundle = mapped_bundle.unwrap();
+
+    // Differential oracle: identical GAF bytes from both backings.
+    let reads = parent_reads(&input);
+    let parsed_gaf = parent_gaf(&parsed_bundle, &reads, input.spec.workflow);
+    let mapped_gaf = parent_gaf(&mapped_bundle, &reads, input.spec.workflow);
+    let oracle_match = !parsed_gaf.is_empty() && parsed_gaf == mapped_gaf;
+
+    let speedup = parsed_s / mgi_s;
+    let mgz_bytes = std::fs::metadata(&mgz_path).map(|m| m.len()).unwrap_or(0);
+    let mgi_bytes = std::fs::metadata(&mgi_path).map(|m| m.len()).unwrap_or(0);
+
+    println!("input           : {} ({} reads)", spec.name, reads.len());
+    println!("mgz file        : {mgz_bytes} bytes (parse + rebuild on open)");
+    println!("mgi file        : {mgi_bytes} bytes (mmap + validate on open)");
+    println!("parsed startup  : {parsed_s:>10.4} s  (best of {reps})");
+    println!("mgi startup     : {mgi_s:>10.4} s  (best of {reps})");
+    println!("speedup         : {speedup:.1}x");
+    println!("oracle          : {}", if oracle_match { "GAF byte-identical" } else { "MISMATCH" });
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"input\": \"{}\",\n",
+            "  \"reads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"mgz_bytes\": {},\n",
+            "  \"mgi_bytes\": {},\n",
+            "  \"parsed_startup_s\": {:.6},\n",
+            "  \"mgi_startup_s\": {:.6},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"oracle_match\": {},\n",
+            "  \"mapped_is_zero_copy\": {},\n",
+            "  \"debug_assertions\": {}\n",
+            "}}\n"
+        ),
+        spec.name,
+        reads.len(),
+        reps,
+        mgz_bytes,
+        mgi_bytes,
+        parsed_s,
+        mgi_s,
+        speedup,
+        oracle_match,
+        mapped_bundle.is_mapped(),
+        cfg!(debug_assertions),
+    );
+    let out = std::env::var_os("MG_OUT").map(std::path::PathBuf::from).unwrap_or_default();
+    let path = out.join("BENCH_MGI.json");
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    file.write_all(json.as_bytes()).expect("write BENCH_MGI.json");
+    println!("wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(oracle_match, "mapped bundle diverged from parsed bundle");
+}

@@ -74,6 +74,7 @@ fn main() {
             max_active: 4,
             per_client_cap: JOBS_PER_CLIENT,
             fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
 

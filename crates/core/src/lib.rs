@@ -51,6 +51,7 @@
 pub mod cluster;
 pub mod dump;
 pub mod extend;
+pub mod mgi;
 pub mod pipeline;
 pub mod types;
 pub mod validate;
@@ -62,6 +63,7 @@ pub use extend::{
     process_until_threshold_with_scratch, ExtendParams, ExtendScratch, KernelStats, ProcessParams,
 };
 pub use mg_kernels::SimdTier;
+pub use mgi::{build_minimizer_index, MgiBundle};
 pub use pipeline::{
     run_mapping, MapScratch, Mapper, MappingOptions, MappingResults, StreamOptions, StreamSummary,
     ThreadPersist,

@@ -222,9 +222,16 @@ pub struct Mapper<'a> {
 impl<'a> Mapper<'a> {
     /// Preprocesses the pangenome (builds the distance index).
     pub fn new(gbz: &'a Gbz) -> Self {
+        Self::with_distance(gbz, DistanceIndex::build(gbz.graph()))
+    }
+
+    /// Assembles a mapper around a prebuilt distance index — the zero-work
+    /// constructor the `.mgi` path uses, where the index was validated out
+    /// of the mapped container instead of recomputed.
+    pub fn with_distance(gbz: &'a Gbz, dist: DistanceIndex) -> Self {
         Mapper {
             gbz,
-            dist: DistanceIndex::build(gbz.graph()),
+            dist,
             pool: std::sync::Mutex::new(WorkerPool::new()),
             hot: std::sync::Mutex::new(None),
         }

@@ -2,6 +2,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mg_support::mgi::{
+    put_u64, put_u64_slice, FixedReader, MgiFile, MgiWriter, Storage, TAG_GBWT_ENDMARKER,
+    TAG_GBWT_END_IDS, TAG_GBWT_META, TAG_GBWT_OFFSETS, TAG_GBWT_RECORDS,
+};
 use mg_support::probe::MemProbe;
 use mg_support::varint::{self, Cursor};
 use mg_support::{Error, Result};
@@ -198,11 +202,12 @@ pub struct GbwtStatistics {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gbwt {
-    records: Vec<u8>,
+    /// The compressed record blob; may borrow a mapped `.mgi` container.
+    records: Storage<u8>,
     /// Byte offsets of each record in `records`, indexed by `symbol - 2`;
     /// one trailing entry.
-    offsets: Vec<u64>,
-    endmarker: Vec<u8>,
+    offsets: Storage<u64>,
+    endmarker: Storage<u8>,
     sequence_count: u64,
     path_count: u64,
     bidirectional: bool,
@@ -210,7 +215,7 @@ pub struct Gbwt {
     total_visits: u64,
     /// Sequence id of each ending visit, addressed by the endmarker-edge
     /// offsets (grouped by final node symbol ascending).
-    end_ids: Vec<u64>,
+    end_ids: Storage<u64>,
     /// Process-unique identity for warm-cache reuse (see [`Gbwt::uid`]).
     /// Excluded from equality: two indexes with identical content compare
     /// equal even though their uids differ.
@@ -248,15 +253,15 @@ impl Gbwt {
         end_ids: Vec<u64>,
     ) -> Self {
         Gbwt {
-            records,
-            offsets,
-            endmarker,
+            records: records.into(),
+            offsets: offsets.into(),
+            endmarker: endmarker.into(),
             sequence_count,
             path_count,
             bidirectional,
             alphabet_size,
             total_visits,
-            end_ids,
+            end_ids: end_ids.into(),
             uid: NEXT_GBWT_UID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -573,14 +578,14 @@ impl Gbwt {
         varint::write_u64(&mut out, self.alphabet_size);
         varint::write_u64(&mut out, self.total_visits);
         varint::write_u64(&mut out, self.end_ids.len() as u64);
-        for &id in &self.end_ids {
+        for &id in self.end_ids.iter() {
             varint::write_u64(&mut out, id);
         }
         varint::write_u64(&mut out, self.endmarker.len() as u64);
         out.extend_from_slice(&self.endmarker);
         varint::write_u64(&mut out, self.offsets.len() as u64);
         let mut prev = 0u64;
-        for &o in &self.offsets {
+        for &o in self.offsets.iter() {
             varint::write_u64(&mut out, o - prev);
             prev = o;
         }
@@ -602,17 +607,34 @@ impl Gbwt {
         let bidirectional = cur.read_u64()? != 0;
         let alphabet_size = cur.read_u64()?;
         let total_visits = cur.read_u64()?;
-        let end_count = cur.read_u64()? as usize;
+        let end_count = cur.read_u64()?;
+        // Counts are untrusted until the bytes behind them exist: every
+        // entry costs at least one encoded byte, so a count the remaining
+        // input cannot hold is corruption — reject before reserving.
+        if end_count > cur.remaining() as u64 {
+            return Err(Error::Corrupt(format!(
+                "end-id count {end_count} exceeds {} remaining bytes",
+                cur.remaining()
+            )));
+        }
+        let end_count = end_count as usize;
         let mut end_ids = Vec::with_capacity(end_count);
         for _ in 0..end_count {
             end_ids.push(cur.read_u64()?);
         }
         let end_len = cur.read_u64()? as usize;
         let endmarker = cur.read_bytes(end_len)?.to_vec();
-        let offset_count = cur.read_u64()? as usize;
+        let offset_count = cur.read_u64()?;
         if offset_count == 0 {
             return Err(Error::Corrupt("missing record offsets".into()));
         }
+        if offset_count > cur.remaining() as u64 {
+            return Err(Error::Corrupt(format!(
+                "offset count {offset_count} exceeds {} remaining bytes",
+                cur.remaining()
+            )));
+        }
+        let offset_count = offset_count as usize;
         let mut offsets = Vec::with_capacity(offset_count);
         let mut acc = 0u64;
         for _ in 0..offset_count {
@@ -634,17 +656,124 @@ impl Gbwt {
             return Err(Error::Corrupt("trailing bytes after GBWT".into()));
         }
         Ok(Gbwt {
-            records,
-            offsets,
-            endmarker,
+            records: records.into(),
+            offsets: offsets.into(),
+            endmarker: endmarker.into(),
             sequence_count,
             path_count,
             bidirectional,
             alphabet_size,
             total_visits,
+            end_ids: end_ids.into(),
+            uid: NEXT_GBWT_UID.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Whether the record blob borrows a mapped `.mgi` container.
+    pub fn is_mapped(&self) -> bool {
+        self.records.is_mapped()
+    }
+
+    /// Appends the index to a `.mgi` container: the record blob, offset
+    /// table, and endmarker land in their in-memory layouts so
+    /// [`Gbwt::from_mgi`] borrows them without decompressing anything.
+    pub fn write_mgi(&self, w: &mut MgiWriter) {
+        let mut meta = Vec::new();
+        put_u64(&mut meta, self.sequence_count);
+        put_u64(&mut meta, self.path_count);
+        put_u64(&mut meta, self.bidirectional as u64);
+        put_u64(&mut meta, self.alphabet_size);
+        put_u64(&mut meta, self.total_visits);
+        w.section(TAG_GBWT_META, meta);
+        w.section(TAG_GBWT_RECORDS, self.records.to_vec());
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.offsets);
+        w.section(TAG_GBWT_OFFSETS, buf);
+        w.section(TAG_GBWT_ENDMARKER, self.endmarker.to_vec());
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.end_ids);
+        w.section(TAG_GBWT_END_IDS, buf);
+    }
+
+    /// Borrows an index out of a validated `.mgi` container.
+    ///
+    /// Structural invariants (monotonic offsets covering the blob, the
+    /// offset table matching the alphabet) are checked here; the encoded
+    /// record bytes themselves are vouched for by the container's section
+    /// checksums, exactly as the `.mgz` path trusts its checksummed
+    /// payloads. [`Gbwt::validate_records`] is the opt-in deep check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when any structural invariant fails.
+    pub fn from_mgi(f: &MgiFile) -> Result<Self> {
+        let mut meta = FixedReader::new(f.section(TAG_GBWT_META)?);
+        let sequence_count = meta.read_u64()?;
+        let path_count = meta.read_u64()?;
+        let bidirectional_raw = meta.read_u64()?;
+        let alphabet_size = meta.read_u64()?;
+        let total_visits = meta.read_u64()?;
+        if !meta.is_at_end() {
+            return Err(Error::Corrupt("GBWT meta has trailing bytes".into()));
+        }
+        if bidirectional_raw > 1 {
+            return Err(Error::Corrupt("GBWT bidirectional flag is not 0 or 1".into()));
+        }
+        let records = f.section_storage::<u8>(TAG_GBWT_RECORDS)?;
+        let offsets = f.section_storage::<u64>(TAG_GBWT_OFFSETS)?;
+        let endmarker = f.section_storage::<u8>(TAG_GBWT_ENDMARKER)?;
+        let end_ids = f.section_storage::<u64>(TAG_GBWT_END_IDS)?;
+        if offsets.is_empty() {
+            return Err(Error::Corrupt("missing record offsets".into()));
+        }
+        if offsets.first().copied() != Some(0)
+            || !offsets.windows(2).all(|p| p[0] <= p[1])
+            || offsets.last().copied() != Some(records.len() as u64)
+        {
+            return Err(Error::Corrupt("record offsets disagree with blob size".into()));
+        }
+        if alphabet_size < 2 || offsets.len() as u64 != alphabet_size - 1 {
+            return Err(Error::Corrupt(format!(
+                "alphabet size {alphabet_size} disagrees with {} record offsets",
+                offsets.len()
+            )));
+        }
+        Ok(Gbwt {
+            records,
+            offsets,
+            endmarker,
+            sequence_count,
+            path_count,
+            bidirectional: bidirectional_raw != 0,
+            alphabet_size,
+            total_visits,
             end_ids,
             uid: NEXT_GBWT_UID.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// Deep validation: decodes every record (and the endmarker) once,
+    /// turning any malformed encoding into [`Error::Corrupt`] instead of a
+    /// later panic on the query path. `build-mgi` runs this on the file it
+    /// just wrote; servers loading third-party artifacts can opt in too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] naming the first undecodable record.
+    pub fn validate_records(&self) -> Result<()> {
+        let mut cur = Cursor::new(&self.endmarker);
+        DecodedRecord::decode(&mut cur)
+            .map_err(|e| Error::Corrupt(format!("endmarker record undecodable: {e}")))?;
+        let mut scratch = DecodedRecord::empty();
+        for idx in 0..self.offsets.len() - 1 {
+            let start = self.offsets[idx] as usize;
+            let end = self.offsets[idx + 1] as usize;
+            let mut cur = Cursor::new(&self.records[start..end]);
+            scratch
+                .decode_into(&mut cur)
+                .map_err(|e| Error::Corrupt(format!("record {idx} undecodable: {e}")))?;
+        }
+        Ok(())
     }
 }
 
@@ -847,6 +976,44 @@ mod tests {
         let g = diamond_gbwt();
         assert_eq!(g.locate(2, 999), None);
         assert_eq!(g.locate(999, 0), None);
+    }
+
+    #[test]
+    fn mgi_roundtrip_preserves_queries() {
+        let g = diamond_gbwt();
+        let mut w = MgiWriter::new();
+        g.write_mgi(&mut w);
+        let f = MgiFile::open_bytes(w.finish()).unwrap();
+        let back = Gbwt::from_mgi(&f).unwrap();
+        assert_eq!(back, g);
+        assert!(back.validate_records().is_ok());
+        for sym in 2..g.alphabet_size() {
+            assert_eq!(back.find(sym), g.find(sym));
+        }
+        for id in 0..g.sequence_count() {
+            assert_eq!(back.sequence(id).unwrap(), g.sequence(id).unwrap());
+        }
+        let state = back.extend(&back.find(2), 6);
+        assert_eq!(back.locate_state(&state, 100), vec![4]);
+    }
+
+    #[test]
+    fn huge_counts_rejected_without_allocating() {
+        // A truncated payload claiming 2^40 end ids (or offsets) used to
+        // reserve the full count before reading a single entry.
+        let mut bytes = Vec::new();
+        for v in [8u64, 4, 1, 12, 32] {
+            varint::write_u64(&mut bytes, v); // plausible header
+        }
+        varint::write_u64(&mut bytes, 1 << 40); // absurd end-id count
+        assert!(matches!(Gbwt::from_bytes(&bytes), Err(Error::Corrupt(_))));
+
+        let mut bytes = Vec::new();
+        for v in [8u64, 4, 1, 12, 32, 0, 0] {
+            varint::write_u64(&mut bytes, v); // header + no end ids + empty endmarker
+        }
+        varint::write_u64(&mut bytes, 1 << 40); // absurd offset count
+        assert!(matches!(Gbwt::from_bytes(&bytes), Err(Error::Corrupt(_))));
     }
 
     #[test]

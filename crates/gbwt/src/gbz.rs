@@ -12,6 +12,7 @@ use std::path::Path;
 
 use mg_graph::VariationGraph;
 use mg_support::container::{ContainerReader, ContainerWriter};
+use mg_support::mgi::{MgiFile, MgiWriter};
 use mg_support::Result;
 
 use crate::gbwt::Gbwt;
@@ -111,6 +112,25 @@ impl Gbz {
         let mut reader = ContainerReader::new(bytes, GBZ_KIND)?;
         let graph = VariationGraph::from_bytes(&reader.expect_section(TAG_GRAPH)?)?;
         let gbwt = Gbwt::from_bytes(&reader.expect_section(TAG_GBWT)?)?;
+        reader.expect_end()?;
+        Ok(Gbz { graph, gbwt })
+    }
+
+    /// Appends graph and GBWT to a `.mgi` container in their in-memory
+    /// layouts (see [`VariationGraph::write_mgi`] and [`Gbwt::write_mgi`]).
+    pub fn write_mgi(&self, w: &mut MgiWriter) {
+        self.graph.write_mgi(w);
+        self.gbwt.write_mgi(w);
+    }
+
+    /// Borrows graph and GBWT out of a validated `.mgi` container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mg_support::Error::Corrupt`] for structural inconsistency.
+    pub fn from_mgi(f: &MgiFile) -> Result<Self> {
+        let graph = VariationGraph::from_mgi(f)?;
+        let gbwt = Gbwt::from_mgi(f)?;
         Ok(Gbz { graph, gbwt })
     }
 
@@ -138,6 +158,7 @@ impl Gbz {
         let mut reader = ContainerReader::new(file, GBZ_KIND)?;
         let graph = VariationGraph::from_bytes(&reader.expect_section(TAG_GRAPH)?)?;
         let gbwt = Gbwt::from_bytes(&reader.expect_section(TAG_GBWT)?)?;
+        reader.expect_end()?;
         Ok(Gbz { graph, gbwt })
     }
 }
@@ -174,6 +195,22 @@ mod tests {
         let back = Gbz::load(&path).unwrap();
         assert_eq!(gbz, back);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mgi_roundtrip() {
+        let gbz = sample_gbz();
+        let mut w = MgiWriter::new();
+        gbz.write_mgi(&mut w);
+        let f = MgiFile::open_bytes(w.finish()).unwrap();
+        let back = Gbz::from_mgi(&f).unwrap();
+        assert_eq!(gbz, back);
+        for p in 0..4 {
+            assert_eq!(
+                back.gbwt().sequence(2 * p).unwrap(),
+                gbz.gbwt().sequence(2 * p).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -9,12 +9,61 @@
 
 use std::borrow::Cow;
 
+use mg_support::mgi::{
+    self, FixedReader, MgiFile, MgiWriter, Storage, TAG_GRAPH_ADJ_OFFSETS, TAG_GRAPH_ADJ_TARGETS,
+    TAG_GRAPH_META, TAG_GRAPH_SEQ, TAG_GRAPH_SEQ_OFFSETS, TAG_GRAPH_SEQ_RC, TAG_PACKED_OFFSETS,
+    TAG_PACKED_RC_WORDS, TAG_PACKED_WORDS,
+};
 use mg_support::varint::{self, Cursor};
 use mg_support::{Error, Result};
 
 use crate::dna;
 use crate::handle::{Handle, NodeId, Orientation};
-use crate::packed::{PackedSeqStore, PackedView};
+use crate::packed::{PackedSeqStore, PackedView, BASES_PER_WORD};
+
+/// Successor lists per oriented handle: nested vectors while the graph is
+/// being built, a flat CSR borrowed from a mapped `.mgi` afterwards. Both
+/// forms serve [`VariationGraph::successors`] as a plain slice.
+#[derive(Debug, Clone)]
+enum AdjStore {
+    /// Mutable per-handle vectors (build path, legacy deserializers).
+    Dynamic(Vec<Vec<Handle>>),
+    /// Flat compressed-sparse-row form (zero-copy path).
+    Csr {
+        /// `offsets[i]..offsets[i + 1]` indexes row `i` in `targets`.
+        offsets: Storage<u64>,
+        /// Concatenated successor handles, each row sorted ascending.
+        targets: Storage<Handle>,
+    },
+}
+
+impl AdjStore {
+    fn row_count(&self) -> usize {
+        match self {
+            AdjStore::Dynamic(rows) => rows.len(),
+            AdjStore::Csr { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    fn row(&self, i: usize) -> &[Handle] {
+        match self {
+            AdjStore::Dynamic(rows) => &rows[i],
+            AdjStore::Csr { offsets, targets } => {
+                &targets[offsets[i] as usize..offsets[i + 1] as usize]
+            }
+        }
+    }
+}
+
+// Semantic equality: the same successor lists, regardless of backing.
+impl PartialEq for AdjStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.row_count() == other.row_count()
+            && (0..self.row_count()).all(|i| self.row(i) == other.row(i))
+    }
+}
+
+impl Eq for AdjStore {}
 
 /// A sequence-labelled bidirected variation graph.
 ///
@@ -31,34 +80,40 @@ use crate::packed::{PackedSeqStore, PackedView};
 /// assert_eq!(g.sequence(Handle::reverse(a)).as_ref(), b"CGT");
 /// assert_eq!(g.successors(Handle::forward(a)), &[Handle::forward(b)]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VariationGraph {
     /// Concatenated forward sequences of all nodes.
-    seq_data: Vec<u8>,
+    seq_data: Storage<u8>,
     /// Concatenated reverse-complement sequences, same offsets as
     /// `seq_data`: the precomputed arena that makes [`VariationGraph::sequence`]
     /// on a reverse handle a borrow instead of an allocation.
-    rc_seq_data: Vec<u8>,
+    rc_seq_data: Storage<u8>,
     /// 2-bit packed arenas (both strands, word-aligned per node) backing
     /// [`VariationGraph::packed_view`].
     packed: PackedSeqStore,
     /// `seq_offsets[i]..seq_offsets[i + 1]` is the sequence of node `i + 1`.
-    seq_offsets: Vec<usize>,
+    seq_offsets: Storage<u64>,
     /// Successor handles per oriented handle, indexed by `packed - 2`.
-    adjacency: Vec<Vec<Handle>>,
+    adjacency: AdjStore,
     /// Total number of distinct (unoriented) edges.
     edge_count: usize,
+}
+
+impl Default for VariationGraph {
+    fn default() -> Self {
+        VariationGraph::new()
+    }
 }
 
 impl VariationGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         VariationGraph {
-            seq_data: Vec::new(),
-            rc_seq_data: Vec::new(),
+            seq_data: Storage::default(),
+            rc_seq_data: Storage::default(),
             packed: PackedSeqStore::new(),
-            seq_offsets: vec![0],
-            adjacency: Vec::new(),
+            seq_offsets: vec![0u64].into(),
+            adjacency: AdjStore::Dynamic(Vec::new()),
             edge_count: 0,
         }
     }
@@ -94,6 +149,11 @@ impl VariationGraph {
     ///
     /// Returns [`Error::Corrupt`] if the sequence is empty or contains
     /// non-`ACGT` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is backed by a memory map (mapped graphs are
+    /// immutable).
     pub fn add_node(&mut self, sequence: &[u8]) -> Result<NodeId> {
         if sequence.is_empty() {
             return Err(Error::Corrupt("empty node sequence".into()));
@@ -101,13 +161,24 @@ impl VariationGraph {
         if !dna::is_valid_sequence(sequence) {
             return Err(Error::Corrupt("node sequence contains non-ACGT bytes".into()));
         }
-        self.seq_data.extend_from_slice(sequence);
-        self.rc_seq_data.extend(sequence.iter().rev().map(|&b| dna::complement(b)));
+        self.seq_data.vec_mut().extend_from_slice(sequence);
+        self.rc_seq_data
+            .vec_mut()
+            .extend(sequence.iter().rev().map(|&b| dna::complement(b)));
         self.packed.push_node(sequence);
-        self.seq_offsets.push(self.seq_data.len());
-        self.adjacency.push(Vec::new()); // forward
-        self.adjacency.push(Vec::new()); // reverse
+        let total = self.seq_data.len() as u64;
+        self.seq_offsets.vec_mut().push(total);
+        let rows = self.dynamic_rows();
+        rows.push(Vec::new()); // forward
+        rows.push(Vec::new()); // reverse
         Ok(NodeId::new(self.node_count() as u64))
+    }
+
+    fn dynamic_rows(&mut self) -> &mut Vec<Vec<Handle>> {
+        match &mut self.adjacency {
+            AdjStore::Dynamic(rows) => rows,
+            AdjStore::Csr { .. } => panic!("cannot mutate a mapped graph"),
+        }
     }
 
     /// Adds the edge `from -> to` (and its mirror `to.flip() -> from.flip()`).
@@ -115,22 +186,24 @@ impl VariationGraph {
     ///
     /// # Panics
     ///
-    /// Panics if either endpoint node does not exist.
+    /// Panics if either endpoint node does not exist, or if the graph is
+    /// backed by a memory map.
     pub fn add_edge(&mut self, from: Handle, to: Handle) {
         assert!(self.has_node(from.node()), "edge from missing node {}", from.node());
         assert!(self.has_node(to.node()), "edge to missing node {}", to.node());
         let fwd = self.adj_index(from);
-        if self.adjacency[fwd].contains(&to) {
+        let back = self.adj_index(to.flip());
+        let rows = self.dynamic_rows();
+        if rows[fwd].contains(&to) {
             return;
         }
-        self.adjacency[fwd].push(to);
-        self.adjacency[fwd].sort_unstable();
+        rows[fwd].push(to);
+        rows[fwd].sort_unstable();
         // Mirror edge for backward traversal; identical when the edge is a
         // self-inverse (from == to.flip()).
-        let back = self.adj_index(to.flip());
-        if !self.adjacency[back].contains(&from.flip()) {
-            self.adjacency[back].push(from.flip());
-            self.adjacency[back].sort_unstable();
+        if !rows[back].contains(&from.flip()) {
+            rows[back].push(from.flip());
+            rows[back].sort_unstable();
         }
         self.edge_count += 1;
     }
@@ -147,7 +220,7 @@ impl VariationGraph {
     pub fn node_len(&self, node: NodeId) -> usize {
         let i = node.value() as usize;
         assert!(i <= self.node_count(), "missing node {node}");
-        self.seq_offsets[i] - self.seq_offsets[i - 1]
+        (self.seq_offsets[i] - self.seq_offsets[i - 1]) as usize
     }
 
     /// The forward-strand sequence of `node` as a slice.
@@ -158,7 +231,7 @@ impl VariationGraph {
     pub fn forward_sequence(&self, node: NodeId) -> &[u8] {
         let i = node.value() as usize;
         assert!(i <= self.node_count(), "missing node {node}");
-        &self.seq_data[self.seq_offsets[i - 1]..self.seq_offsets[i]]
+        &self.seq_data[self.seq_offsets[i - 1] as usize..self.seq_offsets[i] as usize]
     }
 
     /// The sequence read along `handle`: always a borrow. Forward handles
@@ -185,7 +258,7 @@ impl VariationGraph {
     pub fn oriented_sequence(&self, handle: Handle) -> &[u8] {
         let i = handle.node().value() as usize;
         assert!(i <= self.node_count(), "missing node {}", handle.node());
-        let range = self.seq_offsets[i - 1]..self.seq_offsets[i];
+        let range = self.seq_offsets[i - 1] as usize..self.seq_offsets[i] as usize;
         match handle.orientation() {
             Orientation::Forward => &self.seq_data[range],
             Orientation::Reverse => &self.rc_seq_data[range],
@@ -203,7 +276,7 @@ impl VariationGraph {
     pub fn packed_view(&self, handle: Handle) -> PackedView<'_> {
         let i = handle.node().value() as usize;
         assert!(i <= self.node_count(), "missing node {}", handle.node());
-        let len = self.seq_offsets[i] - self.seq_offsets[i - 1];
+        let len = (self.seq_offsets[i] - self.seq_offsets[i - 1]) as usize;
         self.packed.view(i, len, handle.orientation() == Orientation::Reverse)
     }
 
@@ -224,7 +297,7 @@ impl VariationGraph {
     /// Panics if the handle's node does not exist.
     pub fn successors(&self, handle: Handle) -> &[Handle] {
         assert!(self.has_node(handle.node()), "missing node {}", handle.node());
-        &self.adjacency[self.adj_index(handle)]
+        self.adjacency.row(self.adj_index(handle))
     }
 
     /// Handles with an edge into `handle` (computed via the mirror edges).
@@ -248,7 +321,7 @@ impl VariationGraph {
     pub fn has_edge(&self, from: Handle, to: Handle) -> bool {
         self.has_node(from.node())
             && self.has_node(to.node())
-            && self.adjacency[self.adj_index(from)].binary_search(&to).is_ok()
+            && self.adjacency.row(self.adj_index(from)).binary_search(&to).is_ok()
     }
 
     /// Iterates over all node ids in ascending order.
@@ -277,17 +350,20 @@ impl VariationGraph {
         })
     }
 
-    /// Approximate heap usage in bytes.
+    /// Approximate heap usage in bytes (mapped backings count as zero).
     pub fn heap_bytes(&self) -> usize {
-        self.seq_data.capacity()
-            + self.rc_seq_data.capacity()
-            + self.packed.heap_bytes()
-            + self.seq_offsets.capacity() * std::mem::size_of::<usize>()
-            + self
-                .adjacency
+        let adj = match &self.adjacency {
+            AdjStore::Dynamic(rows) => rows
                 .iter()
                 .map(|v| v.capacity() * std::mem::size_of::<Handle>() + std::mem::size_of::<Vec<Handle>>())
-                .sum::<usize>()
+                .sum::<usize>(),
+            AdjStore::Csr { offsets, targets } => offsets.heap_bytes() + targets.heap_bytes(),
+        };
+        self.seq_data.heap_bytes()
+            + self.rc_seq_data.heap_bytes()
+            + self.packed.heap_bytes()
+            + self.seq_offsets.heap_bytes()
+            + adj
     }
 
     /// Serializes the graph to a byte payload (for container sections).
@@ -338,6 +414,149 @@ impl VariationGraph {
             return Err(Error::Corrupt("trailing bytes after graph".into()));
         }
         Ok(graph)
+    }
+
+    /// Emits the graph's `.mgi` sections: both ASCII arenas, the packed
+    /// 2-bit arenas, and the adjacency lists flattened to CSR — each in its
+    /// in-memory little-endian layout.
+    pub fn write_mgi(&self, w: &mut MgiWriter) {
+        let mut meta = Vec::new();
+        mgi::put_u64(&mut meta, self.node_count() as u64);
+        mgi::put_u64(&mut meta, self.edge_count as u64);
+        mgi::put_u64(&mut meta, self.seq_data.len() as u64);
+        w.section(TAG_GRAPH_META, meta);
+        w.section(TAG_GRAPH_SEQ, self.seq_data.to_vec());
+        w.section(TAG_GRAPH_SEQ_RC, self.rc_seq_data.to_vec());
+        let mut offs = Vec::new();
+        mgi::put_u64_slice(&mut offs, &self.seq_offsets);
+        w.section(TAG_GRAPH_SEQ_OFFSETS, offs);
+        let rows = self.adjacency.row_count();
+        let mut adj_offsets = Vec::with_capacity((rows + 1) * 8);
+        let mut targets = Vec::new();
+        let mut total = 0u64;
+        mgi::put_u64(&mut adj_offsets, 0);
+        for i in 0..rows {
+            let row = self.adjacency.row(i);
+            total += row.len() as u64;
+            mgi::put_u64(&mut adj_offsets, total);
+            for h in row {
+                mgi::put_u64(&mut targets, h.packed());
+            }
+        }
+        w.section(TAG_GRAPH_ADJ_OFFSETS, adj_offsets);
+        w.section(TAG_GRAPH_ADJ_TARGETS, targets);
+        let mut words = Vec::new();
+        mgi::put_u64_slice(&mut words, self.packed.words());
+        w.section(TAG_PACKED_WORDS, words);
+        let mut rc_words = Vec::new();
+        mgi::put_u64_slice(&mut rc_words, self.packed.rc_words());
+        w.section(TAG_PACKED_RC_WORDS, rc_words);
+        let mut word_offsets = Vec::new();
+        mgi::put_u64_slice(&mut word_offsets, self.packed.word_offsets());
+        w.section(TAG_PACKED_OFFSETS, word_offsets);
+    }
+
+    /// Rebuilds a graph from a mapped `.mgi`, borrowing every arena
+    /// zero-copy and validating the structural invariants the accessors
+    /// rely on (offset monotonicity, alphabet, packed-word consistency,
+    /// sorted in-bounds adjacency rows) instead of decoding elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] (or missing-section / cast errors) if any
+    /// invariant fails.
+    pub fn from_mgi(f: &MgiFile) -> Result<Self> {
+        let mut meta = FixedReader::new(f.section(TAG_GRAPH_META)?);
+        let node_count = meta.read_u64()? as usize;
+        let edge_count = meta.read_u64()? as usize;
+        let seq_len = meta.read_u64()? as usize;
+        if !meta.is_at_end() {
+            return Err(Error::Corrupt("trailing bytes in graph metadata".into()));
+        }
+        let seq_data: Storage<u8> = f.section_storage(TAG_GRAPH_SEQ)?;
+        let rc_seq_data: Storage<u8> = f.section_storage(TAG_GRAPH_SEQ_RC)?;
+        let seq_offsets: Storage<u64> = f.section_storage(TAG_GRAPH_SEQ_OFFSETS)?;
+        if seq_data.len() != seq_len || rc_seq_data.len() != seq_len {
+            return Err(Error::Corrupt(format!(
+                "sequence arenas of {} / {} bytes, metadata says {seq_len}",
+                seq_data.len(),
+                rc_seq_data.len()
+            )));
+        }
+        if seq_offsets.len() != node_count + 1 || seq_offsets.first() != Some(&0) {
+            return Err(Error::Corrupt("sequence offsets do not cover the node set".into()));
+        }
+        if seq_offsets.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Corrupt("sequence offsets not strictly increasing".into()));
+        }
+        if *seq_offsets.last().expect("nonempty offsets") != seq_len as u64 {
+            return Err(Error::Corrupt("last sequence offset does not close the arena".into()));
+        }
+        if !dna::is_valid_sequence(&seq_data) || !dna::is_valid_sequence(&rc_seq_data) {
+            return Err(Error::Corrupt("sequence arena contains non-ACGT bytes".into()));
+        }
+        let words: Storage<u64> = f.section_storage(TAG_PACKED_WORDS)?;
+        let rc_words: Storage<u64> = f.section_storage(TAG_PACKED_RC_WORDS)?;
+        let word_offsets: Storage<u64> = f.section_storage(TAG_PACKED_OFFSETS)?;
+        if words.len() != rc_words.len() {
+            return Err(Error::Corrupt("packed strand arenas differ in length".into()));
+        }
+        if word_offsets.len() != node_count + 1
+            || word_offsets.first() != Some(&0)
+            || *word_offsets.last().expect("nonempty offsets") != words.len() as u64
+        {
+            return Err(Error::Corrupt("packed word offsets do not cover the arena".into()));
+        }
+        for i in 0..node_count {
+            let bases = (seq_offsets[i + 1] - seq_offsets[i]) as usize;
+            let want = bases.div_ceil(BASES_PER_WORD) as u64;
+            if word_offsets[i + 1] - word_offsets[i] != want {
+                return Err(Error::Corrupt(format!(
+                    "node {}: {bases} bases but {} packed words",
+                    i + 1,
+                    word_offsets[i + 1] - word_offsets[i]
+                )));
+            }
+        }
+        let adj_offsets: Storage<u64> = f.section_storage(TAG_GRAPH_ADJ_OFFSETS)?;
+        let targets: Storage<Handle> = f.section_storage(TAG_GRAPH_ADJ_TARGETS)?;
+        if adj_offsets.len() != 2 * node_count + 1 || adj_offsets.first() != Some(&0) {
+            return Err(Error::Corrupt("adjacency offsets do not cover the handle set".into()));
+        }
+        if adj_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::Corrupt("adjacency offsets decrease".into()));
+        }
+        if *adj_offsets.last().expect("nonempty offsets") != targets.len() as u64 {
+            return Err(Error::Corrupt("last adjacency offset does not close the rows".into()));
+        }
+        let max_symbol = 2 * node_count as u64 + 1;
+        for row in 0..2 * node_count {
+            let slice = &targets[adj_offsets[row] as usize..adj_offsets[row + 1] as usize];
+            for h in slice {
+                if h.packed() < 2 || h.packed() > max_symbol {
+                    return Err(Error::Corrupt(format!(
+                        "adjacency target {} outside the node set",
+                        h.packed()
+                    )));
+                }
+            }
+            // `has_edge` binary-searches rows: sorted and duplicate-free is
+            // a load-bearing invariant, not a style preference.
+            if slice.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(Error::Corrupt("adjacency row not strictly sorted".into()));
+            }
+        }
+        if edge_count > targets.len() {
+            return Err(Error::Corrupt("edge count exceeds adjacency entries".into()));
+        }
+        Ok(VariationGraph {
+            seq_data,
+            rc_seq_data,
+            packed: PackedSeqStore::from_parts(words, rc_words, word_offsets),
+            seq_offsets,
+            adjacency: AdjStore::Csr { offsets: adj_offsets, targets },
+            edge_count,
+        })
     }
 }
 
@@ -492,11 +711,50 @@ mod tests {
             })
     }
 
+    fn mgi_roundtrip(g: &VariationGraph) -> VariationGraph {
+        let mut w = MgiWriter::new();
+        g.write_mgi(&mut w);
+        let f = MgiFile::open_bytes(w.finish()).unwrap();
+        VariationGraph::from_mgi(&f).unwrap()
+    }
+
+    #[test]
+    fn mgi_roundtrip_preserves_everything() {
+        let (g, [a, b, _, d]) = diamond();
+        let back = mgi_roundtrip(&g);
+        assert_eq!(back, g);
+        assert_eq!(back.successors(Handle::forward(a)), g.successors(Handle::forward(a)));
+        assert!(back.has_edge(Handle::forward(b), Handle::forward(d)));
+        assert_eq!(back.sequence(Handle::reverse(a)).as_ref(), b"CGT");
+        let view = back.packed_view(Handle::forward(a));
+        let spelled: Vec<u8> = (0..view.len()).map(|i| dna::decode_base(view.code(i))).collect();
+        assert_eq!(spelled, b"ACG");
+        // Mapped graphs are immutable.
+        let mut mapped = mgi_roundtrip(&g);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mapped.add_edge(Handle::forward(a), Handle::forward(d));
+        }))
+        .is_err());
+    }
+
     proptest! {
         #[test]
         fn prop_serialization_roundtrip(g in graph_strategy()) {
             let g2 = VariationGraph::from_bytes(&g.to_bytes()).unwrap();
             prop_assert_eq!(g, g2);
+        }
+
+        #[test]
+        fn prop_mgi_roundtrip(g in graph_strategy()) {
+            let back = mgi_roundtrip(&g);
+            prop_assert_eq!(&back, &g);
+            // Semantic equality across backings: same successors, bases.
+            for id in g.node_ids() {
+                for h in [Handle::forward(id), Handle::reverse(id)] {
+                    prop_assert_eq!(back.successors(h), g.successors(h));
+                    prop_assert_eq!(back.oriented_sequence(h), g.oriented_sequence(h));
+                }
+            }
         }
 
         #[test]

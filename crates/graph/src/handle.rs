@@ -94,7 +94,14 @@ impl fmt::Display for Orientation {
 /// assert_eq!(Handle::from_gbwt(h.to_gbwt()), Some(h));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Handle(u64);
+
+// A handle is layout-identical to its packed `u64`, so slices of handles
+// can be borrowed straight out of a mapped `.mgi` section. Any bit pattern
+// is structurally valid; semantic validity (the node exists) is checked by
+// the container readers.
+unsafe impl mg_support::mgi::Pod for Handle {}
 
 impl Handle {
     /// Creates a handle from a node id and orientation.

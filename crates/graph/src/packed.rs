@@ -14,6 +14,8 @@
 //! the set bits are exactly the mismatching bases — popcount gives the
 //! count, `trailing_zeros` walks them in order.
 
+use mg_support::mgi::Storage;
+
 use crate::dna;
 
 // The word-level comparison primitives (and their 256-bit wide variants)
@@ -141,47 +143,89 @@ impl PackedReadPair {
 /// plain word-slice and never aliases its neighbours. The reverse arena
 /// stores each node's reverse complement in ascending order, making the
 /// oriented view of `Handle::reverse` as cheap as the forward one.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedSeqStore {
     /// Forward-strand words of all nodes.
-    words: Vec<u64>,
+    words: Storage<u64>,
     /// Reverse-complement words of all nodes, same offsets as `words`.
-    rc_words: Vec<u64>,
+    rc_words: Storage<u64>,
     /// `word_offsets[i]..word_offsets[i + 1]` are the words of node `i + 1`.
-    word_offsets: Vec<usize>,
+    word_offsets: Storage<u64>,
+}
+
+impl Default for PackedSeqStore {
+    fn default() -> Self {
+        PackedSeqStore::new()
+    }
 }
 
 impl PackedSeqStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        PackedSeqStore { words: Vec::new(), rc_words: Vec::new(), word_offsets: vec![0] }
+        PackedSeqStore {
+            words: Storage::default(),
+            rc_words: Storage::default(),
+            word_offsets: vec![0u64].into(),
+        }
+    }
+
+    /// Rebuilds a store from its three arrays (the zero-copy `.mgi` path).
+    /// The caller is responsible for structural validation; see
+    /// `VariationGraph::from_mgi`.
+    pub(crate) fn from_parts(
+        words: Storage<u64>,
+        rc_words: Storage<u64>,
+        word_offsets: Storage<u64>,
+    ) -> Self {
+        PackedSeqStore { words, rc_words, word_offsets }
+    }
+
+    /// The forward word arena.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The reverse-complement word arena.
+    pub(crate) fn rc_words(&self) -> &[u64] {
+        &self.rc_words
+    }
+
+    /// The per-node word offsets (one trailing sentinel).
+    pub(crate) fn word_offsets(&self) -> &[u64] {
+        &self.word_offsets
     }
 
     /// Appends a node's sequence (already validated as `ACGT`) to both
     /// strand arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is backed by a memory map (mapped stores are
+    /// immutable).
     pub fn push_node(&mut self, sequence: &[u8]) {
         let n_words = sequence.len().div_ceil(BASES_PER_WORD);
-        self.words.resize(self.words.len() + n_words, 0);
-        self.rc_words.resize(self.rc_words.len() + n_words, 0);
-        let base = *self.word_offsets.last().expect("offset sentinel");
+        let base = *self.word_offsets.last().expect("offset sentinel") as usize;
+        let words = self.words.vec_mut();
+        let rc_words = self.rc_words.vec_mut();
+        words.resize(words.len() + n_words, 0);
+        rc_words.resize(rc_words.len() + n_words, 0);
         let last = sequence.len() - 1;
         for (j, &b) in sequence.iter().enumerate() {
             let code = dna::encode2(b) as u64;
-            self.words[base + j / BASES_PER_WORD] |= code << (2 * (j % BASES_PER_WORD));
+            words[base + j / BASES_PER_WORD] |= code << (2 * (j % BASES_PER_WORD));
             let rj = last - j;
-            self.rc_words[base + rj / BASES_PER_WORD] |=
-                (code ^ 0b11) << (2 * (rj % BASES_PER_WORD));
+            rc_words[base + rj / BASES_PER_WORD] |= (code ^ 0b11) << (2 * (rj % BASES_PER_WORD));
         }
-        self.word_offsets.push(base + n_words);
+        self.word_offsets.vec_mut().push((base + n_words) as u64);
     }
 
     /// The packed view of node `node_id`'s sequence read along
     /// `orientation_reverse ? reverse : forward`, with `len` bases.
     #[inline]
     pub fn view(&self, node_index: usize, len: usize, reverse: bool) -> PackedView<'_> {
-        let start = self.word_offsets[node_index - 1];
-        let end = self.word_offsets[node_index];
-        let arena = if reverse { &self.rc_words } else { &self.words };
+        let start = self.word_offsets[node_index - 1] as usize;
+        let end = self.word_offsets[node_index] as usize;
+        let arena: &[u64] = if reverse { &self.rc_words } else { &self.words };
         PackedView {
             words: &arena[start..end],
             // Up to WORDS_PER_BLOCK of the following nodes' words ride
@@ -193,10 +237,9 @@ impl PackedSeqStore {
         }
     }
 
-    /// Approximate heap usage in bytes.
+    /// Approximate heap usage in bytes (zero for mapped arenas).
     pub fn heap_bytes(&self) -> usize {
-        (self.words.capacity() + self.rc_words.capacity()) * std::mem::size_of::<u64>()
-            + self.word_offsets.capacity() * std::mem::size_of::<usize>()
+        self.words.heap_bytes() + self.rc_words.heap_bytes() + self.word_offsets.heap_bytes()
     }
 }
 

@@ -15,6 +15,12 @@
 use std::collections::{BinaryHeap, HashMap};
 
 use mg_graph::{Handle, NodeId, VariationGraph};
+use mg_support::mgi::{
+    put_u32, put_u32_slice, put_u64, put_u64_slice, FixedReader, MgiFile, MgiWriter, Storage,
+    TAG_DIST_COMPONENT, TAG_DIST_CYCLIC, TAG_DIST_META, TAG_DIST_OFFSET_MAX,
+    TAG_DIST_OFFSET_MIN,
+};
+use mg_support::{Error, Result};
 
 use crate::minimizer::GraphPos;
 use crate::snarl::{ChainAnswer, ChainIndex};
@@ -29,18 +35,23 @@ pub struct DistanceScratch {
 }
 
 /// Per-node precomputed summaries.
-#[derive(Debug, Clone)]
+///
+/// All arrays live in [`Storage`], so an index loaded from a `.mgi`
+/// container borrows the mapping directly instead of owning heap copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceIndex {
     /// Connected component of each node (undirected), indexed by `id - 1`.
-    component: Vec<u32>,
+    component: Storage<u32>,
     /// For acyclic components: minimum bases from a component source to the
     /// *start* of the node's forward orientation.
-    offset_min: Vec<u64>,
+    offset_min: Storage<u64>,
     /// Maximum bases from a component source to the node start (along any
     /// simple path); saturates for cyclic components.
-    offset_max: Vec<u64>,
-    /// Components found to contain a directed cycle (no pruning there).
-    cyclic: Vec<bool>,
+    offset_max: Storage<u64>,
+    /// Per component, nonzero when it contains a directed cycle (no pruning
+    /// there). Stored as bytes rather than bools so the array can be
+    /// borrowed from a mapped file where any bit pattern must be tolerable.
+    cyclic: Storage<u8>,
     component_count: u32,
     /// Snarl-lite chain decomposition: the O(1) fast path for exact
     /// distances on bubble chains (the architecture of Giraffe's real
@@ -134,13 +145,79 @@ impl DistanceIndex {
             }
         }
         DistanceIndex {
+            component: component.into(),
+            offset_min: offset_min.into(),
+            offset_max: offset_max.into(),
+            cyclic: cyclic.iter().map(|&b| b as u8).collect::<Vec<u8>>().into(),
+            component_count,
+            chains: ChainIndex::build(graph),
+        }
+    }
+
+    /// Appends the index (including its chain decomposition) to a `.mgi`
+    /// container in its in-memory array layout.
+    pub fn write_mgi(&self, w: &mut MgiWriter) {
+        let mut meta = Vec::new();
+        put_u64(&mut meta, self.component.len() as u64);
+        put_u32(&mut meta, self.component_count);
+        put_u32(&mut meta, 0); // reserved / alignment
+        w.section(TAG_DIST_META, meta);
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &self.component);
+        w.section(TAG_DIST_COMPONENT, buf);
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.offset_min);
+        w.section(TAG_DIST_OFFSET_MIN, buf);
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.offset_max);
+        w.section(TAG_DIST_OFFSET_MAX, buf);
+        w.section(TAG_DIST_CYCLIC, self.cyclic.to_vec());
+        self.chains.write_mgi(w);
+    }
+
+    /// Borrows an index out of a validated `.mgi` container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when any structural invariant fails.
+    pub fn from_mgi(f: &MgiFile) -> Result<Self> {
+        let mut meta = FixedReader::new(f.section(TAG_DIST_META)?);
+        let n = meta.read_u64()? as usize;
+        let component_count = meta.read_u32()?;
+        let _reserved = meta.read_u32()?;
+        if !meta.is_at_end() {
+            return Err(Error::Corrupt("distance meta has trailing bytes".into()));
+        }
+        let component = f.section_storage::<u32>(TAG_DIST_COMPONENT)?;
+        let offset_min = f.section_storage::<u64>(TAG_DIST_OFFSET_MIN)?;
+        let offset_max = f.section_storage::<u64>(TAG_DIST_OFFSET_MAX)?;
+        let cyclic = f.section_storage::<u8>(TAG_DIST_CYCLIC)?;
+        if component.len() != n || offset_min.len() != n || offset_max.len() != n {
+            return Err(Error::Corrupt(format!(
+                "distance arrays disagree with node count {n}"
+            )));
+        }
+        if cyclic.len() != component_count as usize {
+            return Err(Error::Corrupt(format!(
+                "cyclic flags hold {} entries for {component_count} components",
+                cyclic.len()
+            )));
+        }
+        if component.iter().any(|&c| c >= component_count) {
+            return Err(Error::Corrupt("node assigned to nonexistent component".into()));
+        }
+        if cyclic.iter().any(|&b| b > 1) {
+            return Err(Error::Corrupt("cyclic flag is not 0 or 1".into()));
+        }
+        let chains = ChainIndex::from_mgi(f, n)?;
+        Ok(DistanceIndex {
             component,
             offset_min,
             offset_max,
             cyclic,
             component_count,
-            chains: ChainIndex::build(graph),
-        }
+            chains,
+        })
     }
 
     /// The chain decomposition backing the O(1) fast path.
@@ -173,7 +250,7 @@ impl DistanceIndex {
         if ca != cb {
             return false;
         }
-        if self.cyclic[ca as usize] {
+        if self.cyclic[ca as usize] != 0 {
             return true;
         }
         // Safe lower bound on forward distance u -> v:
@@ -460,6 +537,31 @@ mod tests {
         assert_eq!(d.min_distance(&g, pb, pa, 100), Some(2));
         // Same-position distance around the cycle stays 0 (not 4).
         assert_eq!(d.min_distance(&g, pa, pa, 100), Some(0));
+    }
+
+    #[test]
+    fn mgi_roundtrip_preserves_distances() {
+        let (p, d) = bubble();
+        let mut w = MgiWriter::new();
+        d.write_mgi(&mut w);
+        let f = MgiFile::open_bytes(w.finish()).unwrap();
+        let back = DistanceIndex::from_mgi(&f).unwrap();
+        assert_eq!(back, d);
+        let g = p.graph();
+        for u in g.node_ids() {
+            assert_eq!(back.component(u), d.component(u));
+            assert_eq!(back.approx_position(u), d.approx_position(u));
+            for v in g.node_ids() {
+                let a = GraphPos::new(Handle::forward(u), 0);
+                let b = GraphPos::new(Handle::forward(v), 0);
+                assert_eq!(back.maybe_within(a, b, 10), d.maybe_within(a, b, 10));
+                assert_eq!(
+                    back.min_distance(g, a, b, 1000),
+                    d.min_distance(g, a, b, 1000)
+                );
+            }
+        }
+        assert_eq!(back.chains().chain_count(), d.chains().chain_count());
     }
 
     #[test]

@@ -8,15 +8,26 @@
 
 use fxhash::FxHashMap;
 use mg_graph::{dna, Handle, VariationGraph};
+use mg_support::mgi::Storage;
 
 /// A position in the graph: a spot on an oriented node.
+///
+/// `repr(C)` pins the layout (handle at 0, offset at 8, 4 tail padding
+/// bytes, 16 bytes total) so slices of positions can be borrowed straight
+/// out of a mapped `.mgi` section; the writer emits the padding explicitly
+/// as zeros so the bytes are canonical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(C)]
 pub struct GraphPos {
     /// The oriented node.
     pub handle: Handle,
     /// Offset in bases along the handle's oriented sequence.
     pub offset: u32,
 }
+
+// Every field tolerates any bit pattern (`Handle` is a transparent `u64`,
+// the offset a plain `u32`); semantic validity is the readers' job.
+unsafe impl mg_support::mgi::Pod for GraphPos {}
 
 impl GraphPos {
     /// Creates a graph position.
@@ -232,14 +243,57 @@ fn window_start_valid(
 #[derive(Debug, Clone)]
 pub struct MinimizerIndex {
     params: MinimizerParams,
-    /// k-mer -> sorted, deduplicated graph positions. FxHash-keyed: the
-    /// keys are packed k-mers the seeding stage looks up once per read
-    /// minimizer, and FxHash is both faster than SipHash there and
-    /// seed-free (deterministic iteration feeding [`MinimizerIndex::to_bytes`]'
-    /// sort is cheap when the layout never shuffles between runs).
-    table: FxHashMap<u64, Vec<GraphPos>>,
+    table: Backing,
     total_positions: usize,
 }
+
+/// The two physical homes of the k-mer table. Both answer
+/// [`MinimizerIndex::positions`] with the identical sorted, deduplicated
+/// slice, so every downstream stage (and the GAF it produces) is
+/// byte-identical regardless of which backing served the seeds.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Built in memory: k-mer -> sorted, deduplicated graph positions.
+    /// FxHash-keyed: the keys are packed k-mers the seeding stage looks up
+    /// once per read minimizer, and FxHash is both faster than SipHash
+    /// there and seed-free (deterministic iteration feeding
+    /// [`MinimizerIndex::to_bytes`]' sort is cheap when the layout never
+    /// shuffles between runs).
+    Hash(FxHashMap<u64, Vec<GraphPos>>),
+    /// Loaded from a `.mgi` container: sorted k-mers with a CSR position
+    /// arena, looked up by binary search. The arrays may borrow a mapping
+    /// directly, so opening an index decodes nothing.
+    Flat {
+        /// Distinct k-mers, strictly ascending.
+        kmers: Storage<u64>,
+        /// CSR offsets into `positions`; `len == kmers.len() + 1`.
+        starts: Storage<u64>,
+        /// Concatenated per-k-mer position runs, each sorted and deduplicated.
+        positions: Storage<GraphPos>,
+    },
+}
+
+/// Semantic equality: two indexes are equal when they answer every query
+/// identically, regardless of which [`Backing`] serves the answers. This is
+/// what `.mgi` roundtrip oracles compare: built-owned (Hash) vs mapped
+/// (Flat) must be indistinguishable.
+impl PartialEq for MinimizerIndex {
+    fn eq(&self, other: &Self) -> bool {
+        if self.params != other.params
+            || self.total_positions != other.total_positions
+            || self.distinct_kmers() != other.distinct_kmers()
+        {
+            return false;
+        }
+        let mut kmers: Vec<u64> = self.kmers().collect();
+        kmers.sort_unstable();
+        kmers
+            .iter()
+            .all(|&k| self.positions(k) == other.positions(k))
+    }
+}
+
+impl Eq for MinimizerIndex {}
 
 impl MinimizerIndex {
     /// Builds the index from haplotype paths, indexing both orientations of
@@ -263,7 +317,7 @@ impl MinimizerIndex {
         }
         MinimizerIndex {
             params,
-            table,
+            table: Backing::Hash(table),
             total_positions: total,
         }
     }
@@ -303,7 +357,10 @@ impl MinimizerIndex {
 
     /// Number of distinct indexed k-mers.
     pub fn distinct_kmers(&self) -> usize {
-        self.table.len()
+        match &self.table {
+            Backing::Hash(table) => table.len(),
+            Backing::Flat { kmers, .. } => kmers.len(),
+        }
     }
 
     /// Total indexed (k-mer, position) pairs.
@@ -313,12 +370,30 @@ impl MinimizerIndex {
 
     /// Graph positions of one k-mer, if indexed.
     pub fn positions(&self, kmer: u64) -> Option<&[GraphPos]> {
-        self.table.get(&kmer).map(|v| v.as_slice())
+        match &self.table {
+            Backing::Hash(table) => table.get(&kmer).map(|v| v.as_slice()),
+            Backing::Flat { kmers, starts, positions } => {
+                let i = kmers.binary_search(&kmer).ok()?;
+                Some(&positions[starts[i] as usize..starts[i + 1] as usize])
+            }
+        }
+    }
+
+    /// Whether the table borrows a mapped `.mgi` container (as opposed to
+    /// owning heap memory).
+    pub fn is_mapped(&self) -> bool {
+        match &self.table {
+            Backing::Hash(_) => false,
+            Backing::Flat { kmers, .. } => kmers.is_mapped(),
+        }
     }
 
     /// Iterates over all indexed k-mers (arbitrary order).
-    pub fn kmers(&self) -> impl Iterator<Item = u64> + '_ {
-        self.table.keys().copied()
+    pub fn kmers(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        match &self.table {
+            Backing::Hash(table) => Box::new(table.keys().copied()),
+            Backing::Flat { kmers, .. } => Box::new(kmers.iter().copied()),
+        }
     }
 
     /// Reassembles an index from deserialized parts (see
@@ -328,7 +403,23 @@ impl MinimizerIndex {
         table: FxHashMap<u64, Vec<GraphPos>>,
         total_positions: usize,
     ) -> Self {
-        MinimizerIndex { params, table, total_positions }
+        MinimizerIndex { params, table: Backing::Hash(table), total_positions }
+    }
+
+    /// Reassembles an index from validated flat arrays (see
+    /// [`MinimizerIndex::from_mgi`](crate::serialize)).
+    pub(crate) fn from_flat_parts(
+        params: MinimizerParams,
+        kmers: Storage<u64>,
+        starts: Storage<u64>,
+        positions: Storage<GraphPos>,
+    ) -> Self {
+        let total_positions = positions.len();
+        MinimizerIndex {
+            params,
+            table: Backing::Flat { kmers, starts, positions },
+            total_positions,
+        }
     }
 
     /// Finds seed hits for a read: for each minimizer of `read`, every graph
@@ -360,7 +451,7 @@ impl MinimizerIndex {
         let mut mins = std::mem::take(&mut scratch.mins);
         extract_minimizers_into(read, self.params, scratch, &mut mins);
         for m in &mins {
-            if let Some(positions) = self.table.get(&m.kmer) {
+            if let Some(positions) = self.positions(m.kmer) {
                 if positions.len() > hard_hit_cap {
                     continue;
                 }

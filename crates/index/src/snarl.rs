@@ -18,43 +18,51 @@
 //! the bounded Dijkstra.
 
 use mg_graph::{Handle, NodeId, Orientation, VariationGraph};
+use mg_support::mgi::{
+    put_u32_slice, put_u64_slice, MgiFile, MgiWriter, Storage, TAG_CHAIN_ANCHORS, TAG_CHAIN_D_IN,
+    TAG_CHAIN_D_OUT, TAG_CHAIN_ENTRY, TAG_CHAIN_EXIT, TAG_CHAIN_OF, TAG_CHAIN_PREFIX,
+    TAG_CHAIN_STARTS,
+};
+use mg_support::{Error, Result};
 
 use crate::minimizer::GraphPos;
 
 const NONE32: u32 = u32::MAX;
 const INF: u64 = u64::MAX;
 
-/// One chain of anchors within a component.
-#[derive(Debug, Clone, Default)]
-struct Chain {
-    /// Anchor node indices (`id - 1`), in topological order.
-    anchors: Vec<u32>,
-    /// `prefix_min[i]`: minimum bases from anchor 0's start to anchor i's
-    /// start.
-    prefix_min: Vec<u64>,
-}
-
 /// The decomposition over a whole graph.
-#[derive(Debug, Clone)]
+///
+/// Chains are stored in CSR form — one concatenated anchor/prefix arena
+/// plus per-chain start offsets — so the whole index is a handful of flat
+/// arrays that serialize to (and borrow from) a `.mgi` container verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainIndex {
     /// Chain id per node (`id - 1`), or `NONE32` for nodes in components
     /// the decomposition cannot answer (cyclic, reverse edges).
-    chain_of: Vec<u32>,
+    chain_of: Storage<u32>,
     /// Index of the *exit* anchor (position in the chain's anchor list)
     /// every forward path from this node must cross next; `NONE32` past
     /// the last anchor. For an anchor node: its own index.
-    exit_idx: Vec<u32>,
+    exit_idx: Storage<u32>,
     /// Index of the *entry* anchor every forward path into this node last
     /// crossed; `NONE32` before the first anchor. For an anchor: its own
     /// index.
-    entry_idx: Vec<u32>,
+    entry_idx: Storage<u32>,
     /// Min bases from the entry anchor's start to this node's start
     /// (0 for anchors); `INF` when `entry_idx` is `NONE32`.
-    d_in: Vec<u64>,
+    d_in: Storage<u64>,
     /// Min bases from this node's start to the exit anchor's start
     /// (0 for anchors); `INF` when `exit_idx` is `NONE32`.
-    d_out: Vec<u64>,
-    chains: Vec<Chain>,
+    d_out: Storage<u64>,
+    /// CSR offsets into `anchors`/`prefix_min`; chain `c` owns the range
+    /// `chain_starts[c]..chain_starts[c + 1]`. Always at least `[0]`.
+    chain_starts: Storage<u64>,
+    /// Anchor node indices (`id - 1`) of all chains, concatenated in
+    /// topological order.
+    anchors: Storage<u32>,
+    /// Per anchor: minimum bases from its chain's first anchor start to
+    /// this anchor's start (0 at each chain's first anchor).
+    prefix_min: Storage<u64>,
 }
 
 /// Outcome of an exact-distance query.
@@ -75,12 +83,14 @@ impl ChainIndex {
     pub fn build(graph: &VariationGraph) -> Self {
         let n = graph.node_count();
         let mut index = ChainIndex {
-            chain_of: vec![NONE32; n],
-            exit_idx: vec![NONE32; n],
-            entry_idx: vec![NONE32; n],
-            d_in: vec![INF; n],
-            d_out: vec![INF; n],
-            chains: Vec::new(),
+            chain_of: vec![NONE32; n].into(),
+            exit_idx: vec![NONE32; n].into(),
+            entry_idx: vec![NONE32; n].into(),
+            d_in: vec![INF; n].into(),
+            d_out: vec![INF; n].into(),
+            chain_starts: vec![0u64].into(),
+            anchors: Storage::default(),
+            prefix_min: Storage::default(),
         };
         if n == 0 {
             return index;
@@ -135,6 +145,25 @@ impl ChainIndex {
     /// Topologically sorts one eligible component and builds its chain.
     /// Components with cycles are skipped (left unanswerable).
     fn decompose_component(&mut self, graph: &VariationGraph, nodes: &[u32]) {
+        // Building always runs on heap-backed storage; split the struct so
+        // the per-node arrays and the CSR arenas can be written in one pass.
+        let ChainIndex {
+            chain_of,
+            exit_idx,
+            entry_idx,
+            d_in,
+            d_out,
+            chain_starts,
+            anchors: all_anchors,
+            prefix_min: all_prefix,
+        } = self;
+        let chain_of = chain_of.vec_mut();
+        let exit_idx = exit_idx.vec_mut();
+        let entry_idx = entry_idx.vec_mut();
+        let d_in = d_in.vec_mut();
+        let d_out = d_out.vec_mut();
+        let chain_starts = chain_starts.vec_mut();
+
         // Kahn over forward edges, restricted to the component.
         let mut indeg: std::collections::HashMap<u32, u32> = nodes.iter().map(|&u| (u, 0)).collect();
         for &u in nodes {
@@ -197,21 +226,21 @@ impl ChainIndex {
             return;
         }
 
-        let chain_id = self.chains.len() as u32;
+        let chain_id = (chain_starts.len() - 1) as u32;
         // Entry/exit indices per node, via the topo order: a node between
         // anchors i and i+1 entered from i, exits at i+1.
         let mut seen_anchors: u32 = 0;
         for &u in &topo {
-            self.chain_of[u as usize] = chain_id;
+            chain_of[u as usize] = chain_id;
             if let Some(&pos) = anchor_pos.get(&u) {
                 seen_anchors = pos + 1;
-                self.entry_idx[u as usize] = pos;
-                self.exit_idx[u as usize] = pos;
-                self.d_in[u as usize] = 0;
-                self.d_out[u as usize] = 0;
+                entry_idx[u as usize] = pos;
+                exit_idx[u as usize] = pos;
+                d_in[u as usize] = 0;
+                d_out[u as usize] = 0;
             } else {
-                self.entry_idx[u as usize] = if seen_anchors == 0 { NONE32 } else { seen_anchors - 1 };
-                self.exit_idx[u as usize] = if (seen_anchors as usize) < anchors.len() {
+                entry_idx[u as usize] = if seen_anchors == 0 { NONE32 } else { seen_anchors - 1 };
+                exit_idx[u as usize] = if (seen_anchors as usize) < anchors.len() {
                     seen_anchors
                 } else {
                     NONE32
@@ -222,7 +251,7 @@ impl ChainIndex {
         // d_in: forward relaxation in topo order; anchors stay at 0 and
         // re-seed their segment.
         for &u in &topo {
-            let du = self.d_in[u as usize];
+            let du = d_in[u as usize];
             if du == INF {
                 continue;
             }
@@ -234,8 +263,8 @@ impl ChainIndex {
                     continue; // anchors stay at 0 relative to themselves
                 }
                 let cand = du + len;
-                if cand < self.d_in[v] {
-                    self.d_in[v] = cand;
+                if cand < d_in[v] {
+                    d_in[v] = cand;
                 }
             }
         }
@@ -249,12 +278,12 @@ impl ChainIndex {
             let mut best = INF;
             for &next in graph.successors(Handle::forward(id)) {
                 let v = (next.node().value() - 1) as usize;
-                let tail = self.d_out[v];
+                let tail = d_out[v];
                 if tail != INF {
                     best = best.min(len + tail);
                 }
             }
-            self.d_out[u as usize] = best;
+            d_out[u as usize] = best;
         }
 
         // Chain prefix sums: segment minima via a relaxation that treats
@@ -274,7 +303,7 @@ impl ChainIndex {
                 let base = if anchors[i - 1] as usize == pu {
                     0
                 } else {
-                    self.d_in[pu]
+                    d_in[pu]
                 };
                 if base != INF {
                     seg = seg.min(base + p_len);
@@ -283,25 +312,29 @@ impl ChainIndex {
             if seg == INF {
                 // Disconnected consecutive anchors: retract the component.
                 for &u in &topo {
-                    self.chain_of[u as usize] = NONE32;
-                    self.exit_idx[u as usize] = NONE32;
-                    self.entry_idx[u as usize] = NONE32;
-                    self.d_in[u as usize] = INF;
-                    self.d_out[u as usize] = INF;
+                    chain_of[u as usize] = NONE32;
+                    exit_idx[u as usize] = NONE32;
+                    entry_idx[u as usize] = NONE32;
+                    d_in[u as usize] = INF;
+                    d_out[u as usize] = INF;
                 }
                 return;
             }
             prefix_min[i] = prefix_min[i - 1] + seg;
         }
-        self.chains.push(Chain {
-            anchors: anchors.clone(),
-            prefix_min,
-        });
+        all_anchors.vec_mut().extend(anchors.iter().copied());
+        all_prefix.vec_mut().extend(prefix_min);
+        chain_starts.push(all_anchors.len() as u64);
     }
 
     /// Number of chains found.
     pub fn chain_count(&self) -> usize {
-        self.chains.len()
+        self.chain_starts.len() - 1
+    }
+
+    /// The anchor/prefix arena range of chain `c`.
+    fn chain_range(&self, c: u32) -> std::ops::Range<usize> {
+        self.chain_starts[c as usize] as usize..self.chain_starts[c as usize + 1] as usize
     }
 
     /// Anchor node ids of chain `i`, in topological order.
@@ -310,8 +343,7 @@ impl ChainIndex {
     ///
     /// Panics if `i >= self.chain_count()`.
     pub fn chain_anchors(&self, i: usize) -> impl Iterator<Item = NodeId> + '_ {
-        self.chains[i]
-            .anchors
+        self.anchors[self.chain_range(i as u32)]
             .iter()
             .map(|&u| NodeId::new(u as u64 + 1))
     }
@@ -319,6 +351,113 @@ impl ChainIndex {
     /// Whether `node` lies on an answerable chain.
     pub fn is_on_chain(&self, node: NodeId) -> bool {
         self.chain_of[(node.value() - 1) as usize] != NONE32
+    }
+
+    /// Appends the decomposition to a `.mgi` container in its in-memory
+    /// CSR layout.
+    pub fn write_mgi(&self, w: &mut MgiWriter) {
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &self.chain_of);
+        w.section(TAG_CHAIN_OF, buf);
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &self.exit_idx);
+        w.section(TAG_CHAIN_EXIT, buf);
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &self.entry_idx);
+        w.section(TAG_CHAIN_ENTRY, buf);
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.d_in);
+        w.section(TAG_CHAIN_D_IN, buf);
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.d_out);
+        w.section(TAG_CHAIN_D_OUT, buf);
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.chain_starts);
+        w.section(TAG_CHAIN_STARTS, buf);
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &self.anchors);
+        w.section(TAG_CHAIN_ANCHORS, buf);
+        let mut buf = Vec::new();
+        put_u64_slice(&mut buf, &self.prefix_min);
+        w.section(TAG_CHAIN_PREFIX, buf);
+    }
+
+    /// Borrows a decomposition out of a validated `.mgi` container built
+    /// for a graph of `n` nodes.
+    ///
+    /// Validation is strict enough that no later query can index out of
+    /// bounds or underflow, whatever the (checksum-valid) bytes claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when any structural invariant fails.
+    pub fn from_mgi(f: &MgiFile, n: usize) -> Result<Self> {
+        let chain_of = f.section_storage::<u32>(TAG_CHAIN_OF)?;
+        let exit_idx = f.section_storage::<u32>(TAG_CHAIN_EXIT)?;
+        let entry_idx = f.section_storage::<u32>(TAG_CHAIN_ENTRY)?;
+        let d_in = f.section_storage::<u64>(TAG_CHAIN_D_IN)?;
+        let d_out = f.section_storage::<u64>(TAG_CHAIN_D_OUT)?;
+        let chain_starts = f.section_storage::<u64>(TAG_CHAIN_STARTS)?;
+        let anchors = f.section_storage::<u32>(TAG_CHAIN_ANCHORS)?;
+        let prefix_min = f.section_storage::<u64>(TAG_CHAIN_PREFIX)?;
+        if chain_of.len() != n
+            || exit_idx.len() != n
+            || entry_idx.len() != n
+            || d_in.len() != n
+            || d_out.len() != n
+        {
+            return Err(Error::Corrupt(format!(
+                "chain arrays disagree with node count {n}"
+            )));
+        }
+        if chain_starts.first().copied() != Some(0)
+            || chain_starts.last().copied() != Some(anchors.len() as u64)
+            || !chain_starts.windows(2).all(|p| p[0] < p[1])
+        {
+            return Err(Error::Corrupt("chain CSR offsets malformed".into()));
+        }
+        if prefix_min.len() != anchors.len() {
+            return Err(Error::Corrupt("chain prefix arena disagrees with anchors".into()));
+        }
+        if anchors.iter().any(|&u| u as usize >= n) {
+            return Err(Error::Corrupt("chain anchor references nonexistent node".into()));
+        }
+        let chain_count = (chain_starts.len() - 1) as u32;
+        for c in 0..chain_count as usize {
+            let pm = &prefix_min[chain_starts[c] as usize..chain_starts[c + 1] as usize];
+            if pm[0] != 0 || !pm.windows(2).all(|p| p[0] <= p[1]) {
+                return Err(Error::Corrupt(
+                    "chain prefix minima not zero-based and non-decreasing".into(),
+                ));
+            }
+        }
+        for u in 0..n {
+            let c = chain_of[u];
+            if c == NONE32 {
+                continue;
+            }
+            if c >= chain_count {
+                return Err(Error::Corrupt("node assigned to nonexistent chain".into()));
+            }
+            let chain_len = (chain_starts[c as usize + 1] - chain_starts[c as usize]) as u32;
+            for idx in [exit_idx[u], entry_idx[u]] {
+                if idx != NONE32 && idx >= chain_len {
+                    return Err(Error::Corrupt(
+                        "anchor index beyond its chain's anchor list".into(),
+                    ));
+                }
+            }
+        }
+        Ok(ChainIndex {
+            chain_of,
+            exit_idx,
+            entry_idx,
+            d_in,
+            d_out,
+            chain_starts,
+            anchors,
+            prefix_min,
+        })
     }
 
     /// Exact minimum oriented distance from `a` to `b` (bases advanced
@@ -385,8 +524,8 @@ impl ChainIndex {
             }
             return ChainAnswer::Unanswerable;
         }
-        let chain = &self.chains[chain as usize];
-        let span = chain.prefix_min[entry as usize] - chain.prefix_min[exit as usize];
+        let pm = &self.prefix_min[self.chain_range(chain)];
+        let span = pm[entry as usize] - pm[exit as usize];
         let total = self.d_out[ia] as i128 + span as i128 + self.d_in[ib] as i128
             + b.offset as i128
             - a.offset as i128;

@@ -21,7 +21,7 @@ use mg_core::dump::SeedDump;
 use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
 use mg_core::{MapScratch, Mapper, MappingOptions, StreamOptions, ThreadPersist};
 use mg_gbwt::{CachedGbwt, Gbz, HotTier};
-use mg_index::MinimizerIndex;
+use mg_index::{DistanceIndex, MinimizerIndex};
 use mg_obs::{Ctr, Gauge, Hist, Metrics, ObsShard, Stage};
 use mg_sched::{bounded_queue, AnyScheduler, PoolCell, PoolTask, SchedulerKind};
 use mg_support::probe::{MemProbe, NoProbe};
@@ -106,10 +106,23 @@ pub struct Parent<'a> {
 }
 
 impl<'a> Parent<'a> {
-    /// Builds the parent from a pangenome and its minimizer index.
+    /// Builds the parent from a pangenome and its minimizer index,
+    /// computing the distance index from the graph.
     pub fn new(gbz: &'a Gbz, minimizer: &'a MinimizerIndex, workflow: Workflow) -> Self {
+        Self::with_distance(gbz, minimizer, DistanceIndex::build(gbz.graph()), workflow)
+    }
+
+    /// Builds the parent around a prebuilt distance index — e.g. one
+    /// borrowed out of a mapped `.mgi` bundle — skipping the
+    /// [`DistanceIndex::build`] graph traversal entirely.
+    pub fn with_distance(
+        gbz: &'a Gbz,
+        minimizer: &'a MinimizerIndex,
+        distance: DistanceIndex,
+        workflow: Workflow,
+    ) -> Self {
         Parent {
-            mapper: Mapper::new(gbz),
+            mapper: Mapper::with_distance(gbz, distance),
             minimizer,
             workflow,
         }

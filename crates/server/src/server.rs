@@ -53,6 +53,10 @@ pub struct ServerConfig {
     /// Fault injection for the resilience tests: `(job id, global read
     /// id)` — mapping that read of that job panics inside a pool worker.
     pub fault_job: Option<(u64, u64)>,
+    /// Bound on how long one outbound frame may stall on a client that
+    /// stops reading before the connection is dropped. Zero disables the
+    /// bound (writes may block indefinitely).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +68,7 @@ impl Default for ServerConfig {
             max_active: 4,
             per_client_cap: 4,
             fault_job: None,
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -299,6 +304,7 @@ impl<'a> MappingServer<'a> {
     pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
         let (tx, rx) = std::sync::mpsc::channel();
+        let write_timeout = self.config.write_timeout;
         std::thread::scope(|scope| {
             let ctl = Arc::clone(&self.ctl);
             scope.spawn(move || {
@@ -306,7 +312,7 @@ impl<'a> MappingServer<'a> {
                     match listener.accept() {
                         Ok((stream, _addr)) => {
                             let _ = stream.set_nonblocking(false);
-                            if let Ok(conn) = Conn::tcp(stream) {
+                            if let Ok(conn) = Conn::tcp_with_timeout(stream, write_timeout) {
                                 if tx.send(conn).is_err() {
                                     break;
                                 }

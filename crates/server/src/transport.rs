@@ -12,7 +12,7 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of one timed read attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,84 @@ impl TimedRead for TcpStream {
             }
             Err(e) => Err(e),
         }
+    }
+}
+
+/// A TCP writer with a per-frame deadline, so a client that stops reading
+/// cannot pin a connection handler (and the writer mutex it holds) forever
+/// once the socket's send buffer fills.
+///
+/// The protocol writes one frame as a single `write_all` + `flush`, so the
+/// deadline arms on the first byte of a frame and disarms on `flush`:
+/// however the kernel slices the frame into partial writes, the *whole
+/// frame* must drain within `timeout`. A stall surfaces as a hard
+/// [`io::ErrorKind::TimedOut`] error — the caller drops the connection
+/// rather than retrying into the same full buffer.
+pub struct TimedWriter {
+    stream: TcpStream,
+    timeout: Duration,
+    /// Deadline of the frame in flight; `None` between frames.
+    deadline: Option<Instant>,
+}
+
+impl TimedWriter {
+    /// Wraps `stream`, bounding every frame write by `timeout`.
+    pub fn new(stream: TcpStream, timeout: Duration) -> TimedWriter {
+        TimedWriter { stream, timeout, deadline: None }
+    }
+}
+
+impl Write for TimedWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let deadline = *self
+            .deadline
+            .get_or_insert_with(|| Instant::now() + self.timeout);
+        let mut written = 0;
+        while written < buf.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.deadline = None;
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame write stalled past deadline",
+                ));
+            }
+            self.stream.set_write_timeout(Some(remaining))?;
+            match self.stream.write(&buf[written..]) {
+                Ok(0) => {
+                    self.deadline = None;
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ));
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    self.deadline = None;
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "frame write stalled past deadline",
+                    ));
+                }
+                Err(e) => {
+                    self.deadline = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.deadline = None;
+        self.stream.flush()
     }
 }
 
@@ -133,6 +211,23 @@ impl Conn {
         })
     }
 
+    /// Wraps a TCP stream like [`Conn::tcp`], but bounds every outbound
+    /// frame by `write_timeout` (see [`TimedWriter`]). A zero timeout
+    /// means unbounded writes.
+    pub fn tcp_with_timeout(stream: TcpStream, write_timeout: Duration) -> io::Result<Conn> {
+        if write_timeout.is_zero() {
+            return Conn::tcp(stream);
+        }
+        let write_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: Box::new(stream),
+            writer: std::sync::Arc::new(Mutex::new(Box::new(TimedWriter::new(
+                write_half,
+                write_timeout,
+            )))),
+        })
+    }
+
     /// Creates a connected in-process pair: `(server_side, client_side)`.
     pub fn pair() -> (Conn, Conn) {
         let (to_client_tx, to_client_rx) = pipe();
@@ -180,6 +275,56 @@ mod tests {
             r.read_timed(&mut buf, Duration::from_millis(10)).unwrap(),
             ReadOutcome::TimedOut
         );
+    }
+
+    #[test]
+    fn timed_writer_errors_when_reader_stalls() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A client that connects and then never reads a byte.
+        let stalled = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+
+        let conn = Conn::tcp_with_timeout(server_stream, Duration::from_millis(200)).unwrap();
+        let start = Instant::now();
+        let mut w = conn.writer.lock().unwrap();
+        // Push frames until the socket buffers fill; the deadline must
+        // then fire instead of blocking forever.
+        let frame = vec![0u8; 1 << 20];
+        let err = loop {
+            match w.write_all(&frame).and_then(|_| w.flush()) {
+                Ok(()) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "got {err}");
+        // Bounded time: well under the multi-second hang an untimed
+        // writer would produce (allow scheduler slop).
+        assert!(start.elapsed() < Duration::from_secs(5));
+        drop(w);
+        drop(stalled);
+    }
+
+    #[test]
+    fn timed_writer_passes_frames_to_a_live_reader() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+
+        let conn = Conn::tcp_with_timeout(server_stream, Duration::from_secs(5)).unwrap();
+        {
+            let mut w = conn.writer.lock().unwrap();
+            w.write_all(b"hello frame").unwrap();
+            w.flush().unwrap();
+        }
+        let mut buf = [0u8; 11];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello frame");
     }
 
     #[test]

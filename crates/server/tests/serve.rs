@@ -99,6 +99,7 @@ fn eight_clients_match_oracle(scheduler: SchedulerKind) {
             max_active: 4,
             per_client_cap: 4,
             fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
     let slice = |c: usize, j: usize| {
@@ -242,6 +243,7 @@ fn small_job_finishes_under_a_hog() {
             max_active: 2,
             per_client_cap: 2,
             fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
     let (tx, rx) = channel::<Conn>();
@@ -287,6 +289,7 @@ fn queue_full_and_client_caps_reject_with_busy() {
             max_active: 1,
             per_client_cap: 2,
             fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
     let (tx, rx) = channel::<Conn>();
@@ -351,6 +354,7 @@ fn drain_loses_no_accepted_jobs() {
             max_active: 2,
             per_client_cap: 4,
             fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
     let (tx, rx) = channel::<Conn>();
@@ -443,6 +447,7 @@ fn worker_panic_fails_job_pool_survives() {
             // Job 1, read 2: the first chunk of the first job panics in a
             // pool worker mid-mapping.
             fault_job: Some((1, 2)),
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
     let (tx, rx) = channel::<Conn>();
@@ -584,6 +589,7 @@ fn paired_workflow_matches_oracle() {
             max_active: 2,
             per_client_cap: 2,
             fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
         },
     );
     let (tx, rx) = channel::<Conn>();

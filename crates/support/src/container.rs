@@ -197,11 +197,20 @@ impl<R: Read> ContainerReader<R> {
             self.done = true;
             return Ok(None);
         }
-        let len = read_u64_raw(&mut self.inner)? as usize;
-        let mut payload = vec![0u8; len];
-        self.inner
-            .read_exact(&mut payload)
-            .map_err(|_| Error::UnexpectedEof { context: "section payload" })?;
+        let len = read_u64_raw(&mut self.inner)?;
+        let len = usize::try_from(len)
+            .map_err(|_| Error::Corrupt(format!("section length {len} overflows usize")))?;
+        // The length is untrusted: read through `take` and let the buffer
+        // grow with the bytes that actually arrive, so a hostile length
+        // fails with UnexpectedEof instead of aborting on a huge upfront
+        // allocation. Genuine payloads still land in one buffer.
+        let mut payload = Vec::with_capacity(len.min(1 << 20));
+        let got = (&mut self.inner)
+            .take(len as u64)
+            .read_to_end(&mut payload)?;
+        if got < len {
+            return Err(Error::UnexpectedEof { context: "section payload" });
+        }
         let stored = read_u64_raw(&mut self.inner)?;
         let computed = fnv1a(&payload);
         if stored != computed {
@@ -225,6 +234,31 @@ impl<R: Read> ContainerReader<R> {
                 expected: Some(tag),
             }),
             None => Err(Error::UnexpectedEof { context: "expected section" }),
+        }
+    }
+
+    /// Consumes the end-of-container marker and verifies nothing follows:
+    /// an extra section, a truncated trailer, or trailing garbage all
+    /// surface as errors. Readers that know their full section list call
+    /// this last so a damaged tail cannot pass silently.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on trailing sections or bytes, plus the
+    /// conditions of [`ContainerReader::next_section`].
+    pub fn expect_end(mut self) -> Result<()> {
+        match self.next_section()? {
+            Some((tag, _)) => Err(Error::Corrupt(format!(
+                "unexpected trailing section {tag:#06x}"
+            ))),
+            None => {
+                let mut probe = [0u8; 1];
+                match self.inner.read(&mut probe) {
+                    Ok(0) => Ok(()),
+                    Ok(_) => Err(Error::Corrupt("trailing garbage after end marker".into())),
+                    Err(e) => Err(e.into()),
+                }
+            }
         }
     }
 

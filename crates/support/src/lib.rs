@@ -30,6 +30,7 @@ pub mod bits;
 pub mod container;
 pub mod error;
 pub mod mem;
+pub mod mgi;
 pub mod probe;
 pub mod regions;
 pub mod rle;

@@ -1,0 +1,1044 @@
+//! The `.mgi` mappable index container: validate, don't parse.
+//!
+//! A `.mgi` file holds the mapper's resident state — packed 2-bit sequence
+//! arenas, minimizer table, distance/snarl index, and compressed GBWT — in
+//! the exact little-endian layouts the in-memory structures use, so loading
+//! is `mmap` plus bounds/invariant validation with zero per-element
+//! decoding. The pieces:
+//!
+//! - [`Mapping`]: a read-only memory map of a file (aligned heap buffer on
+//!   non-unix hosts and for in-memory images).
+//! - [`MappedSlice`]: a typed `&[T]` view into a [`Mapping`] that keeps the
+//!   map alive via reference counting.
+//! - [`Storage`]: the owned-or-mapped backing used by index structures, so
+//!   one concrete type serves both the build path and the zero-copy path.
+//! - [`Pod`]: the marker trait for types whose slices may be reinterpreted
+//!   from mapped bytes.
+//! - [`MgiWriter`] / [`MgiFile`]: the container format itself — preamble,
+//!   fixed section table, 16-byte-aligned checksummed payloads.
+//!
+//! # Layout
+//!
+//! ```text
+//! preamble (48 B): magic "MGIDX\0\0\0" | version u32 | endian u32
+//!                  | file_len u64 | section_count u32 | reserved u32
+//!                  | table_offset u64 | table_fnv1a u64
+//! table:           section_count × 32 B entries:
+//!                  tag u32 | reserved u32 | offset u64 | len u64 | fnv1a u64
+//! payloads:        each at its table offset, 16-byte aligned, zero padded
+//! ```
+//!
+//! The layout is *canonical*: payload offsets must be exactly the sequence
+//! the writer produces (table end, then each payload aligned up from the
+//! previous end), and the file must end at the padded end of the last
+//! payload. A reader therefore recomputes the unique valid layout and
+//! rejects anything else — overlapping sections, gaps, or trailing garbage
+//! are structurally impossible to accept.
+
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::container::fnv1a;
+use crate::error::{Error, Result};
+
+/// Magic bytes opening a `.mgi` container.
+pub const MGI_MAGIC: [u8; 8] = *b"MGIDX\0\0\0";
+/// Current `.mgi` format version.
+pub const MGI_VERSION: u32 = 1;
+/// Endianness marker; written as a native u32, so a big-endian writer
+/// produces different bytes and is rejected by little-endian readers.
+pub const MGI_ENDIAN: u32 = 0x0102_0304;
+/// Section payload alignment. Covers every array element type we map
+/// (u8/u32/u64 and 16-byte `GraphPos`).
+pub const MGI_ALIGN: usize = 16;
+
+const PREAMBLE_LEN: usize = 48;
+const TABLE_ENTRY_LEN: usize = 32;
+
+// Section tags, centralized here so the per-crate writers and readers agree
+// without cross-crate dependencies. Grouped by component.
+/// Graph scalar metadata (node count, edge count, flags).
+pub const TAG_GRAPH_META: u32 = 0x0100;
+/// Forward ASCII sequence arena (`u8`).
+pub const TAG_GRAPH_SEQ: u32 = 0x0101;
+/// Reverse-complement ASCII sequence arena (`u8`).
+pub const TAG_GRAPH_SEQ_RC: u32 = 0x0102;
+/// Per-node byte offsets into the ASCII arenas (`u64`, node_count + 1).
+pub const TAG_GRAPH_SEQ_OFFSETS: u32 = 0x0103;
+/// CSR adjacency row offsets (`u64`, 2 * node_count + 1).
+pub const TAG_GRAPH_ADJ_OFFSETS: u32 = 0x0104;
+/// CSR adjacency targets as packed handles (`u64`).
+pub const TAG_GRAPH_ADJ_TARGETS: u32 = 0x0105;
+/// Packed 2-bit forward words (`u64`).
+pub const TAG_PACKED_WORDS: u32 = 0x0110;
+/// Packed 2-bit reverse-complement words (`u64`).
+pub const TAG_PACKED_RC_WORDS: u32 = 0x0111;
+/// Per-node word offsets into the packed arenas (`u64`, node_count + 1).
+pub const TAG_PACKED_OFFSETS: u32 = 0x0112;
+/// Minimizer scalar metadata (k, w, kmer count, total positions).
+pub const TAG_MIN_META: u32 = 0x0200;
+/// Sorted distinct minimizer keys (`u64`).
+pub const TAG_MIN_KMERS: u32 = 0x0201;
+/// Per-key start offsets into the position array (`u64`, kmer_count + 1).
+pub const TAG_MIN_STARTS: u32 = 0x0202;
+/// Flattened graph positions (`GraphPos`, 16 B each).
+pub const TAG_MIN_POSITIONS: u32 = 0x0203;
+/// Distance-index scalar metadata (component count, node count).
+pub const TAG_DIST_META: u32 = 0x0300;
+/// Per-node component ids (`u32`).
+pub const TAG_DIST_COMPONENT: u32 = 0x0301;
+/// Per-node minimum topological offsets (`u64`).
+pub const TAG_DIST_OFFSET_MIN: u32 = 0x0302;
+/// Per-node maximum topological offsets (`u64`).
+pub const TAG_DIST_OFFSET_MAX: u32 = 0x0303;
+/// Per-component cyclic flags (`u8`, 0 or 1).
+pub const TAG_DIST_CYCLIC: u32 = 0x0304;
+/// Chain-index scalar metadata (chain count, node count).
+pub const TAG_CHAIN_META: u32 = 0x0310;
+/// Per-node owning chain id (`u32`).
+pub const TAG_CHAIN_OF: u32 = 0x0311;
+/// Per-node chain exit anchor index (`u32`).
+pub const TAG_CHAIN_EXIT: u32 = 0x0312;
+/// Per-node chain entry anchor index (`u32`).
+pub const TAG_CHAIN_ENTRY: u32 = 0x0313;
+/// Per-node distance into the entry anchor (`u64`).
+pub const TAG_CHAIN_D_IN: u32 = 0x0314;
+/// Per-node distance out of the exit anchor (`u64`).
+pub const TAG_CHAIN_D_OUT: u32 = 0x0315;
+/// CSR chain row offsets (`u64`, chain_count + 1).
+pub const TAG_CHAIN_STARTS: u32 = 0x0316;
+/// Flattened chain anchor node ids (`u32`).
+pub const TAG_CHAIN_ANCHORS: u32 = 0x0317;
+/// Flattened chain prefix-distance sums (`u64`).
+pub const TAG_CHAIN_PREFIX: u32 = 0x0318;
+/// GBWT scalar metadata (counts, alphabet size, record length).
+pub const TAG_GBWT_META: u32 = 0x0400;
+/// Concatenated compressed GBWT record bodies (`u8`).
+pub const TAG_GBWT_RECORDS: u32 = 0x0401;
+/// Per-symbol record start offsets (`u64`, alphabet_size - 1 entries).
+pub const TAG_GBWT_OFFSETS: u32 = 0x0402;
+/// Compressed endmarker record body (`u8`).
+pub const TAG_GBWT_ENDMARKER: u32 = 0x0403;
+/// Sequence-end record ids (`u64`).
+pub const TAG_GBWT_END_IDS: u32 = 0x0404;
+
+/// Marker for plain-old-data element types that may be reinterpreted from
+/// mapped little-endian bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee that every bit pattern of the non-padding
+/// bytes is a valid value, that the layout is stable (`#[repr(C)]` or
+/// `#[repr(transparent)]` over such types), and that the type holds no
+/// pointers or lifetimes. Types *may* contain trailing padding: casts only
+/// ever go from bytes to values (the writers serialize field by field), so
+/// padding bytes are never read.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+
+fn align_up(n: usize, align: usize) -> usize {
+    n.div_ceil(align) * align
+}
+
+// ---------------------------------------------------------------------------
+// Mapping: a read-only map of a whole file.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed(ptr: *mut c_void) -> bool {
+        ptr as isize == -1
+    }
+}
+
+#[derive(Debug)]
+enum MapKind {
+    /// `munmap` on drop.
+    #[cfg(unix)]
+    Mmap,
+    /// Deallocate with the stored layout on drop.
+    Heap(std::alloc::Layout),
+    /// Nothing to release (empty mapping).
+    Empty,
+}
+
+/// A read-only memory image of a file, page-aligned.
+///
+/// On unix this is a real `mmap(2)` of the file, so untouched index
+/// sections never leave the page cache. Elsewhere (and for in-memory
+/// images built by tests) the bytes live in a heap buffer aligned to
+/// [`MGI_ALIGN`], which preserves every alignment guarantee the mapped
+/// readers rely on.
+#[derive(Debug)]
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+    kind: MapKind,
+}
+
+// The mapping is read-only for its whole lifetime.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file cannot be opened or mapped.
+    #[cfg(unix)]
+    pub fn open(path: &Path) -> Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| Error::Corrupt("file too large to map".into()))?;
+        if len == 0 {
+            return Ok(Mapping {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+                kind: MapKind::Empty,
+            });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if sys::map_failed(ptr) {
+            return Err(Error::Io(std::io::Error::last_os_error()));
+        }
+        Ok(Mapping {
+            ptr: ptr as *const u8,
+            len,
+            kind: MapKind::Mmap,
+        })
+    }
+
+    /// Reads `path` into an aligned heap buffer (non-unix fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file cannot be read.
+    #[cfg(not(unix))]
+    pub fn open(path: &Path) -> Result<Mapping> {
+        Ok(Mapping::from_vec(std::fs::read(path)?))
+    }
+
+    /// Wraps an in-memory image, copying it into an aligned buffer.
+    pub fn from_vec(bytes: Vec<u8>) -> Mapping {
+        let len = bytes.len();
+        if len == 0 {
+            return Mapping {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+                kind: MapKind::Empty,
+            };
+        }
+        let layout = std::alloc::Layout::from_size_align(len, MGI_ALIGN)
+            .expect("valid mapping layout");
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, len) };
+        Mapping {
+            ptr,
+            len,
+            kind: MapKind::Heap(layout),
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Total mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        match self.kind {
+            #[cfg(unix)]
+            MapKind::Mmap => unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            },
+            MapKind::Heap(layout) => unsafe {
+                std::alloc::dealloc(self.ptr as *mut u8, layout);
+            },
+            MapKind::Empty => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MappedSlice: a typed view that keeps the mapping alive.
+// ---------------------------------------------------------------------------
+
+/// A `&[T]` view into a [`Mapping`], holding a reference count on the map
+/// so the view is self-contained ('static).
+pub struct MappedSlice<T: Pod> {
+    _map: Arc<Mapping>,
+    ptr: *const T,
+    len: usize,
+}
+
+unsafe impl<T: Pod> Send for MappedSlice<T> {}
+unsafe impl<T: Pod> Sync for MappedSlice<T> {}
+
+impl<T: Pod> MappedSlice<T> {
+    /// Casts `len_bytes` bytes at `offset` inside `map` into a typed slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the range is out of bounds, the length
+    /// is not a multiple of `size_of::<T>()`, or the pointer is misaligned.
+    pub fn new(map: &Arc<Mapping>, offset: usize, len_bytes: usize) -> Result<MappedSlice<T>> {
+        let size = std::mem::size_of::<T>();
+        let end = offset
+            .checked_add(len_bytes)
+            .ok_or_else(|| Error::Corrupt("mapped slice range overflows".into()))?;
+        if end > map.len() {
+            return Err(Error::Corrupt(format!(
+                "mapped slice [{offset}, {end}) exceeds mapping of {} bytes",
+                map.len()
+            )));
+        }
+        if size == 0 || !len_bytes.is_multiple_of(size) {
+            return Err(Error::Corrupt(format!(
+                "mapped slice of {len_bytes} bytes is not a whole number of {size}-byte elements"
+            )));
+        }
+        let ptr = unsafe { map.ptr.add(offset) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(Error::Corrupt(format!(
+                "mapped slice at offset {offset} is misaligned for {}-byte alignment",
+                std::mem::align_of::<T>()
+            )));
+        }
+        Ok(MappedSlice {
+            _map: Arc::clone(map),
+            ptr: ptr as *const T,
+            len: len_bytes / size,
+        })
+    }
+}
+
+impl<T: Pod> Deref for MappedSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Pod> Clone for MappedSlice<T> {
+    fn clone(&self) -> Self {
+        MappedSlice {
+            _map: Arc::clone(&self._map),
+            ptr: self.ptr,
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for MappedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedSlice")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage: owned-or-mapped backing for index structures.
+// ---------------------------------------------------------------------------
+
+/// The backing store of an index array: a plain `Vec` on the build path, a
+/// zero-copy [`MappedSlice`] when loaded from a `.mgi`.
+///
+/// Everything downstream reads through `Deref<Target = [T]>`, so hot paths
+/// are identical for both variants; only construction code mutates, via
+/// [`Storage::vec_mut`].
+pub enum Storage<T: Pod> {
+    /// Heap-owned elements (build path, legacy deserializers).
+    Owned(Vec<T>),
+    /// Borrowed from a live [`Mapping`].
+    Mapped(MappedSlice<T>),
+}
+
+impl<T: Pod> Storage<T> {
+    /// The owned vector, for construction-time mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage is mapped: mapped index structures are
+    /// immutable by contract.
+    pub fn vec_mut(&mut self) -> &mut Vec<T> {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped(_) => panic!("cannot mutate mapped storage"),
+        }
+    }
+
+    /// Heap bytes owned by this storage (zero when mapped).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Storage::Owned(v) => v.capacity() * std::mem::size_of::<T>(),
+            Storage::Mapped(_) => 0,
+        }
+    }
+
+    /// Whether the backing is a live memory map.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Storage::Mapped(_))
+    }
+}
+
+impl<T: Pod> Deref for Storage<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped(m) => m,
+        }
+    }
+}
+
+impl<T: Pod> Default for Storage<T> {
+    fn default() -> Self {
+        Storage::Owned(Vec::new())
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Storage<T> {
+    fn from(v: Vec<T>) -> Self {
+        Storage::Owned(v)
+    }
+}
+
+impl<T: Pod> From<MappedSlice<T>> for Storage<T> {
+    fn from(m: MappedSlice<T>) -> Self {
+        Storage::Mapped(m)
+    }
+}
+
+impl<T: Pod> Clone for Storage<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Storage::Owned(v) => Storage::Owned(v.clone()),
+            Storage::Mapped(m) => Storage::Mapped(m.clone()),
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Storage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Storage<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Pod + Eq> Eq for Storage<T> {}
+
+// ---------------------------------------------------------------------------
+// Little-endian scalar helpers for section payloads.
+// ---------------------------------------------------------------------------
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends each element of `values` as a little-endian `u64`.
+pub fn put_u64_slice(out: &mut Vec<u8>, values: &[u64]) {
+    out.reserve(values.len() * 8);
+    for &v in values {
+        put_u64(out, v);
+    }
+}
+
+/// Appends each element of `values` as a little-endian `u32`.
+pub fn put_u32_slice(out: &mut Vec<u8>, values: &[u32]) {
+    out.reserve(values.len() * 4);
+    for &v in values {
+        put_u32(out, v);
+    }
+}
+
+/// A cursor over fixed-width little-endian scalars in a metadata section.
+#[derive(Debug, Clone)]
+pub struct FixedReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FixedReader<'a> {
+    /// Starts reading at the front of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        FixedReader { data, pos: 0 }
+    }
+
+    /// Reads the next little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than 4 bytes remain.
+    pub fn read_u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4, "u32 field")?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Reads the next little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn read_u64(&mut self) -> Result<u64> {
+        let bytes = self.take(8, "u64 field")?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if n > self.data.len() - self.pos {
+            return Err(Error::UnexpectedEof { context });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MgiWriter: assemble a container image.
+// ---------------------------------------------------------------------------
+
+/// Accumulates sections and assembles the canonical `.mgi` image.
+#[derive(Debug, Default)]
+pub struct MgiWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl MgiWriter {
+    /// Starts an empty container.
+    pub fn new() -> Self {
+        MgiWriter::default()
+    }
+
+    /// Appends one section. Tags must be unique within a container.
+    pub fn section(&mut self, tag: u32, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(t, _)| *t != tag),
+            "duplicate .mgi section tag {tag:#x}"
+        );
+        self.sections.push((tag, payload));
+    }
+
+    /// Assembles the full image: preamble, table, aligned payloads.
+    pub fn finish(self) -> Vec<u8> {
+        let count = self.sections.len();
+        let table_offset = PREAMBLE_LEN;
+        let mut offset = align_up(table_offset + count * TABLE_ENTRY_LEN, MGI_ALIGN);
+        let mut table = Vec::with_capacity(count * TABLE_ENTRY_LEN);
+        let mut entries = Vec::with_capacity(count);
+        for (tag, payload) in &self.sections {
+            entries.push((*tag, offset, payload.len(), fnv1a(payload)));
+            offset = align_up(offset + payload.len(), MGI_ALIGN);
+        }
+        let file_len = offset;
+        for &(tag, off, len, sum) in &entries {
+            put_u32(&mut table, tag);
+            put_u32(&mut table, 0);
+            put_u64(&mut table, off as u64);
+            put_u64(&mut table, len as u64);
+            put_u64(&mut table, sum);
+        }
+        let mut out = Vec::with_capacity(file_len);
+        out.extend_from_slice(&MGI_MAGIC);
+        put_u32(&mut out, MGI_VERSION);
+        put_u32(&mut out, MGI_ENDIAN);
+        put_u64(&mut out, file_len as u64);
+        put_u32(&mut out, count as u32);
+        put_u32(&mut out, 0);
+        put_u64(&mut out, table_offset as u64);
+        // Checksum over the table itself, so a corrupted tag or table entry
+        // is detected even when its payload bytes still check out.
+        put_u64(&mut out, fnv1a(&table));
+        debug_assert_eq!(out.len(), PREAMBLE_LEN);
+        out.extend_from_slice(&table);
+        for ((_, payload), &(_, off, _, _)) in self.sections.iter().zip(&entries) {
+            out.resize(off, 0);
+            out.extend_from_slice(payload);
+        }
+        out.resize(file_len, 0);
+        out
+    }
+
+    /// Assembles the image and writes it to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failure.
+    pub fn write_to(self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.finish())?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MgiFile: open + validate a container image.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    tag: u32,
+    offset: usize,
+    len: usize,
+}
+
+/// An opened, validated `.mgi` container.
+///
+/// Opening validates the preamble (magic, version, endianness, exact file
+/// length), the canonical section layout (recomputed and compared, so
+/// overlaps, gaps, and trailing garbage are rejected), and — by default —
+/// every section checksum. Section payloads are then borrowed straight out
+/// of the mapping.
+#[derive(Debug)]
+pub struct MgiFile {
+    map: Arc<Mapping>,
+    entries: Vec<SectionEntry>,
+}
+
+impl MgiFile {
+    /// Maps and validates `path`, verifying all section checksums.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on map failure, [`Error::BadMagic`] /
+    /// [`Error::UnsupportedVersion`] / [`Error::Corrupt`] /
+    /// [`Error::ChecksumMismatch`] on validation failure.
+    pub fn open(path: &Path) -> Result<MgiFile> {
+        MgiFile::from_mapping(Arc::new(Mapping::open(path)?), true)
+    }
+
+    /// Like [`MgiFile::open`] but skips checksum verification, trusting the
+    /// file (e.g. one this process just wrote and re-read). Structural
+    /// validation still runs in full.
+    pub fn open_trusted(path: &Path) -> Result<MgiFile> {
+        MgiFile::from_mapping(Arc::new(Mapping::open(path)?), false)
+    }
+
+    /// Validates an in-memory image (tests, in-process round trips).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MgiFile::open`].
+    pub fn open_bytes(bytes: Vec<u8>) -> Result<MgiFile> {
+        MgiFile::from_mapping(Arc::new(Mapping::from_vec(bytes)), true)
+    }
+
+    fn from_mapping(map: Arc<Mapping>, verify_checksums: bool) -> Result<MgiFile> {
+        let data = map.bytes();
+        if data.len() < PREAMBLE_LEN {
+            return Err(Error::Corrupt(format!(
+                "file of {} bytes is smaller than the .mgi preamble",
+                data.len()
+            )));
+        }
+        if data[..8] != MGI_MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let mut pre = FixedReader::new(&data[8..PREAMBLE_LEN]);
+        let version = pre.read_u32()?;
+        if version != MGI_VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let endian = pre.read_u32()?;
+        if endian != MGI_ENDIAN {
+            return Err(Error::Corrupt(format!(
+                "endianness marker {endian:#010x} does not match host layout"
+            )));
+        }
+        if !cfg!(target_endian = "little") {
+            return Err(Error::Corrupt(
+                ".mgi containers require a little-endian host".into(),
+            ));
+        }
+        let file_len = pre.read_u64()?;
+        if file_len != data.len() as u64 {
+            return Err(Error::Corrupt(format!(
+                "preamble claims {file_len} bytes, file has {}",
+                data.len()
+            )));
+        }
+        let count = pre.read_u32()? as usize;
+        let reserved = pre.read_u32()?;
+        if reserved != 0 {
+            return Err(Error::Corrupt("reserved preamble field is nonzero".into()));
+        }
+        let table_offset = pre.read_u64()?;
+        if table_offset != PREAMBLE_LEN as u64 {
+            return Err(Error::Corrupt(format!(
+                "section table at {table_offset}, expected {PREAMBLE_LEN}"
+            )));
+        }
+        let table_sum = pre.read_u64()?;
+        let table_bytes = count
+            .checked_mul(TABLE_ENTRY_LEN)
+            .filter(|&b| PREAMBLE_LEN + b <= data.len())
+            .ok_or_else(|| {
+                Error::Corrupt(format!("section table of {count} entries exceeds the file"))
+            })?;
+        let table = &data[PREAMBLE_LEN..PREAMBLE_LEN + table_bytes];
+        let computed = fnv1a(table);
+        if computed != table_sum {
+            return Err(Error::ChecksumMismatch {
+                stored: table_sum,
+                computed,
+            });
+        }
+        // The layout is canonical: recompute the one valid offset sequence
+        // and demand the table matches it exactly. This single check makes
+        // overlapping sections, gaps, and out-of-bounds payloads impossible.
+        let mut expected = align_up(PREAMBLE_LEN + table_bytes, MGI_ALIGN);
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut row = FixedReader::new(&table[i * TABLE_ENTRY_LEN..(i + 1) * TABLE_ENTRY_LEN]);
+            let tag = row.read_u32()?;
+            let pad = row.read_u32()?;
+            let offset = row.read_u64()? as usize;
+            let len = row.read_u64()? as usize;
+            let stored = row.read_u64()?;
+            if pad != 0 {
+                return Err(Error::Corrupt(format!(
+                    "section {tag:#x}: reserved table field is nonzero"
+                )));
+            }
+            if entries.iter().any(|e: &SectionEntry| e.tag == tag) {
+                return Err(Error::Corrupt(format!("duplicate section tag {tag:#x}")));
+            }
+            if offset != expected {
+                return Err(Error::Corrupt(format!(
+                    "section {tag:#x} at offset {offset}, canonical layout requires {expected}"
+                )));
+            }
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| e <= data.len())
+                .ok_or_else(|| {
+                    Error::Corrupt(format!("section {tag:#x} of {len} bytes exceeds the file"))
+                })?;
+            if verify_checksums {
+                let computed = fnv1a(&data[offset..end]);
+                if computed != stored {
+                    return Err(Error::ChecksumMismatch {
+                        stored,
+                        computed,
+                    });
+                }
+            }
+            expected = align_up(end, MGI_ALIGN);
+            entries.push(SectionEntry { tag, offset, len });
+        }
+        if expected != data.len() {
+            return Err(Error::Corrupt(format!(
+                "file has {} bytes after the last section's padded end {expected}",
+                data.len()
+            )));
+        }
+        // Alignment padding — after the table and after every payload —
+        // must be zero: any flipped bit in the file is an error somewhere,
+        // never silently ignored.
+        let mut end = PREAMBLE_LEN + table_bytes;
+        for e in &entries {
+            if data[end..e.offset].iter().any(|&b| b != 0) {
+                return Err(Error::Corrupt(format!(
+                    "nonzero alignment padding before section {:#x}",
+                    e.tag
+                )));
+            }
+            end = e.offset + e.len;
+        }
+        if data[end..].iter().any(|&b| b != 0) {
+            return Err(Error::Corrupt(
+                "nonzero alignment padding after the last section".into(),
+            ));
+        }
+        Ok(MgiFile { map, entries })
+    }
+
+    /// The underlying mapping.
+    pub fn mapping(&self) -> &Arc<Mapping> {
+        &self.map
+    }
+
+    /// Tags present in the container, in file order.
+    pub fn tags(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|e| e.tag)
+    }
+
+    fn entry(&self, tag: u32) -> Result<&SectionEntry> {
+        self.entries.iter().find(|e| e.tag == tag).ok_or(Error::BadTag {
+            found: 0,
+            expected: Some(tag),
+        })
+    }
+
+    /// Borrows a section's raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadTag`] if no section carries `tag`.
+    pub fn section(&self, tag: u32) -> Result<&[u8]> {
+        let e = self.entry(tag)?;
+        Ok(&self.map.bytes()[e.offset..e.offset + e.len])
+    }
+
+    /// Borrows a section as a typed zero-copy slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadTag`] for a missing section and
+    /// [`Error::Corrupt`] if the section length or alignment does not fit
+    /// `T`.
+    pub fn section_slice<T: Pod>(&self, tag: u32) -> Result<MappedSlice<T>> {
+        let e = self.entry(tag)?;
+        MappedSlice::new(&self.map, e.offset, e.len).map_err(|err| match err {
+            Error::Corrupt(msg) => Error::Corrupt(format!("section {tag:#x}: {msg}")),
+            other => other,
+        })
+    }
+
+    /// Borrows a section as typed [`Storage`], ready to drop into an index
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MgiFile::section_slice`].
+    pub fn section_storage<T: Pod>(&self, tag: u32) -> Result<Storage<T>> {
+        Ok(Storage::Mapped(self.section_slice(tag)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+        let mut w = MgiWriter::new();
+        for (tag, payload) in sections {
+            w.section(*tag, payload.clone());
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let f = MgiFile::open_bytes(image(&[])).unwrap();
+        assert_eq!(f.tags().count(), 0);
+        assert!(matches!(f.section(1), Err(Error::BadTag { .. })));
+    }
+
+    #[test]
+    fn sections_roundtrip_with_alignment() {
+        let sections = vec![
+            (TAG_GRAPH_SEQ, b"ACGT".to_vec()),
+            (TAG_GRAPH_SEQ_RC, vec![7u8; 33]),
+            (TAG_GRAPH_SEQ_OFFSETS, Vec::new()),
+        ];
+        let f = MgiFile::open_bytes(image(&sections)).unwrap();
+        for (tag, payload) in &sections {
+            assert_eq!(f.section(*tag).unwrap(), &payload[..], "tag {tag:#x}");
+        }
+        let tags: Vec<u32> = f.tags().collect();
+        assert_eq!(tags, vec![TAG_GRAPH_SEQ, TAG_GRAPH_SEQ_RC, TAG_GRAPH_SEQ_OFFSETS]);
+    }
+
+    #[test]
+    fn typed_slices_decode_le_words() {
+        let mut payload = Vec::new();
+        put_u64_slice(&mut payload, &[1, u64::MAX, 0x0102_0304_0506_0708]);
+        let f = MgiFile::open_bytes(image(&[(TAG_PACKED_WORDS, payload)])).unwrap();
+        let words: MappedSlice<u64> = f.section_slice(TAG_PACKED_WORDS).unwrap();
+        assert_eq!(&words[..], &[1, u64::MAX, 0x0102_0304_0506_0708]);
+        let via_storage: Storage<u64> = f.section_storage(TAG_PACKED_WORDS).unwrap();
+        assert!(via_storage.is_mapped());
+        assert_eq!(via_storage.heap_bytes(), 0);
+        assert_eq!(&via_storage[..], &words[..]);
+    }
+
+    #[test]
+    fn misaligned_element_size_rejected() {
+        let f = MgiFile::open_bytes(image(&[(TAG_PACKED_WORDS, vec![0u8; 12])])).unwrap();
+        assert!(matches!(
+            f.section_slice::<u64>(TAG_PACKED_WORDS),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bit_flips_are_detected_everywhere() {
+        let mut sections = Vec::new();
+        let mut payload = Vec::new();
+        put_u64_slice(&mut payload, &(0..64u64).collect::<Vec<_>>());
+        sections.push((TAG_PACKED_WORDS, payload));
+        sections.push((TAG_GRAPH_SEQ, vec![b'A'; 100]));
+        let good = image(&sections);
+        assert!(MgiFile::open_bytes(good.clone()).is_ok());
+        for pos in 0..good.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = good.clone();
+                bad[pos] ^= bit;
+                assert!(
+                    MgiFile::open_bytes(bad).is_err(),
+                    "bit flip at byte {pos} (mask {bit:#x}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_rejected() {
+        let good = image(&[(TAG_GRAPH_SEQ, b"ACGTACGT".to_vec())]);
+        for cut in 0..good.len() {
+            assert!(
+                MgiFile::open_bytes(good[..cut].to_vec()).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0u8; 16]);
+        assert!(MgiFile::open_bytes(padded).is_err(), "trailing garbage accepted");
+    }
+
+    #[test]
+    fn wrong_version_and_magic_rejected() {
+        let good = image(&[]);
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            MgiFile::open_bytes(wrong_magic),
+            Err(Error::BadMagic)
+        ));
+        let mut wrong_version = good.clone();
+        wrong_version[8] = 99;
+        assert!(matches!(
+            MgiFile::open_bytes(wrong_version),
+            Err(Error::UnsupportedVersion(99))
+        ));
+        // A big-endian writer stores the marker's bytes reversed.
+        let mut wrong_endian = good;
+        wrong_endian[12..16].copy_from_slice(&[0x01, 0x02, 0x03, 0x04]);
+        assert!(matches!(
+            MgiFile::open_bytes(wrong_endian),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_via_mmap() {
+        let dir = std::env::temp_dir().join(format!("mgi-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mgi");
+        let mut payload = Vec::new();
+        put_u64_slice(&mut payload, &[42, 43, 44]);
+        let mut w = MgiWriter::new();
+        w.section(TAG_PACKED_WORDS, payload);
+        w.section(TAG_GRAPH_SEQ, b"ACGT".to_vec());
+        w.write_to(&path).unwrap();
+        let f = MgiFile::open(&path).unwrap();
+        let words: MappedSlice<u64> = f.section_slice(TAG_PACKED_WORDS).unwrap();
+        assert_eq!(&words[..], &[42, 43, 44]);
+        assert_eq!(f.section(TAG_GRAPH_SEQ).unwrap(), b"ACGT");
+        drop(words);
+        drop(f);
+        let trusted = MgiFile::open_trusted(&path).unwrap();
+        assert_eq!(trusted.section(TAG_GRAPH_SEQ).unwrap(), b"ACGT");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn storage_basics() {
+        let mut s: Storage<u64> = Storage::default();
+        s.vec_mut().extend_from_slice(&[1, 2, 3]);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(!s.is_mapped());
+        assert!(s.heap_bytes() >= 24);
+        let t: Storage<u64> = vec![1, 2, 3].into();
+        assert_eq!(s, t);
+        let u = s.clone();
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mutate mapped storage")]
+    fn mapped_storage_rejects_mutation() {
+        let f = MgiFile::open_bytes(image(&[(TAG_PACKED_WORDS, vec![0u8; 8])])).unwrap();
+        let mut s: Storage<u64> = f.section_storage(TAG_PACKED_WORDS).unwrap();
+        s.vec_mut().push(1);
+    }
+
+    #[test]
+    fn mapping_from_vec_is_aligned_and_empty_safe() {
+        let m = Mapping::from_vec(vec![1, 2, 3]);
+        assert_eq!(m.bytes(), &[1, 2, 3]);
+        assert_eq!(m.bytes().as_ptr() as usize % MGI_ALIGN, 0);
+        let empty = Mapping::from_vec(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.bytes(), &[] as &[u8]);
+    }
+}

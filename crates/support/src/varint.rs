@@ -120,6 +120,14 @@ impl<'a> Cursor<'a> {
         self.pos >= self.data.len()
     }
 
+    /// Number of bytes left to decode. Decoders use this to clamp
+    /// pre-allocations driven by untrusted element counts: a count no
+    /// remaining input could possibly encode is corruption, not a reason
+    /// to reserve gigabytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     /// Decodes the next unsigned varint.
     ///
     /// # Errors

@@ -194,4 +194,29 @@ print(f"throughput: {rep['reads_per_sec']:.0f} reads/s across {rep['clients']} c
 print("serve gate: OK")
 EOF
 
+echo "== mgi smoke (zero-copy cold start vs parse + rebuild) =="
+run_gated_bench smoke_mgi BENCH_MGI.json
+
+# The .mgi container must be correct before it is fast: the parent GAF
+# from the mapped bundle is byte-compared inside the bench against the
+# parsed/rebuilt bundle, and open() must actually borrow the mapping
+# (zero-copy), not fall back to heap copies. Cold start targets >= 5x
+# over parse + rebuild at full scale; gated at 1.5x so slow CI disks
+# can't flake the build, with the printed speedup as the real signal.
+python3 - "$out/BENCH_MGI.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+if not rep["oracle_match"]:
+    sys.exit("FAIL: mapped .mgi bundle GAF diverged from the parsed pipeline")
+if not rep["mapped_is_zero_copy"]:
+    sys.exit("FAIL: MgiBundle::open fell back to owned storage")
+speedup = rep["speedup"]
+print(f"cold start: parsed {rep['parsed_startup_s']:.4f}s vs mgi {rep['mgi_startup_s']:.4f}s "
+      f"({speedup:.1f}x, target 5x)")
+if speedup < 1.5:
+    sys.exit(f"FAIL: .mgi cold start only {speedup:.2f}x of parse+rebuild (< 1.5)")
+print(f"file sizes: mgz {rep['mgz_bytes']} B, mgi {rep['mgi_bytes']} B")
+print("mgi gate: OK")
+EOF
+
 echo "verify: all gates passed"

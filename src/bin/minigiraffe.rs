@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
+        Some("build-mgi") => cmd_build_mgi(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("parent") => cmd_parent(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -55,14 +56,24 @@ USAGE:
       Synthesize an input set: writes <set>.mgz (pangenome) and
       <set>.bin (reads + seeds).
 
-  minigiraffe map <seeds.bin> <pangenome.mgz>
+  minigiraffe build-mgi <pangenome.mgz> [--out <index.mgi>]
+                        [--k N] [--w N]
+      Build the zero-copy index container: pangenome + minimizer index
+      + distance index, persisted in their in-memory layouts. `map`,
+      `parent`, and `serve` accept it via --mgi and then start by
+      mmapping the file instead of decoding the pangenome and
+      rebuilding both indexes. The file is reopened and fully
+      verified (checksums + structural invariants + GBWT record
+      decode) before the command reports success.
+
+  minigiraffe map <seeds.bin> <pangenome.mgz | --mgi <index.mgi>>
                   [--threads N] [--batch N] [--capacity N]
                   [--scheduler static|dynamic|ws|vg]
                   [--instrument <timeline.csv>] [--out <results.csv>]
       Run the proxy kernels; prints a summary and optionally writes
       per-extension results and a region timeline.
 
-  minigiraffe parent <reads.fastq> <pangenome.mgz>
+  minigiraffe parent <reads.fastq> <pangenome.mgz | --mgi <index.mgi>>
                      [--threads N] [--batch N] [--capacity N]
                      [--gaf <out.gaf>] [--dump <seeds.bin>]
                      [--stream <reads-per-batch>]
@@ -74,18 +85,21 @@ USAGE:
       stays constant in the input size (--dump is unavailable: the
       whole point is never holding the full dump).
 
-  minigiraffe serve <pangenome.mgz>
+  minigiraffe serve <pangenome.mgz | --mgi <index.mgi>>
                     [--addr HOST] [--port N]
                     [--threads N] [--batch N] [--capacity N]
                     [--scheduler static|dynamic|ws|vg]
                     [--max-pending N] [--max-active N] [--client-cap N]
                     [--chunk-reads N] [--paired true]
+                    [--write-timeout-ms N]
       Run the long-lived mapping server: loads the pangenome and builds
-      the minimizer index once, then multiplexes concurrent FASTQ
-      mapping jobs from TCP clients onto one resident worker pool,
-      streaming GAF back per job. Admission control bounds the pending
-      queue and per-client in-flight jobs; SHUTDOWN drains gracefully.
-      See README \"server mode\" for the frame protocol.
+      the minimizer index once (or mmaps everything from --mgi), then
+      multiplexes concurrent FASTQ mapping jobs from TCP clients onto
+      one resident worker pool, streaming GAF back per job. Admission
+      control bounds the pending queue and per-client in-flight jobs;
+      SHUTDOWN drains gracefully. A client that stops reading its GAF
+      stream is disconnected after --write-timeout-ms (default 30000;
+      0 disables). See README \"server mode\" for the frame protocol.
 
   minigiraffe validate <seeds.bin> <pangenome.mgz> <expected.csv>
       Map the dump and compare against an expected-output CSV
@@ -134,26 +148,98 @@ where
     }
 }
 
-/// Rebuilds the minimizer index from the GBWT's haplotype paths (forward
-/// sequences; the index adds the reverse orientation itself).
-fn build_minimizer_index(gbz: &Gbz) -> Result<minigiraffe::index::MinimizerIndex, String> {
-    use minigiraffe::index::{MinimizerIndex, MinimizerParams};
-    eprintln!("building minimizer index from {} haplotypes...", gbz.gbwt().path_count());
-    let mut paths = Vec::new();
-    for p in 0..gbz.gbwt().path_count() {
-        let seq_id = if gbz.gbwt().is_bidirectional() { 2 * p } else { p };
-        let symbols = gbz.gbwt().sequence(seq_id).map_err(|e| e.to_string())?;
-        let handles: Vec<minigiraffe::graph::Handle> = symbols
-            .into_iter()
-            .map(|s| minigiraffe::graph::Handle::from_gbwt(s).expect("real symbol"))
-            .collect();
-        paths.push(handles);
+fn minimizer_params_from_flags(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<minigiraffe::index::MinimizerParams, String> {
+    let default = minigiraffe::index::MinimizerParams::default();
+    let k: usize = flag(flags, "k", default.k)?;
+    let w: usize = flag(flags, "w", default.w)?;
+    if !(1..=31).contains(&k) {
+        return Err(format!("--k {k} out of range (1..=31)"));
     }
-    Ok(MinimizerIndex::build(
-        gbz.graph(),
-        paths.iter().map(|p| p.as_slice()),
-        MinimizerParams::default(),
-    ))
+    if w < 1 {
+        return Err("--w must be >= 1".into());
+    }
+    Ok(minigiraffe::index::MinimizerParams { k, w })
+}
+
+/// Resolves the pangenome + indexes for `map`/`parent`/`serve`: either a
+/// `--mgi` container mmapped with zero per-element decoding, or a `.mgz`
+/// positional that is parsed and indexed from scratch.
+fn load_bundle(
+    mgz_path: Option<&String>,
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<minigiraffe::core::MgiBundle, String> {
+    use minigiraffe::core::MgiBundle;
+    match (flags.get("mgi"), mgz_path) {
+        (Some(mgi), None) => {
+            let start = std::time::Instant::now();
+            let bundle =
+                MgiBundle::open(mgi).map_err(|e| format!("opening {mgi}: {e}"))?;
+            eprintln!("mapped {mgi} in {:.3}s (zero-copy)", start.elapsed().as_secs_f64());
+            Ok(bundle)
+        }
+        (None, Some(mgz)) => {
+            let gbz = Gbz::load(mgz).map_err(|e| format!("loading {mgz}: {e}"))?;
+            eprintln!(
+                "building minimizer + distance indexes from {} haplotypes...",
+                gbz.gbwt().path_count()
+            );
+            MgiBundle::build(gbz, minimizer_params_from_flags(flags)?).map_err(|e| e.to_string())
+        }
+        (Some(_), Some(_)) => Err("pass either <pangenome.mgz> or --mgi, not both".into()),
+        (None, None) => Err("expected <pangenome.mgz> or --mgi <index.mgi>".into()),
+    }
+}
+
+fn cmd_build_mgi(args: &[String]) -> Result<(), String> {
+    use minigiraffe::core::MgiBundle;
+
+    let (positional, flags) = parse_flags(args)?;
+    let [mgz_path] = &positional[..] else {
+        return Err("expected <pangenome.mgz>".into());
+    };
+    let out: String = match flags.get("out") {
+        Some(path) => path.clone(),
+        None => {
+            let mut p = PathBuf::from(mgz_path);
+            p.set_extension("mgi");
+            p.to_string_lossy().into_owned()
+        }
+    };
+    let params = minimizer_params_from_flags(&flags)?;
+
+    let start = std::time::Instant::now();
+    let gbz = Gbz::load(mgz_path).map_err(|e| format!("loading {mgz_path}: {e}"))?;
+    eprintln!(
+        "loaded {mgz_path} in {:.3}s; indexing {} haplotypes (k={}, w={})...",
+        start.elapsed().as_secs_f64(),
+        gbz.gbwt().path_count(),
+        params.k,
+        params.w
+    );
+    let build_start = std::time::Instant::now();
+    let bundle = MgiBundle::build(gbz, params).map_err(|e| e.to_string())?;
+    eprintln!("built indexes in {:.3}s", build_start.elapsed().as_secs_f64());
+    bundle.save(&out).map_err(|e| format!("writing {out}: {e}"))?;
+
+    // Reopen and verify the file we just wrote: checksums + structural
+    // invariants via open, then the deep GBWT record decode.
+    let verify_start = std::time::Instant::now();
+    let reopened = MgiBundle::open(&out).map_err(|e| format!("verifying {out}: {e}"))?;
+    reopened
+        .gbz()
+        .gbwt()
+        .validate_records()
+        .map_err(|e| format!("verifying {out}: {e}"))?;
+    let bytes = std::fs::metadata(&out).map_err(|e| e.to_string())?.len();
+    println!(
+        "wrote {out} ({bytes} bytes); verified in {:.3}s ({} distinct k-mers, {} nodes)",
+        verify_start.elapsed().as_secs_f64(),
+        reopened.minimizer().distinct_kmers(),
+        reopened.gbz().graph().node_count()
+    );
+    Ok(())
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -162,11 +248,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use minigiraffe::server::{MappingServer, ServerConfig};
 
     let (positional, flags) = parse_flags(args)?;
-    let [gbz_path] = &positional[..] else {
-        return Err("expected <pangenome.mgz>".into());
+    let gbz_path = match &positional[..] {
+        [] => None,
+        [p] => Some(p),
+        _ => return Err("expected <pangenome.mgz> or --mgi <index.mgi>".into()),
     };
-    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
-    let index = build_minimizer_index(&gbz)?;
+    let bundle = load_bundle(gbz_path, &flags)?;
+    let source = gbz_path.or_else(|| flags.get("mgi")).cloned().unwrap_or_default();
     let workflow = if flag(&flags, "paired", false)? { Workflow::Paired } else { Workflow::Single };
     let options = ParentOptions {
         mapping: options_from_flags(&flags)?,
@@ -179,6 +267,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_active: flag(&flags, "max-active", 4)?,
         per_client_cap: flag(&flags, "client-cap", 4)?,
         fault_job: None,
+        write_timeout: std::time::Duration::from_millis(flag(&flags, "write-timeout-ms", 30_000u64)?),
     };
     let addr: String = flag(&flags, "addr", "127.0.0.1".to_string())?;
     let port: u16 = flag(&flags, "port", 7777)?;
@@ -188,11 +277,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     eprintln!(
         "serving {} on {local} ({} threads, {} scheduler); SHUTDOWN frame drains and exits",
-        gbz_path,
+        source,
         config.options.mapping.threads,
         config.options.mapping.scheduler
     );
-    let parent = Parent::new(&gbz, &index, workflow);
+    let parent = Parent::with_distance(
+        bundle.gbz(),
+        bundle.minimizer(),
+        bundle.distance().clone(),
+        workflow,
+    );
     let server = MappingServer::new(&parent, config);
     server.serve_tcp(listener).map_err(|e| format!("serving: {e}"))?;
     println!("{}", server.ctl().stats_json());
@@ -204,16 +298,22 @@ fn cmd_parent(args: &[String]) -> Result<(), String> {
     use minigiraffe::parent::{run_to_gaf, Parent, ParentOptions};
 
     let (positional, flags) = parse_flags(args)?;
-    let [reads_path, gbz_path] = &positional[..] else {
-        return Err("expected <reads.fastq> <pangenome.mgz>".into());
+    let (reads_path, gbz_path) = match &positional[..] {
+        [reads] => (reads, None),
+        [reads, gbz] => (reads, Some(gbz)),
+        _ => return Err("expected <reads.fastq> <pangenome.mgz | --mgi index.mgi>".into()),
     };
-    let gbz = Gbz::load(gbz_path).map_err(|e| format!("loading {gbz_path}: {e}"))?;
-    let index = build_minimizer_index(&gbz)?;
+    let bundle = load_bundle(gbz_path, &flags)?;
     let options = ParentOptions {
         mapping: options_from_flags(&flags)?,
         ..Default::default()
     };
-    let parent = Parent::new(&gbz, &index, Workflow::Single);
+    let parent = Parent::with_distance(
+        bundle.gbz(),
+        bundle.minimizer(),
+        bundle.distance().clone(),
+        Workflow::Single,
+    );
 
     if let Some(raw) = flags.get("stream") {
         use minigiraffe::core::StreamOptions;
@@ -268,7 +368,7 @@ fn cmd_parent(args: &[String]) -> Result<(), String> {
         run.wall.as_secs_f64()
     );
     if let Some(gaf) = flags.get("gaf") {
-        std::fs::write(gaf, run_to_gaf(gbz.graph(), &run, "read"))
+        std::fs::write(gaf, run_to_gaf(bundle.gbz().graph(), &run, "read"))
             .map_err(|e| format!("writing {gaf}: {e}"))?;
         println!("wrote alignments to {gaf}");
     }
@@ -359,7 +459,16 @@ fn results_csv(results: &minigiraffe::core::MappingResults) -> String {
 
 fn cmd_map(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
-    let (dump, gbz) = load_inputs(&positional)?;
+    let (dump_path, gbz_path) = match &positional[..] {
+        [dump] => (dump, None),
+        [dump, gbz] => (dump, Some(gbz)),
+        _ => return Err("expected <seeds.bin> <pangenome.mgz | --mgi index.mgi>".into()),
+    };
+    if gbz_path.is_none() && !flags.contains_key("mgi") {
+        return Err("expected <seeds.bin> <pangenome.mgz | --mgi index.mgi>".into());
+    }
+    let dump = SeedDump::load(dump_path).map_err(|e| format!("loading {dump_path}: {e}"))?;
+    let bundle = load_bundle(gbz_path, &flags)?;
     let options = options_from_flags(&flags)?;
     eprintln!(
         "mapping {} reads ({} seeds) with {} threads, batch {}, capacity {}, {} scheduler",
@@ -370,7 +479,7 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
         options.cache_capacity,
         options.scheduler
     );
-    let mapper = Mapper::new(&gbz);
+    let mapper = Mapper::with_distance(bundle.gbz(), bundle.distance().clone());
     let results = if let Some(timeline) = flags.get("instrument") {
         let profiler = Profiler::new();
         let results = mapper.run_with_sink(&dump, &options, &profiler);
