@@ -16,7 +16,7 @@
 //! The streaming run goes first, so the process high-water mark it reports
 //! excludes the batch path's full-input footprint. Prints both rates and
 //! RSS deltas, asserts the two GAF files are byte-identical, and writes
-//! `STREAM_BENCH.json` under `MG_OUT` for the verify gate.
+//! `BENCH_STREAM.json` under `MG_OUT` for the verify gate.
 
 use std::io::{BufReader, BufWriter, Read as _, Write as _};
 use std::time::Instant;
@@ -202,8 +202,8 @@ fn main() {
         json_opt(stream_delta),
         json_opt(batch_delta),
     );
-    let path = ctx.out_dir.join("STREAM_BENCH.json");
-    std::fs::write(&path, json).expect("write STREAM_BENCH.json");
+    let path = ctx.out_dir.join("BENCH_STREAM.json");
+    std::fs::write(&path, json).expect("write BENCH_STREAM.json");
     println!("wrote {}", path.display());
 
     // Leave only the report behind; the working files can be tens of MiB.

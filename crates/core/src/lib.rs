@@ -53,6 +53,7 @@ pub mod dump;
 pub mod extend;
 pub mod mgi;
 pub mod pipeline;
+pub mod shard;
 pub mod types;
 pub mod validate;
 

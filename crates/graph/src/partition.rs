@@ -1,0 +1,218 @@
+//! Contiguous-range subgraph projection: the graph layer of pangenome
+//! sharding.
+//!
+//! A shard's graph is the induced subgraph over a contiguous node-id
+//! window `[lo, hi]`, renumbered to local ids `1..=hi-lo+1`. Node ids in
+//! our graphs are allocated along the reference coordinate (the pangenome
+//! builder emits backbone and allele nodes in positional order), so a
+//! contiguous id range is a genomic region and the local/global
+//! translation is pure arithmetic:
+//!
+//! ```text
+//! local_id     = global_id - (lo - 1)
+//! local packed = global packed - 2 * (lo - 1)      (orientation bit kept)
+//! ```
+//!
+//! Edges with both endpoints inside the window are kept; edges crossing
+//! the window boundary are returned separately (in global coordinates) so
+//! the shard manifest can record them as boundary links.
+
+use mg_support::Result;
+
+use crate::handle::{Handle, NodeId};
+use crate::graph::VariationGraph;
+
+/// A window `[lo, hi]` of global node ids, with the arithmetic to move
+/// handles between global and local coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdWindow {
+    /// First global node id in the window (inclusive, >= 1).
+    pub lo: u64,
+    /// Last global node id in the window (inclusive).
+    pub hi: u64,
+}
+
+impl IdWindow {
+    /// Creates a window; `lo` must be >= 1 and <= `hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid id window [{lo}, {hi}]");
+        IdWindow { lo, hi }
+    }
+
+    /// Number of nodes in the window.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether the window is empty (never true for a constructed window).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether a global node id falls inside the window.
+    pub fn contains(&self, node: NodeId) -> bool {
+        (self.lo..=self.hi).contains(&node.value())
+    }
+
+    /// The packed-handle shift between global and local coordinates.
+    pub fn packed_shift(&self) -> u64 {
+        2 * (self.lo - 1)
+    }
+
+    /// Translates a global handle into window-local coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the handle's node is outside the window.
+    pub fn to_local(&self, global: Handle) -> Handle {
+        debug_assert!(self.contains(global.node()), "{global} outside {self:?}");
+        Handle::new(
+            NodeId::new(global.node().value() - (self.lo - 1)),
+            global.orientation(),
+        )
+    }
+
+    /// Translates a window-local handle back into global coordinates.
+    pub fn to_global(&self, local: Handle) -> Handle {
+        Handle::new(
+            NodeId::new(local.node().value() + (self.lo - 1)),
+            local.orientation(),
+        )
+    }
+}
+
+/// The result of projecting a graph onto an id window.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// The induced subgraph, renumbered to dense local ids.
+    pub graph: VariationGraph,
+    /// Edges with exactly one endpoint inside the window, in global
+    /// coordinates and the graph's canonical edge direction.
+    pub boundary: Vec<(Handle, Handle)>,
+}
+
+/// Projects `graph` onto the induced subgraph over `window`.
+///
+/// Node sequences are copied (the projection owns its packed arenas), and
+/// every edge with both endpoints inside the window is re-added, so for a
+/// node whose full neighborhood lies inside the window the local successor
+/// rows are the global rows shifted by [`IdWindow::packed_shift`] — the
+/// invariant the sharded mapping kernel relies on.
+///
+/// # Errors
+///
+/// Returns an error if the window exceeds the graph's node range.
+pub fn project_range(graph: &VariationGraph, window: IdWindow) -> Result<Projection> {
+    if window.hi > graph.node_count() as u64 {
+        return Err(mg_support::Error::Corrupt(format!(
+            "window [{}, {}] exceeds node count {}",
+            window.lo,
+            window.hi,
+            graph.node_count()
+        )));
+    }
+    let mut local = VariationGraph::new();
+    for id in window.lo..=window.hi {
+        local.add_node(graph.forward_sequence(NodeId::new(id)))?;
+    }
+    let mut boundary = Vec::new();
+    for (from, to) in graph.edges() {
+        let from_in = window.contains(from.node());
+        let to_in = window.contains(to.node());
+        match (from_in, to_in) {
+            (true, true) => local.add_edge(window.to_local(from), window.to_local(to)),
+            (false, false) => {}
+            _ => boundary.push((from, to)),
+        }
+    }
+    Ok(Projection { graph: local, boundary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pangenome::{PangenomeBuilder, Variant};
+
+    fn sample() -> VariationGraph {
+        let p = PangenomeBuilder::new(b"ACGTACGTACGTACGTAACCGGTT".to_vec())
+            .variants(vec![Variant::snp(4, b'T'), Variant::deletion(12, 2)])
+            .haplotypes(vec![vec![0, 0], vec![1, 1]])
+            .max_node_len(4)
+            .build()
+            .unwrap();
+        p.into_parts().0
+    }
+
+    #[test]
+    fn full_window_projection_is_identity() {
+        let g = sample();
+        let window = IdWindow::new(1, g.node_count() as u64);
+        let p = project_range(&g, window).unwrap();
+        assert_eq!(p.graph.node_count(), g.node_count());
+        assert_eq!(p.graph.edge_count(), g.edge_count());
+        assert!(p.boundary.is_empty());
+        for id in g.node_ids() {
+            assert_eq!(p.graph.forward_sequence(id), g.forward_sequence(id));
+            for h in [Handle::forward(id), Handle::reverse(id)] {
+                assert_eq!(p.graph.successors(h), g.successors(h));
+            }
+        }
+    }
+
+    #[test]
+    fn interior_nodes_keep_shifted_successor_rows() {
+        let g = sample();
+        let n = g.node_count() as u64;
+        assert!(n >= 4, "sample too small");
+        let window = IdWindow::new(2, n - 1);
+        let p = project_range(&g, window).unwrap();
+        assert_eq!(p.graph.node_count() as u64, window.len());
+        // Every global edge is either present locally (translated) or a
+        // recorded boundary link.
+        let mut kept = 0usize;
+        for (from, to) in g.edges() {
+            if window.contains(from.node()) && window.contains(to.node()) {
+                assert!(
+                    p.graph.has_edge(window.to_local(from), window.to_local(to)),
+                    "missing edge {from} -> {to}"
+                );
+                kept += 1;
+            } else {
+                assert!(
+                    p.boundary.contains(&(from, to))
+                        || (!window.contains(from.node()) && !window.contains(to.node())),
+                    "unrecorded boundary edge {from} -> {to}"
+                );
+            }
+        }
+        assert_eq!(p.graph.edge_count(), kept);
+        // Sequences carried over.
+        for id in 2..n {
+            assert_eq!(
+                p.graph.forward_sequence(NodeId::new(id - 1)),
+                g.forward_sequence(NodeId::new(id))
+            );
+        }
+    }
+
+    #[test]
+    fn window_translation_roundtrips() {
+        let w = IdWindow::new(5, 9);
+        for id in 5..=9u64 {
+            for h in [
+                Handle::forward(NodeId::new(id)),
+                Handle::reverse(NodeId::new(id)),
+            ] {
+                assert_eq!(w.to_global(w.to_local(h)), h);
+                assert_eq!(h.packed() - w.to_local(h).packed(), w.packed_shift());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_window() {
+        let g = sample();
+        let window = IdWindow::new(1, g.node_count() as u64 + 5);
+        assert!(project_range(&g, window).is_err());
+    }
+}

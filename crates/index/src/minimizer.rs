@@ -422,6 +422,38 @@ impl MinimizerIndex {
         }
     }
 
+    /// Projects the index onto a shard: keeps, for each k-mer, only the
+    /// positions whose node lies inside `core`, translated into the
+    /// coordinates of the shard's id `window` (see
+    /// [`mg_graph::partition::IdWindow`]).
+    ///
+    /// Because shard cores partition the node-id space in ascending order
+    /// and each per-k-mer position run is sorted by packed handle,
+    /// concatenating the projected runs of consecutive shards reproduces
+    /// the global run exactly — the invariant the shard router relies on
+    /// to rebuild byte-identical seed lists.
+    pub fn project_range(
+        &self,
+        core: mg_graph::partition::IdWindow,
+        window: mg_graph::partition::IdWindow,
+    ) -> MinimizerIndex {
+        let mut table: FxHashMap<u64, Vec<GraphPos>> = FxHashMap::default();
+        let mut total = 0usize;
+        for kmer in self.kmers() {
+            let Some(ps) = self.positions(kmer) else { continue };
+            let filtered: Vec<GraphPos> = ps
+                .iter()
+                .filter(|p| core.contains(p.handle.node()))
+                .map(|p| GraphPos::new(window.to_local(p.handle), p.offset))
+                .collect();
+            if !filtered.is_empty() {
+                total += filtered.len();
+                table.insert(kmer, filtered);
+            }
+        }
+        MinimizerIndex::from_parts(self.params, table, total)
+    }
+
     /// Finds seed hits for a read: for each minimizer of `read`, every graph
     /// position of that k-mer. Minimizers with more than `hard_hit_cap`
     /// positions are skipped (Giraffe's repeat filter).
@@ -461,6 +493,28 @@ impl MinimizerIndex {
             }
         }
         scratch.mins = mins;
+    }
+
+    /// [`MinimizerIndex::query_into`] from minimizers the caller already
+    /// extracted (e.g. the shard router's sweep): the same cap filter and
+    /// output order, without a second extraction pass over the read.
+    pub fn query_minimizers_into(
+        &self,
+        mins: &[Minimizer],
+        hard_hit_cap: usize,
+        out: &mut Vec<(u32, GraphPos)>,
+    ) {
+        out.clear();
+        for m in mins {
+            if let Some(positions) = self.positions(m.kmer) {
+                if positions.len() > hard_hit_cap {
+                    continue;
+                }
+                for &pos in positions {
+                    out.push((m.offset, pos));
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,223 @@
+//! Shard routing summaries: a compact per-shard k-mer membership filter.
+//!
+//! The shard manifest carries one [`KmerBloom`] per shard so the router can
+//! score candidate shards for a read without opening (or faulting in) every
+//! shard's minimizer table. The filter is one-sided: `contains` may return
+//! `true` for a k-mer the shard does not index (false positive, costs one
+//! wasted probe) but never `false` for one it does (a false negative would
+//! silently drop seeds and break byte-identity with the unsharded oracle).
+
+use crate::minimizer::hash_kmer;
+
+/// A fixed-size four-probe Bloom filter over packed k-mer values.
+///
+/// All probe positions derive from the invertible k-mer hash the minimizer
+/// scheme already computes, so routing adds no second hash function to the
+/// per-read budget: `h1` is the low word, `h2` re-mixes the high bits, and
+/// the remaining probes are the Kirsch–Mitzenmacher combination
+/// `h1 + i*h2`. The word count is a power of two so slot selection is a
+/// mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmerBloom {
+    /// Bit array, `words.len()` a power of two.
+    words: Vec<u64>,
+}
+
+/// Bits provisioned per expected k-mer. A read carries ~25 minimizers and
+/// every false positive on a non-owner shard turns into a wasted
+/// shard-table probe for the whole read, so the per-key rate must be well
+/// under 1/minimizers: 16 bits with 4 probes lands around 5e-4, and the
+/// filters stay a few KiB per shard.
+const BITS_PER_KEY: usize = 16;
+
+/// Probes per key (see [`BITS_PER_KEY`]).
+const PROBES: u64 = 4;
+
+impl KmerBloom {
+    /// Creates an empty filter sized for roughly `expected` distinct k-mers.
+    pub fn with_capacity(expected: usize) -> Self {
+        let bits = (expected.max(1) * BITS_PER_KEY).next_power_of_two().max(64);
+        KmerBloom { words: vec![0u64; bits / 64] }
+    }
+
+    /// Rebuilds a filter from its serialized words.
+    ///
+    /// Returns `None` unless the word count is a non-zero power of two (the
+    /// shape every constructed filter has — anything else is corruption).
+    pub fn from_words(words: Vec<u64>) -> Option<Self> {
+        if words.is_empty() || !words.len().is_power_of_two() {
+            return None;
+        }
+        Some(KmerBloom { words })
+    }
+
+    /// The raw bit words, for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The (base, stride) probe pair for a k-mer. Shard-independent, so a
+    /// router scoring one minimizer against K shard filters computes it
+    /// once and probes every filter with [`KmerBloom::contains_hashed`].
+    #[inline]
+    pub fn probe_hashes(kmer: u64) -> (u64, u64) {
+        let h = hash_kmer(kmer);
+        // Re-mix the high bits so the probe stride is independent of the
+        // base slot even when the mask discards most of `h`; force it odd
+        // so the stride never degenerates to revisiting one slot.
+        let h2 = (h >> 32).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (h, h2)
+    }
+
+    /// Inserts a k-mer.
+    pub fn insert(&mut self, kmer: u64) {
+        let (h1, h2) = Self::probe_hashes(kmer);
+        let mask = self.words.len() as u64 * 64 - 1;
+        for i in 0..PROBES {
+            let b = h1.wrapping_add(i.wrapping_mul(h2)) & mask;
+            self.words[(b / 64) as usize] |= 1u64 << (b % 64);
+        }
+    }
+
+    /// Whether the k-mer may be present (no false negatives).
+    #[inline]
+    pub fn contains(&self, kmer: u64) -> bool {
+        self.contains_hashed(Self::probe_hashes(kmer))
+    }
+
+    /// [`KmerBloom::contains`] with the hash pair precomputed by
+    /// [`KmerBloom::probe_hashes`].
+    #[inline]
+    pub fn contains_hashed(&self, (h1, h2): (u64, u64)) -> bool {
+        let mask = self.words.len() as u64 * 64 - 1;
+        (0..PROBES).all(|i| {
+            let b = h1.wrapping_add(i.wrapping_mul(h2)) & mask;
+            self.words[(b / 64) as usize] & (1u64 << (b % 64)) != 0
+        })
+    }
+}
+
+/// Up to eight per-shard [`KmerBloom`]s interleaved into one probe array:
+/// slot `b` holds a bitmask of the shards whose own filter has the
+/// corresponding bit set (each filter's slot is `b` masked to its size, so
+/// results are bit-identical to probing every filter separately). One
+/// four-probe walk then answers membership for every shard at once — the
+/// router's per-minimizer candidate scoring does K times fewer probes.
+///
+/// Purely an in-memory acceleration structure: the manifest still carries
+/// the per-shard filters, and this is rebuilt from them on open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMaskFilter {
+    /// One mask per bit slot; length is the largest filter's bit count
+    /// (a power of two).
+    slots: Vec<u8>,
+}
+
+impl ShardMaskFilter {
+    /// Interleaves the filters. `None` when there are none or more than
+    /// eight (callers fall back to probing each filter).
+    pub fn build(filters: &[KmerBloom]) -> Option<Self> {
+        if filters.is_empty() || filters.len() > 8 {
+            return None;
+        }
+        let bits = filters.iter().map(|f| f.words.len() * 64).max()?;
+        let mut slots = vec![0u8; bits];
+        for (s, f) in filters.iter().enumerate() {
+            let mask = f.words.len() * 64 - 1;
+            for (b, slot) in slots.iter_mut().enumerate() {
+                let l = b & mask;
+                if f.words[l / 64] & (1u64 << (l % 64)) != 0 {
+                    *slot |= 1 << s;
+                }
+            }
+        }
+        Some(ShardMaskFilter { slots })
+    }
+
+    /// Bitmask of shards that may contain the k-mer (bit `s` set exactly
+    /// when filter `s`'s `contains` would return true).
+    #[inline]
+    pub fn candidates(&self, (h1, h2): (u64, u64)) -> u8 {
+        let mask = self.slots.len() as u64 - 1;
+        let mut m = u8::MAX;
+        for i in 0..PROBES {
+            let b = h1.wrapping_add(i.wrapping_mul(h2)) & mask;
+            m &= self.slots[b as usize];
+            if m == 0 {
+                break;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+        let mut bloom = KmerBloom::with_capacity(keys.len());
+        for &k in &keys {
+            bloom.insert(k);
+        }
+        for &k in &keys {
+            assert!(bloom.contains(k), "inserted key {k:#x} reported absent");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut bloom = KmerBloom::with_capacity(1000);
+        for i in 0..1000u64 {
+            bloom.insert(i.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let fp = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) ^ 0xDEAD_BEEF)
+            .filter(|&k| bloom.contains(k))
+            .count();
+        assert!(fp < 1000, "false-positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn mask_filter_matches_per_filter_probes() {
+        // Filters of different sizes, so the slot-masking path is exercised.
+        let mut filters = Vec::new();
+        for (cap, salt) in [(100usize, 1u64), (4000, 2), (700, 3), (60, 4)] {
+            let mut f = KmerBloom::with_capacity(cap);
+            for i in 0..cap as u64 {
+                f.insert(i.wrapping_mul(0x9E3779B97F4A7C15) ^ salt);
+            }
+            filters.push(f);
+        }
+        let mask = ShardMaskFilter::build(&filters).expect("4 filters interleave");
+        for i in 0..20_000u64 {
+            let kmer = i.wrapping_mul(0x2545F4914F6CDD1D);
+            let hashed = KmerBloom::probe_hashes(kmer);
+            let got = mask.candidates(hashed);
+            for (s, f) in filters.iter().enumerate() {
+                assert_eq!(
+                    got & (1 << s) != 0,
+                    f.contains_hashed(hashed),
+                    "shard {s} disagreed on kmer {kmer:#x}"
+                );
+            }
+        }
+        assert!(ShardMaskFilter::build(&[]).is_none());
+        let nine = vec![filters[0].clone(); 9];
+        assert!(ShardMaskFilter::build(&nine).is_none());
+    }
+
+    #[test]
+    fn roundtrips_through_words() {
+        let mut bloom = KmerBloom::with_capacity(64);
+        for k in [3u64, 99, 1 << 40] {
+            bloom.insert(k);
+        }
+        let back = KmerBloom::from_words(bloom.words().to_vec()).unwrap();
+        assert_eq!(back, bloom);
+        assert!(KmerBloom::from_words(vec![]).is_none());
+        assert!(KmerBloom::from_words(vec![0; 3]).is_none());
+    }
+}

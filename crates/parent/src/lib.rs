@@ -27,9 +27,11 @@ pub mod gaf;
 pub mod gapped;
 pub mod pipeline;
 pub mod rescue;
+pub mod sharded;
 
 pub use align::{align_read, annotate_haplotypes, pair_check, AlignParams, Alignment};
 pub use gaf::{alignment_to_gaf, chunk_to_gaf, path_to_gaf, run_to_gaf};
 pub use gapped::{banded_global, cigar_string, CigarOp, GapParams, GappedAlignment};
 pub use pipeline::{ChunkRun, Parent, ParentOptions, ParentRun, ParentStreamSummary};
 pub use rescue::{rescue_mate, RescueParams};
+pub use sharded::ShardedParent;

@@ -21,6 +21,7 @@ use mg_core::dump::SeedDump;
 use mg_core::types::{ReadInput, ReadResult, Seed, Workflow};
 use mg_core::{MapScratch, Mapper, MappingOptions, StreamOptions, ThreadPersist};
 use mg_gbwt::{CachedGbwt, Gbz, HotTier};
+use mg_index::minimizer::Minimizer;
 use mg_index::{DistanceIndex, MinimizerIndex};
 use mg_obs::{Ctr, Gauge, Hist, Metrics, ObsShard, Stage};
 use mg_sched::{bounded_queue, AnyScheduler, PoolCell, PoolTask, SchedulerKind};
@@ -133,6 +134,11 @@ impl<'a> Parent<'a> {
         &self.mapper
     }
 
+    /// The minimizer index this parent seeds from.
+    pub fn minimizer(&self) -> &'a MinimizerIndex {
+        self.minimizer
+    }
+
     /// The workflow this parent was built for.
     pub fn workflow(&self) -> Workflow {
         self.workflow
@@ -185,6 +191,61 @@ impl<'a> Parent<'a> {
         scratch: &mut MapScratch,
         obs: &mut ObsShard,
     ) -> (ReadInput, ReadResult, Vec<Alignment>) {
+        self.map_read_obs_inner(
+            cache, read_id, bases, None, options, sink, thread, probe, scratch, obs,
+        )
+    }
+
+    /// [`Parent::map_read_full_obs`] with the extraction sweep already paid:
+    /// seeding queries the whole-index table from `mins` (the shard
+    /// router's minimizers for this read) through the same hard-hit-cap
+    /// filter, so a routing miss costs one extraction, not two. Everything
+    /// downstream is byte-identical to the unrouted path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_read_routed_obs<P: MemProbe>(
+        &self,
+        cache: &mut CachedGbwt<'_>,
+        read_id: u64,
+        bases: &[u8],
+        mins: &[Minimizer],
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+        probe: &mut P,
+        scratch: &mut MapScratch,
+        obs: &mut ObsShard,
+    ) -> (ReadInput, ReadResult, Vec<Alignment>) {
+        self.map_read_obs_inner(
+            cache,
+            read_id,
+            bases,
+            Some(mins),
+            options,
+            sink,
+            thread,
+            probe,
+            scratch,
+            obs,
+        )
+    }
+
+    // Inlined into both public wrappers so the `mins` Option constant-folds
+    // away and neither entry point pays for the other's seeding source.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn map_read_obs_inner<P: MemProbe>(
+        &self,
+        cache: &mut CachedGbwt<'_>,
+        read_id: u64,
+        bases: &[u8],
+        mins: Option<&[Minimizer]>,
+        options: &ParentOptions,
+        sink: &(impl RegionSink + ?Sized),
+        thread: usize,
+        probe: &mut P,
+        scratch: &mut MapScratch,
+        obs: &mut ObsShard,
+    ) -> (ReadInput, ReadResult, Vec<Alignment>) {
         let stats_before = if obs.is_on() { Some(cache.stats()) } else { None };
         let input = {
             let _t = RegionTimer::start(sink, thread, "parse_input");
@@ -201,12 +262,19 @@ impl<'a> Parent<'a> {
             // from the proxy's in the paper's Table V.
             probe.touch(0x6000_0000_0000 + read_id * 4096, input.len() as u32);
             probe.instret(4 * input.len() as u64);
-            self.minimizer.query_into(
-                &input,
-                options.hard_hit_cap,
-                &mut scratch.seeding,
-                &mut scratch.seed_hits,
-            );
+            match mins {
+                Some(ms) => self.minimizer.query_minimizers_into(
+                    ms,
+                    options.hard_hit_cap,
+                    &mut scratch.seed_hits,
+                ),
+                None => self.minimizer.query_into(
+                    &input,
+                    options.hard_hit_cap,
+                    &mut scratch.seeding,
+                    &mut scratch.seed_hits,
+                ),
+            }
             // The seed list itself moves into the dump record below, so this
             // one Vec per read is part of the output, not scratch churn.
             let seeds: Vec<Seed> = scratch
@@ -561,140 +629,181 @@ impl<'a> Parent<'a> {
         I: Iterator<Item = mg_support::Result<Vec<Vec<u8>>>> + Send,
         W: std::io::Write,
     {
-        let mut chunk_target = stream.chunk_target(&options.mapping).max(1);
-        if self.workflow == Workflow::Paired {
-            // Chunks must break on pair boundaries so rescue and pair_check
-            // see whole pairs.
-            chunk_target = (chunk_target & !1usize).max(2);
-        }
-        let (tx, rx) = bounded_queue(stream.queue_batches.max(1));
-        let start = Instant::now();
-
-        let mut reads = 0u64;
-        let mut batches_consumed = 0u64;
-        let mut chunks = 0u64;
-        let mut failure: Option<mg_support::Error> = None;
-        let mut write_failure: Option<std::io::Error> = None;
-        let mut pending: Vec<Vec<u8>> = Vec::new();
-        let mut next_id = 0u64;
         // Chunk 0 maps with a warm tier when an earlier run froze one;
         // otherwise single-tier, and its computed seeds freeze the tier the
         // chunks after it share.
         let mut hot = self.mapper.warm_hot_tier(&options.mapping);
-
-        let queue_stats = std::thread::scope(|scope| {
-            let producer = scope.spawn(move || {
-                for item in batches {
-                    let stop = item.is_err();
-                    if tx.send(item).is_err() || stop {
-                        break;
-                    }
-                }
-                tx.stats()
-            });
-
-            let mut map_pending = |pending: &mut Vec<Vec<u8>>,
-                                   next_id: &mut u64,
-                                   chunks: &mut u64,
-                                   hot: &mut Option<Arc<HotTier>>,
-                                   write_failure: &mut Option<std::io::Error>,
-                                   take: usize| {
-                let rest = pending.split_off(take.min(pending.len()));
-                let chunk = std::mem::replace(pending, rest);
-                if chunk.is_empty() {
-                    return;
-                }
-                let base = *next_id;
-                metrics.observe(Hist::StreamChunkReads, chunk.len() as u64);
-                let out = self.run_chunk(&chunk, base, options, sink, hot.as_ref(), metrics);
-                *next_id += chunk.len() as u64;
-                *chunks += 1;
+        let result = stream_chunks(
+            self.workflow,
+            self.mapper.gbz(),
+            options,
+            stream,
+            set_name,
+            batches,
+            gaf_out,
+            metrics,
+            |chunk, base| {
+                let out = self.run_chunk(chunk, base, options, sink, hot.as_ref(), metrics);
                 if hot.is_none() {
-                    *hot = self.mapper.build_hot_tier(&out.dump_reads, &options.mapping);
+                    hot = self.mapper.build_hot_tier(&out.dump_reads, &options.mapping);
                 }
-                let gaf = crate::gaf::chunk_to_gaf(
-                    self.mapper.gbz().graph(),
-                    set_name,
-                    base,
-                    &out.dump_reads,
-                    &out.kernel_results,
-                    &out.alignments,
-                );
-                if write_failure.is_none() {
-                    if let Err(e) = gaf_out.write_all(gaf.as_bytes()) {
-                        *write_failure = Some(e);
-                    }
-                }
-            };
-
-            while let Some(item) = rx.recv() {
-                if write_failure.is_some() {
-                    // The output is gone; stop pulling so the producer
-                    // unblocks and the error surfaces.
-                    break;
-                }
-                match item {
-                    Ok(batch) => {
-                        batches_consumed += 1;
-                        reads += batch.len() as u64;
-                        pending.extend(batch);
-                        while pending.len() >= chunk_target {
-                            map_pending(
-                                &mut pending,
-                                &mut next_id,
-                                &mut chunks,
-                                &mut hot,
-                                &mut write_failure,
-                                chunk_target,
-                            );
-                        }
-                    }
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
-                }
-            }
-            // Flush the tail (or, on error, the good prefix read so far) —
-            // including a trailing unpaired read, which the batch path also
-            // leaves unpaired.
-            let take = pending.len();
-            map_pending(
-                &mut pending,
-                &mut next_id,
-                &mut chunks,
-                &mut hot,
-                &mut write_failure,
-                take,
-            );
-            drop(rx);
-            producer.join().expect("streaming producer panicked")
-        });
-
+                out
+            },
+        );
         metrics.gauge_max(
             Gauge::HotTierBytes,
             hot.as_deref().map_or(0, HotTier::heap_bytes) as u64,
         );
-        metrics.add(Ctr::StreamBatches, batches_consumed);
-        metrics.add(Ctr::StreamReads, reads);
-        metrics.add(Ctr::StreamProducerBlockedNs, queue_stats.blocked_ns);
-        metrics.gauge_max(Gauge::StreamQueueDepthMax, queue_stats.high_water as u64);
-
-        if let Some(e) = write_failure {
-            return Err(e.into());
-        }
-        if let Some(e) = failure {
-            return Err(e);
-        }
-        Ok(ParentStreamSummary {
-            reads,
-            batches: batches_consumed,
-            chunks,
-            wall: start.elapsed(),
-            queue_high_water: queue_stats.high_water,
-            producer_blocked_ns: queue_stats.blocked_ns,
-        })
+        result
     }
+}
+
+/// The shared streaming loop both the monolithic and the sharded parent
+/// drive: a producer thread pulls raw-read batches into a bounded queue
+/// (blocking on a full queue, which is what bounds ingestion memory) while
+/// the calling thread maps [`StreamOptions::chunk_target`]-read chunks via
+/// `map_chunk` and appends each chunk's GAF to `gaf_out`. Chunking, pair
+/// alignment, id assignment, and error handling live here exactly once, so
+/// the two pipelines cannot diverge in stream shape.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stream_chunks<I, W, F>(
+    workflow: Workflow,
+    gbz: &Gbz,
+    options: &ParentOptions,
+    stream: &StreamOptions,
+    set_name: &str,
+    batches: I,
+    gaf_out: &mut W,
+    metrics: &Metrics,
+    mut map_chunk: F,
+) -> mg_support::Result<ParentStreamSummary>
+where
+    I: Iterator<Item = mg_support::Result<Vec<Vec<u8>>>> + Send,
+    W: std::io::Write,
+    F: FnMut(&[Vec<u8>], u64) -> ChunkRun,
+{
+    let mut chunk_target = stream.chunk_target(&options.mapping).max(1);
+    if workflow == Workflow::Paired {
+        // Chunks must break on pair boundaries so rescue and pair_check
+        // see whole pairs.
+        chunk_target = (chunk_target & !1usize).max(2);
+    }
+    let (tx, rx) = bounded_queue(stream.queue_batches.max(1));
+    let start = Instant::now();
+
+    let mut reads = 0u64;
+    let mut batches_consumed = 0u64;
+    let mut chunks = 0u64;
+    let mut failure: Option<mg_support::Error> = None;
+    let mut write_failure: Option<std::io::Error> = None;
+    let mut pending: Vec<Vec<u8>> = Vec::new();
+    let mut next_id = 0u64;
+
+    let queue_stats = std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            for item in batches {
+                let stop = item.is_err();
+                if tx.send(item).is_err() || stop {
+                    break;
+                }
+            }
+            tx.stats()
+        });
+
+        let mut map_pending = |pending: &mut Vec<Vec<u8>>,
+                               next_id: &mut u64,
+                               chunks: &mut u64,
+                               map_chunk: &mut F,
+                               write_failure: &mut Option<std::io::Error>,
+                               take: usize| {
+            let rest = pending.split_off(take.min(pending.len()));
+            let chunk = std::mem::replace(pending, rest);
+            if chunk.is_empty() {
+                return;
+            }
+            let base = *next_id;
+            metrics.observe(Hist::StreamChunkReads, chunk.len() as u64);
+            let out = map_chunk(&chunk, base);
+            *next_id += chunk.len() as u64;
+            *chunks += 1;
+            let gaf = crate::gaf::chunk_to_gaf(
+                gbz.graph(),
+                set_name,
+                base,
+                &out.dump_reads,
+                &out.kernel_results,
+                &out.alignments,
+            );
+            if write_failure.is_none() {
+                if let Err(e) = gaf_out.write_all(gaf.as_bytes()) {
+                    *write_failure = Some(e);
+                }
+            }
+        };
+
+        while let Some(item) = rx.recv() {
+            if write_failure.is_some() {
+                // The output is gone; stop pulling so the producer
+                // unblocks and the error surfaces.
+                break;
+            }
+            match item {
+                Ok(batch) => {
+                    batches_consumed += 1;
+                    reads += batch.len() as u64;
+                    pending.extend(batch);
+                    while pending.len() >= chunk_target {
+                        map_pending(
+                            &mut pending,
+                            &mut next_id,
+                            &mut chunks,
+                            &mut map_chunk,
+                            &mut write_failure,
+                            chunk_target,
+                        );
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Flush the tail (or, on error, the good prefix read so far) —
+        // including a trailing unpaired read, which the batch path also
+        // leaves unpaired.
+        let take = pending.len();
+        map_pending(
+            &mut pending,
+            &mut next_id,
+            &mut chunks,
+            &mut map_chunk,
+            &mut write_failure,
+            take,
+        );
+        drop(rx);
+        producer.join().expect("streaming producer panicked")
+    });
+
+    metrics.add(Ctr::StreamBatches, batches_consumed);
+    metrics.add(Ctr::StreamReads, reads);
+    metrics.add(Ctr::StreamProducerBlockedNs, queue_stats.blocked_ns);
+    metrics.gauge_max(Gauge::StreamQueueDepthMax, queue_stats.high_water as u64);
+
+    if let Some(e) = write_failure {
+        return Err(e.into());
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(ParentStreamSummary {
+        reads,
+        batches: batches_consumed,
+        chunks,
+        wall: start.elapsed(),
+        queue_high_water: queue_stats.high_water,
+        producer_blocked_ns: queue_stats.blocked_ns,
+    })
 }
 
 /// One mapped chunk of a parent run: everything

@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use mg_core::types::Workflow;
 use mg_obs::{bucket_of, Ctr, Gauge, Hist, Metrics, HIST_BUCKETS};
-use mg_parent::{chunk_to_gaf, Parent, ParentOptions};
+use mg_parent::{chunk_to_gaf, Parent, ParentOptions, ShardedParent};
 use mg_sched::AdmissionQueue;
 use mg_workload::read_fastq;
 
@@ -237,6 +237,7 @@ fn send(writer: &Arc<Mutex<Box<dyn Write + Send>>>, frame: &Frame) {
 /// The long-lived multi-tenant mapping server.
 pub struct MappingServer<'a> {
     parent: &'a Parent<'a>,
+    sharded: Option<&'a ShardedParent<'a>>,
     config: ServerConfig,
     ctl: Arc<ServerCtl>,
     metrics: Metrics,
@@ -247,7 +248,18 @@ impl<'a> MappingServer<'a> {
     /// distance index built, pool cold).
     pub fn new(parent: &'a Parent<'a>, config: ServerConfig) -> MappingServer<'a> {
         let ctl = Arc::new(ServerCtl::new(&config));
-        MappingServer { parent, config, ctl, metrics: Metrics::new() }
+        MappingServer { parent, sharded: None, config, ctl, metrics: Metrics::new() }
+    }
+
+    /// Routes every chunk through the sharded pipeline instead of the
+    /// monolithic one. Chunks of different jobs still interleave on the
+    /// one resident pool, and the streamed GAF stays byte-identical (the
+    /// sharded parent falls back per read when routing cannot prove
+    /// residency), so clients cannot observe the switch except through
+    /// the routing metrics.
+    pub fn with_sharded(mut self, sharded: &'a ShardedParent<'a>) -> MappingServer<'a> {
+        self.sharded = Some(sharded);
+        self
     }
 
     /// The shared control block (shutdown, counters, `STATS`).
@@ -401,13 +413,22 @@ impl<'a> MappingServer<'a> {
                 // freshly-computed seeds — the one rebuild the residency
                 // tests allow.
                 let hot = mapper.warm_hot_tier(&options.mapping);
-                let run = self.parent.map_chunk(
-                    &aj.job.reads[lo..hi],
-                    lo as u64,
-                    &options,
-                    hot.as_ref(),
-                    &self.metrics,
-                );
+                let run = match self.sharded {
+                    Some(sharded) => sharded.map_chunk(
+                        &aj.job.reads[lo..hi],
+                        lo as u64,
+                        &options,
+                        hot.as_ref(),
+                        &self.metrics,
+                    ),
+                    None => self.parent.map_chunk(
+                        &aj.job.reads[lo..hi],
+                        lo as u64,
+                        &options,
+                        hot.as_ref(),
+                        &self.metrics,
+                    ),
+                };
                 if hot.is_none()
                     && mapper.build_hot_tier(&run.dump_reads, &options.mapping).is_some()
                 {
