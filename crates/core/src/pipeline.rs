@@ -109,13 +109,10 @@ impl Default for StreamOptions {
 }
 
 impl StreamOptions {
-    /// The chunk size a run with `options` will use.
+    /// The chunk size a run with `options` will use (the shared
+    /// [`mg_sched::effective_chunk_reads`] definition).
     pub fn chunk_target(&self, options: &MappingOptions) -> usize {
-        if self.chunk_reads == 0 {
-            (options.threads.max(1) * options.batch_size.max(1)).max(1)
-        } else {
-            self.chunk_reads
-        }
+        mg_sched::effective_chunk_reads(self.chunk_reads, options.threads, options.batch_size)
     }
 }
 
@@ -473,6 +470,25 @@ impl<'a> Mapper<'a> {
         }
     }
 
+    /// Maps one chunk of reads with *per-call* options on the persistent
+    /// pool: the public chunk-at-a-time entry the adaptive batch driver
+    /// uses, so batch size, cache capacity, and hot-tier budget can move
+    /// between chunks without touching mapper construction. `base_id`
+    /// keeps global read ids correct across chunks — per-read work is
+    /// cache-independent, so concatenated results are identical to a
+    /// one-shot [`Mapper::run`] over the same reads.
+    pub fn map_chunk_reads(
+        &self,
+        reads: &[ReadInput],
+        base_id: u64,
+        options: &MappingOptions,
+        hot: Option<&Arc<HotTier>>,
+        metrics: &Metrics,
+    ) -> (Vec<ReadResult>, CacheStats, u64) {
+        let mut pool = self.lock_pool();
+        self.map_chunk(&mut pool, reads, base_id, options, &NullSink, hot, metrics)
+    }
+
     /// Maps `reads` in parallel on the (already locked) worker pool, with
     /// global read ids `base_id..base_id + reads.len()`. This is the one
     /// scheduler dispatch both the batch path (whole dump, base 0) and the
@@ -723,14 +739,7 @@ impl<'a> Mapper<'a> {
 }
 
 fn merge_cache_stats(mut acc: CacheStats, s: CacheStats) -> CacheStats {
-    acc.hits += s.hits;
-    acc.misses += s.misses;
-    acc.evictions += s.evictions;
-    acc.rehashes += s.rehashes;
-    acc.rehashed_slots += s.rehashed_slots;
-    acc.hot_hits += s.hot_hits;
-    acc.hot_misses += s.hot_misses;
-    acc.decodes_saved += s.decodes_saved;
+    acc.merge(&s);
     acc
 }
 

@@ -51,6 +51,19 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Folds `other` into this accumulator — the one definition of
+    /// cross-thread / cross-chunk cache-stat aggregation.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.rehashes += other.rehashes;
+        self.rehashed_slots += other.rehashed_slots;
+        self.evictions += other.evictions;
+        self.hot_hits += other.hot_hits;
+        self.hot_misses += other.hot_misses;
+        self.decodes_saved += other.decodes_saved;
+    }
+
     /// Total record lookups, across both tiers.
     pub fn total_lookups(&self) -> u64 {
         self.hot_hits + self.hits + self.misses

@@ -359,6 +359,37 @@ pub fn bucket_of(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
 }
 
+/// Upper-bound estimate of the `p`-quantile (`0.0 < p <= 1.0`) of a
+/// log2-bucketed histogram, given its raw bucket counts (the layout
+/// produced by [`bucket_of`]): the inclusive upper edge of the first
+/// bucket whose cumulative count reaches `ceil(p × total)`.
+///
+/// Returns 0 for an empty histogram (all buckets zero). Bucket 0 holds
+/// zeros exactly, so the estimate is exact there; bucket `b >= 1` holds
+/// `[2^(b-1), 2^b)` and reports `2^b - 1`, overshooting by less than 2×.
+/// Slices longer than 64 buckets saturate to `u64::MAX` past the widest
+/// representable edge. This is the single quantile definition shared by
+/// [`Report::hist_quantile`], the server's always-on latency histogram,
+/// and the smoke benches.
+pub fn percentile(buckets: &[u64], p: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (b, n) in buckets.iter().enumerate() {
+        cumulative += n;
+        if cumulative >= rank {
+            return match b {
+                0 => 0,
+                _ => 1u64.checked_shl(b as u32).map_or(u64::MAX, |edge| edge - 1),
+            };
+        }
+    }
+    u64::MAX
+}
+
 /// A merged (or mergeable) snapshot of every metric: plain arrays indexed
 /// by the metric enums. This is both the per-shard storage and the
 /// registry's accumulated state.
@@ -437,20 +468,36 @@ impl Report {
     /// 0 and 1 and otherwise overshoots by less than 2× — tight enough for
     /// the p50/p99 latency figures the server's `STATS` reply exports.
     pub fn hist_quantile(&self, h: Hist, q: f64) -> u64 {
-        let total = self.hist_counts[h as usize];
-        if total == 0 {
-            return 0;
+        percentile(&self.hist_buckets[h as usize], q)
+    }
+
+    /// The per-epoch view the adaptive controller consumes: everything
+    /// accumulated since `earlier` (an older snapshot of the same
+    /// registry). Counters, stage spans, and histograms subtract
+    /// (saturating, so a snapshot from a different registry can't
+    /// underflow); gauges are high-water levels, not rates, so the delta
+    /// carries the *current* values unchanged — callers that want
+    /// per-epoch high-waters reset the underlying gauge at rollover
+    /// (see `AdmissionQueue::epoch_rollover` in mg-sched).
+    pub fn delta(&self, earlier: &Report) -> Report {
+        let mut d = Report::default();
+        for i in 0..Ctr::COUNT {
+            d.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (b, n) in self.hist_buckets[h as usize].iter().enumerate() {
-            cumulative += n;
-            if cumulative >= rank {
-                // Bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b).
-                return if b == 0 { 0 } else { (1u64 << b) - 1 };
+        for i in 0..Stage::COUNT {
+            d.stage_ns[i] = self.stage_ns[i].saturating_sub(earlier.stage_ns[i]);
+            d.stage_hits[i] = self.stage_hits[i].saturating_sub(earlier.stage_hits[i]);
+        }
+        for i in 0..Hist::COUNT {
+            for b in 0..HIST_BUCKETS {
+                d.hist_buckets[i][b] =
+                    self.hist_buckets[i][b].saturating_sub(earlier.hist_buckets[i][b]);
             }
+            d.hist_counts[i] = self.hist_counts[i].saturating_sub(earlier.hist_counts[i]);
+            d.hist_sums[i] = self.hist_sums[i].saturating_sub(earlier.hist_sums[i]);
         }
-        u64::MAX
+        d.gauges = self.gauges;
+        d
     }
 
     #[inline]
@@ -1051,6 +1098,87 @@ mod tests {
         z.observe(Hist::ServeQueueWaitUs, 0);
         metrics.absorb(&z);
         assert_eq!(metrics.report().hist_quantile(Hist::ServeQueueWaitUs, 0.5), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        assert_eq!(percentile(&[0u64; HIST_BUCKETS], 0.5), 0);
+        assert_eq!(percentile(&[], 0.99), 0);
+        // Single populated bucket: every quantile reports its upper edge.
+        let mut one = [0u64; HIST_BUCKETS];
+        one[bucket_of(5)] = 17;
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&one, q), 7);
+        }
+        // Bucket 0 (zeros) is exact.
+        let mut zeros = [0u64; HIST_BUCKETS];
+        zeros[0] = 3;
+        assert_eq!(percentile(&zeros, 0.99), 0);
+        // Saturated top bucket: the last bucket absorbs everything large,
+        // so its edge is the widest representable: 2^31 - 1 for 32 buckets.
+        let mut top = [0u64; HIST_BUCKETS];
+        top[HIST_BUCKETS - 1] = 100;
+        assert_eq!(percentile(&top, 0.5), (1u64 << (HIST_BUCKETS - 1)) - 1);
+        // A hypothetical 65-bucket slice saturates instead of overflowing.
+        let mut wide = [0u64; 65];
+        wide[64] = 1;
+        assert_eq!(percentile(&wide, 1.0), u64::MAX);
+        // q out of range clamps rather than panicking.
+        assert_eq!(percentile(&one, -1.0), 7);
+        assert_eq!(percentile(&one, 2.0), 7);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn hist_quantile_matches_percentile_helper() {
+        let metrics = Metrics::new();
+        let mut s = metrics.shard();
+        for v in [0, 1, 3, 9, 1000, 1u64 << 40] {
+            s.observe(Hist::ServeJobLatencyUs, v);
+        }
+        metrics.absorb(&s);
+        let rep = metrics.report();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(
+                rep.hist_quantile(Hist::ServeJobLatencyUs, q),
+                percentile(rep.hist_buckets(Hist::ServeJobLatencyUs), q)
+            );
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn delta_subtracts_flows_and_carries_gauge_levels() {
+        let metrics = Metrics::new();
+        metrics.add(Ctr::ReadsMapped, 10);
+        metrics.observe(Hist::BatchReads, 100);
+        metrics.span(Stage::Extension, 500);
+        metrics.gauge_max(Gauge::QueueDepthMax, 4);
+        let epoch0 = metrics.report();
+        metrics.add(Ctr::ReadsMapped, 7);
+        metrics.observe(Hist::BatchReads, 100);
+        metrics.observe(Hist::BatchReads, 3);
+        metrics.span(Stage::Extension, 250);
+        metrics.gauge_max(Gauge::QueueDepthMax, 9);
+        let epoch1 = metrics.report();
+        let d = epoch1.delta(&epoch0);
+        assert_eq!(d.counter(Ctr::ReadsMapped), 7);
+        assert_eq!(d.hist_count(Hist::BatchReads), 2);
+        assert_eq!(d.hist_sum(Hist::BatchReads), 103);
+        assert_eq!(d.hist_buckets(Hist::BatchReads)[bucket_of(100)], 1);
+        assert_eq!(d.stage_ns(Stage::Extension), 250);
+        assert_eq!(d.stage_count(Stage::Extension), 1);
+        // Gauges are levels: the delta reports the current high-water.
+        assert_eq!(d.gauge(Gauge::QueueDepthMax), 9);
+        // Deltas never underflow, even against a foreign snapshot.
+        let mut foreign = Report::default();
+        foreign.inc(Ctr::ReadsMapped, 1_000_000);
+        assert_eq!(epoch1.delta(&foreign).counter(Ctr::ReadsMapped), 0);
+        // Delta against self is empty flows.
+        let zero = epoch1.delta(&epoch1);
+        assert_eq!(zero.counter(Ctr::ReadsMapped), 0);
+        assert_eq!(zero.hist_count(Hist::BatchReads), 0);
     }
 
     #[test]

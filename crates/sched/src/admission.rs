@@ -79,6 +79,25 @@ struct Inner<T> {
     in_flight: HashMap<u64, usize>,
     draining: bool,
     stats: AdmissionStats,
+    limits: AdmissionLimits,
+}
+
+/// The queue's live-reconfigurable admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Maximum pending (admitted, not yet popped) jobs.
+    pub capacity: usize,
+    /// Maximum in-flight (pending + executing) jobs per client.
+    pub per_client_cap: usize,
+}
+
+impl AdmissionLimits {
+    fn clamped(self) -> AdmissionLimits {
+        AdmissionLimits {
+            capacity: self.capacity.max(1),
+            per_client_cap: self.per_client_cap.max(1),
+        }
+    }
 }
 
 /// A bounded, drain-aware pending-job queue with per-client in-flight caps.
@@ -103,8 +122,6 @@ struct Inner<T> {
 pub struct AdmissionQueue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
-    capacity: usize,
-    per_client_cap: usize,
 }
 
 impl<T> AdmissionQueue<T> {
@@ -117,10 +134,9 @@ impl<T> AdmissionQueue<T> {
                 in_flight: HashMap::new(),
                 draining: false,
                 stats: AdmissionStats::default(),
+                limits: AdmissionLimits { capacity, per_client_cap }.clamped(),
             }),
             ready: Condvar::new(),
-            capacity: capacity.max(1),
-            per_client_cap: per_client_cap.max(1),
         }
     }
 
@@ -138,17 +154,18 @@ impl<T> AdmissionQueue<T> {
         }
         // The client cap is checked first: a hog that saturated its own
         // allowance is told so even when it also filled the shared queue.
+        let AdmissionLimits { capacity, per_client_cap } = inner.limits;
         let in_flight = inner.in_flight.get(&client).copied().unwrap_or(0);
-        if in_flight >= self.per_client_cap {
+        if in_flight >= per_client_cap {
             inner.stats.rejected_client += 1;
             return Err((
-                AdmissionError::ClientSaturated { in_flight, cap: self.per_client_cap },
+                AdmissionError::ClientSaturated { in_flight, cap: per_client_cap },
                 job,
             ));
         }
-        if inner.pending.len() >= self.capacity {
+        if inner.pending.len() >= capacity {
             inner.stats.rejected_full += 1;
-            return Err((AdmissionError::QueueFull { capacity: self.capacity }, job));
+            return Err((AdmissionError::QueueFull { capacity }, job));
         }
         *inner.in_flight.entry(client).or_insert(0) += 1;
         inner.pending.push_back((client, job));
@@ -231,8 +248,43 @@ impl<T> AdmissionQueue<T> {
     }
 
     /// Snapshot of the queue's counters.
+    ///
+    /// `pending_high_water` is cumulative across the queue's whole life —
+    /// including a graceful drain — and resets only on an explicit
+    /// [`AdmissionQueue::epoch_rollover`]. The adaptive controller depends
+    /// on this contract: a drain between epochs must not erase the
+    /// congestion evidence the epoch accumulated.
     pub fn stats(&self) -> AdmissionStats {
         self.lock().stats
+    }
+
+    /// Closes a metrics epoch: returns the stats as of this instant, then
+    /// resets `pending_high_water` to the *current* pending depth so the
+    /// next epoch's high-water measures only its own congestion. Nothing
+    /// else resets — accepted/rejected counters stay cumulative (epoch
+    /// consumers difference them).
+    pub fn epoch_rollover(&self) -> AdmissionStats {
+        let mut inner = self.lock();
+        let snapshot = inner.stats;
+        inner.stats.pending_high_water = inner.pending.len();
+        snapshot
+    }
+
+    /// The current admission limits.
+    pub fn limits(&self) -> AdmissionLimits {
+        self.lock().limits
+    }
+
+    /// Replaces the admission limits live (clamped to >= 1 each). Safe at
+    /// any point: already-admitted jobs are never evicted, so shrinking
+    /// `capacity` below the current pending depth only refuses *new*
+    /// submissions until the queue drains down; shrinking the per-client
+    /// cap likewise only gates future submits. Growing either takes effect
+    /// on the next submit. Blocked poppers are woken so a capacity change
+    /// is observed promptly.
+    pub fn set_limits(&self, limits: AdmissionLimits) {
+        self.lock().limits = limits.clamped();
+        self.ready.notify_all();
     }
 
     /// Jobs `client` currently has in flight (pending + executing).
@@ -304,6 +356,74 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.try_submit(3, 42).unwrap();
         assert_eq!(popper.join().unwrap(), Some((3, 42)));
+    }
+
+    #[test]
+    fn pending_high_water_survives_drain_and_resets_only_on_rollover() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8, 8);
+        q.try_submit(1, 10).unwrap();
+        q.try_submit(2, 20).unwrap();
+        q.try_submit(3, 30).unwrap();
+        assert_eq!(q.stats().pending_high_water, 3);
+        // A graceful drain — reject new, pop and finish everything — must
+        // not erase the high-water: the controller reads it *after* the
+        // epoch's jobs completed.
+        q.drain();
+        while let Some((client, _)) = q.try_pop() {
+            q.finish(client);
+        }
+        assert!(q.drained());
+        assert_eq!(q.stats().pending, 0);
+        assert_eq!(q.stats().pending_high_water, 3, "drain erased the high-water");
+        // Repeated reads don't reset it either.
+        assert_eq!(q.stats().pending_high_water, 3);
+        // Only the explicit rollover resets, and it returns the closing
+        // epoch's snapshot.
+        let closed = q.epoch_rollover();
+        assert_eq!(closed.pending_high_water, 3);
+        assert_eq!(q.stats().pending_high_water, 0);
+    }
+
+    #[test]
+    fn epoch_rollover_resets_to_current_depth_not_zero() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8, 8);
+        for c in 0..4 {
+            q.try_submit(c, 0).unwrap();
+        }
+        q.try_pop().unwrap();
+        q.try_pop().unwrap();
+        // 2 still pending: the next epoch starts at depth 2, not 0 — those
+        // jobs are live congestion the new epoch inherits.
+        assert_eq!(q.epoch_rollover().pending_high_water, 4);
+        assert_eq!(q.stats().pending_high_water, 2);
+        // Cumulative counters are untouched by rollover.
+        assert_eq!(q.stats().accepted, 4);
+    }
+
+    #[test]
+    fn set_limits_applies_live() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(2, 1);
+        q.try_submit(1, 0).unwrap();
+        q.try_submit(2, 0).unwrap();
+        assert!(q.try_submit(3, 0).is_err(), "capacity 2 full");
+        assert!(q.try_submit(1, 1).is_err(), "client 1 at cap 1");
+        q.set_limits(AdmissionLimits { capacity: 4, per_client_cap: 2 });
+        q.try_submit(3, 0).unwrap();
+        q.try_submit(1, 1).unwrap();
+        assert_eq!(q.limits(), AdmissionLimits { capacity: 4, per_client_cap: 2 });
+        // Shrinking below the current depth evicts nothing; it only gates
+        // new submissions.
+        q.set_limits(AdmissionLimits { capacity: 1, per_client_cap: 1 });
+        assert_eq!(q.stats().pending, 4);
+        let (err, _) = q.try_submit(4, 0).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { capacity: 1 });
+        for _ in 0..4 {
+            let (client, _) = q.try_pop().unwrap();
+            q.finish(client);
+        }
+        // Zero limits clamp to 1 instead of deadlocking every submit.
+        q.set_limits(AdmissionLimits { capacity: 0, per_client_cap: 0 });
+        q.try_submit(9, 0).unwrap();
     }
 
     #[test]

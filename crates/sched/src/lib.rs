@@ -29,7 +29,7 @@ mod admission;
 mod pool;
 mod queue;
 
-pub use admission::{AdmissionError, AdmissionQueue, AdmissionStats};
+pub use admission::{AdmissionError, AdmissionLimits, AdmissionQueue, AdmissionStats};
 pub use pool::{PoolCell, PoolTask, WorkerPool};
 pub use queue::{bounded_queue, QueueStats, StreamReceiver, StreamSender};
 
@@ -40,6 +40,26 @@ use mg_obs::{Ctr, Gauge, Hist, Metrics};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The one definition of the in-flight chunk window default, shared by the
+/// streaming pipelines, the serving executor, and the adaptive controller:
+/// `requested` reads per chunk when nonzero, else one full dispatch worth
+/// of work (`threads × batch_size`). Always >= 1.
+///
+/// ```
+/// use mg_sched::effective_chunk_reads;
+/// assert_eq!(effective_chunk_reads(0, 4, 512), 2048); // default: threads × batch
+/// assert_eq!(effective_chunk_reads(100, 4, 512), 100); // explicit wins
+/// assert_eq!(effective_chunk_reads(0, 0, 0), 1); // degenerate inputs clamp
+/// ```
+#[inline]
+pub fn effective_chunk_reads(requested: usize, threads: usize, batch_size: usize) -> usize {
+    if requested == 0 {
+        threads.max(1).saturating_mul(batch_size.max(1)).max(1)
+    } else {
+        requested
+    }
+}
 
 /// Runs `n` independent tasks across worker threads.
 ///

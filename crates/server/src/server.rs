@@ -26,9 +26,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mg_core::types::Workflow;
-use mg_obs::{bucket_of, Ctr, Gauge, Hist, Metrics, HIST_BUCKETS};
+use mg_obs::{bucket_of, percentile, Ctr, Gauge, Hist, Metrics, Report, HIST_BUCKETS};
 use mg_parent::{chunk_to_gaf, Parent, ParentOptions, ShardedParent};
-use mg_sched::AdmissionQueue;
+use mg_sched::{effective_chunk_reads, AdmissionQueue};
+use mg_tuning::{Controller, ControllerConfig, ControllerStats, EpochStats, KnobState};
 use mg_workload::read_fastq;
 
 use crate::protocol::{Frame, FrameDecoder, JobSummary};
@@ -174,26 +175,20 @@ impl ServerCtl {
     }
 
     /// `q`-quantile (upper bucket edge) of completed-job latency, in
-    /// microseconds, from the always-on histogram.
+    /// microseconds, from the always-on histogram. Delegates to
+    /// [`mg_obs::percentile`] — one quantile definition for every log2
+    /// histogram in the tree.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        let total = self.latency_count.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (b, bucket) in self.latency_buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= rank {
-                return if b == 0 { 0 } else { (1u64 << b) - 1 };
-            }
-        }
-        u64::MAX
+        let buckets: [u64; HIST_BUCKETS] =
+            std::array::from_fn(|b| self.latency_buckets[b].load(Ordering::Relaxed));
+        percentile(&buckets, q)
     }
 
-    /// The `STATS` payload: a JSON snapshot of admission counters, job
-    /// outcomes, latency quantiles, and resident-state health.
-    pub fn stats_json(&self) -> String {
+    /// The base `STATS` payload: admission counters, job outcomes,
+    /// latency quantiles, and resident-state health. `extra` is spliced
+    /// in before the closing brace (the server adds cache and adaptive
+    /// sections there).
+    fn stats_json_with(&self, extra: &str) -> String {
         let a = self.queue.stats();
         format!(
             concat!(
@@ -203,7 +198,7 @@ impl ServerCtl {
                 "\"latency_us\":{{\"count\":{},\"p50\":{},\"p99\":{}}},",
                 "\"reads_mapped\":{},\"gaf_bytes\":{},",
                 "\"hot_tier\":{{\"rebuilds\":{}}},",
-                "\"proto_errors\":{},\"draining\":{},\"uptime_ms\":{}}}"
+                "\"proto_errors\":{},\"draining\":{},\"uptime_ms\":{}{}}}"
             ),
             a.accepted,
             self.jobs_completed(),
@@ -223,7 +218,14 @@ impl ServerCtl {
             self.proto_errors(),
             self.queue.is_draining(),
             self.started_at.elapsed().as_millis(),
+            extra,
         )
+    }
+
+    /// The `STATS` payload without server-level extras (cache hit rates,
+    /// adaptive knobs); [`MappingServer::stats_json`] is the full view.
+    pub fn stats_json(&self) -> String {
+        self.stats_json_with("")
     }
 }
 
@@ -234,6 +236,23 @@ fn send(writer: &Arc<Mutex<Box<dyn Write + Send>>>, frame: &Frame) {
     let _ = frame.write_to(&mut **w);
 }
 
+/// How many executor chunks make one controller epoch. Small enough that
+/// the controller reacts within a job, large enough that one epoch's
+/// throughput sample spans several pool dispatches.
+const EPOCH_CHUNKS: u64 = 8;
+
+/// Live adaptive-tuning state: the controller plus the open epoch it is
+/// accumulating (metrics snapshot at epoch start, wall clock, chunk and
+/// read counts). Guarded by one mutex — the executor touches it once per
+/// chunk, stats readers occasionally.
+struct AdaptiveState {
+    controller: Controller,
+    epoch_base: Report,
+    epoch_started: Instant,
+    chunks: u64,
+    reads: u64,
+}
+
 /// The long-lived multi-tenant mapping server.
 pub struct MappingServer<'a> {
     parent: &'a Parent<'a>,
@@ -241,6 +260,7 @@ pub struct MappingServer<'a> {
     config: ServerConfig,
     ctl: Arc<ServerCtl>,
     metrics: Metrics,
+    adaptive: Option<Mutex<AdaptiveState>>,
 }
 
 impl<'a> MappingServer<'a> {
@@ -248,7 +268,34 @@ impl<'a> MappingServer<'a> {
     /// distance index built, pool cold).
     pub fn new(parent: &'a Parent<'a>, config: ServerConfig) -> MappingServer<'a> {
         let ctl = Arc::new(ServerCtl::new(&config));
-        MappingServer { parent, sharded: None, config, ctl, metrics: Metrics::new() }
+        MappingServer { parent, sharded: None, config, ctl, metrics: Metrics::new(), adaptive: None }
+    }
+
+    /// Turns on closed-loop tuning: a [`Controller`] drives `batch_size`,
+    /// the chunk window, and the cache budgets from live metric deltas,
+    /// starting from this config's knobs. Knob changes land only at chunk
+    /// boundaries, so the streamed GAF stays byte-identical to a
+    /// fixed-knob run.
+    pub fn with_adaptive(mut self, controller_config: ControllerConfig) -> MappingServer<'a> {
+        let mapping = &self.config.options.mapping;
+        let initial = KnobState {
+            batch_size: mapping.batch_size.max(1),
+            chunk_reads: effective_chunk_reads(
+                self.config.chunk_reads,
+                mapping.threads,
+                mapping.batch_size,
+            ),
+            cache_capacity: mapping.cache_capacity.max(1),
+            hot_tier_budget: mapping.hot_tier_budget,
+        };
+        self.adaptive = Some(Mutex::new(AdaptiveState {
+            controller: Controller::new(controller_config, initial),
+            epoch_base: self.metrics.report(),
+            epoch_started: Instant::now(),
+            chunks: 0,
+            reads: 0,
+        }));
+        self
     }
 
     /// Routes every chunk through the sharded pipeline instead of the
@@ -272,18 +319,114 @@ impl<'a> MappingServer<'a> {
         &self.metrics
     }
 
+    /// The knobs in force for the next chunk: the controller's when
+    /// adaptive, the static config's otherwise.
+    fn knobs(&self) -> KnobState {
+        let mapping = &self.config.options.mapping;
+        match &self.adaptive {
+            Some(state) => {
+                state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).controller.knobs()
+            }
+            None => KnobState {
+                batch_size: mapping.batch_size,
+                chunk_reads: self.config.chunk_reads,
+                cache_capacity: mapping.cache_capacity,
+                hot_tier_budget: mapping.hot_tier_budget,
+            },
+        }
+    }
+
     /// Reads per executor chunk, honouring pair boundaries.
     fn chunk_reads(&self) -> usize {
         let mapping = &self.config.options.mapping;
-        let mut chunk = if self.config.chunk_reads == 0 {
-            mapping.threads.max(1) * mapping.batch_size.max(1)
-        } else {
-            self.config.chunk_reads
-        };
+        let k = self.knobs();
+        let mut chunk = effective_chunk_reads(k.chunk_reads, mapping.threads, k.batch_size);
         if self.parent.workflow() == Workflow::Paired {
             chunk = (chunk & !1).max(2);
         }
         chunk.max(1)
+    }
+
+    /// Closes the chunk for the controller: every [`EPOCH_CHUNKS`] chunks
+    /// it assembles an [`EpochStats`] from the metrics delta, the
+    /// admission epoch rollover, and the executor's own read count, and
+    /// lets the controller move the knobs. Runs on the executor thread
+    /// only, between chunks — never mid-chunk.
+    fn adaptive_tick(&self, chunk_reads_mapped: u64) {
+        let Some(state) = &self.adaptive else { return };
+        let mut st = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.chunks += 1;
+        st.reads += chunk_reads_mapped;
+        if st.chunks < EPOCH_CHUNKS {
+            return;
+        }
+        let report = self.metrics.report();
+        let delta = report.delta(&st.epoch_base);
+        let admission = self.ctl.queue.epoch_rollover();
+        let wall_ns = st.epoch_started.elapsed().as_nanos() as u64;
+        let mut epoch = EpochStats::from_delta(&delta, &admission, wall_ns);
+        // The executor counts mapped reads itself so throughput steering
+        // works even when mg-obs is compiled out.
+        epoch.reads = st.reads;
+        st.controller.observe_epoch(&epoch);
+        st.epoch_base = report;
+        st.epoch_started = Instant::now();
+        st.chunks = 0;
+        st.reads = 0;
+    }
+
+    /// The adaptive controller's current view: knobs in force, rolling
+    /// accept/revert counters, and whether it has converged. `None` when
+    /// the server runs fixed knobs.
+    pub fn adaptive_status(&self) -> Option<(KnobState, ControllerStats, bool)> {
+        let state = self.adaptive.as_ref()?;
+        let st = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Some((st.controller.knobs(), st.controller.stats(), st.controller.converged()))
+    }
+
+    /// The full `STATS` payload: the [`ServerCtl`] base plus cache hit
+    /// rates from the metrics registry and, when adaptive, the controller
+    /// state.
+    pub fn stats_json(&self) -> String {
+        let rep = self.metrics.report();
+        let hits = rep.counter(Ctr::CacheHits);
+        let misses = rep.counter(Ctr::CacheMisses);
+        let hot_hits = rep.counter(Ctr::CacheHotHits);
+        let hot_misses = rep.counter(Ctr::CacheHotMisses);
+        let rate = |h: u64, m: u64| if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 };
+        let mut extra = format!(
+            concat!(
+                ",\"cache\":{{\"private_hits\":{},\"private_misses\":{},",
+                "\"private_hit_rate\":{:.4},\"hot_hits\":{},\"hot_misses\":{},",
+                "\"hot_hit_rate\":{:.4},\"decodes_saved\":{}}}"
+            ),
+            hits,
+            misses,
+            rate(hits, misses),
+            hot_hits,
+            hot_misses,
+            rate(hot_hits, hot_misses),
+            rep.counter(Ctr::CacheDecodesSaved),
+        );
+        if let Some((knobs, stats, converged)) = self.adaptive_status() {
+            extra.push_str(&format!(
+                concat!(
+                    ",\"adaptive\":{{\"batch_size\":{},\"chunk_reads\":{},",
+                    "\"cache_capacity\":{},\"hot_tier_budget\":{},\"epochs\":{},",
+                    "\"accepted\":{},\"reverted\":{},\"skipped\":{},\"converged\":{}}}"
+                ),
+                knobs.batch_size,
+                knobs.chunk_reads,
+                knobs.cache_capacity,
+                knobs.hot_tier_budget,
+                stats.epochs,
+                stats.accepted,
+                stats.reverted,
+                stats.skipped,
+                converged,
+            ));
+        }
+        self.ctl.stats_json_with(&extra)
     }
 
     /// Serves connections from `conns` until a client (or
@@ -402,6 +545,15 @@ impl<'a> MappingServer<'a> {
         let hi = (lo + self.chunk_reads()).min(n);
         if lo < hi {
             let mut options = self.config.options.clone();
+            if self.adaptive.is_some() {
+                // Controller knobs apply from this chunk boundary. All
+                // three are result-invariant, so the job's GAF cannot
+                // observe the move.
+                let k = self.knobs();
+                options.mapping.batch_size = k.batch_size.max(1);
+                options.mapping.cache_capacity = k.cache_capacity.max(1);
+                options.mapping.hot_tier_budget = k.hot_tier_budget;
+            }
             if let Some((job, read)) = self.config.fault_job {
                 if job == aj.job.id {
                     options.fault_read = Some(read);
@@ -455,6 +607,7 @@ impl<'a> MappingServer<'a> {
                     aj.chunks += 1;
                     aj.gaf_bytes += gaf.len() as u64;
                     aj.next_read = hi;
+                    self.adaptive_tick((hi - lo) as u64);
                 }
                 Err(panic) => {
                     let what = panic_message(&*panic);
@@ -540,7 +693,7 @@ impl<'a> MappingServer<'a> {
         let ctl = &*self.ctl;
         match frame {
             Frame::Ping => send(writer, &Frame::Pong),
-            Frame::Stats => send(writer, &Frame::StatsReply { json: ctl.stats_json() }),
+            Frame::Stats => send(writer, &Frame::StatsReply { json: self.stats_json() }),
             Frame::Shutdown => ctl.request_shutdown(),
             Frame::Submit { name, fastq } => {
                 let job_id = ctl.next_job.fetch_add(1, Ordering::SeqCst) + 1;

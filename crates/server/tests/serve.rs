@@ -621,3 +621,95 @@ fn paired_workflow_matches_oracle() {
     });
     assert_eq!(server.ctl().jobs_completed(), 2);
 }
+
+/// Adaptive serve against the byte oracle: the controller probes batch,
+/// chunk window, and cache capacity across epochs while steady and bursty
+/// clients stream jobs — and every job's GAF must still be byte-identical
+/// to the fixed-knob sequential oracle, because knob moves land only at
+/// chunk boundaries and every tuned knob is result-invariant.
+#[test]
+fn adaptive_serve_matches_oracle_and_reports_state() {
+    let input = fixture(17);
+    let reads = raw_reads(&input);
+    let parent = Parent::new(&input.gbz, &input.minimizer_index, input.spec.workflow);
+    let options = options(SchedulerKind::Dynamic, 2);
+    let controller = mg_server::ControllerConfig {
+        // Tiny epochs so the short test actually probes: any mapped epoch
+        // counts, and the guard rails keep probes inside sane test sizes.
+        min_reads: 1,
+        bounds: mg_server::KnobBounds {
+            batch: (2, 64),
+            chunk: (2, 64),
+            cache: (32, 1024),
+            hot: (0, 1024),
+        },
+        ..mg_server::ControllerConfig::default()
+    };
+    let server = MappingServer::new(
+        &parent,
+        ServerConfig {
+            options: options.clone(),
+            chunk_reads: 4,
+            max_pending: 32,
+            max_active: 4,
+            per_client_cap: 4,
+            fault_job: None,
+            write_timeout: std::time::Duration::from_secs(30),
+        },
+    )
+    .with_adaptive(controller);
+    let slice = |c: usize, j: usize| {
+        let lo = (c * 7 + j * 13) % 20;
+        lo..lo + 10
+    };
+    let (tx, rx) = channel::<Conn>();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(rx));
+        let _guard = ShutdownGuard(server.ctl());
+        let plans: Vec<ClientPlan> = (0..6)
+            .map(|c| ClientPlan {
+                label: format!("a{c}"),
+                jobs: (0..3).map(|j| fastq_of(&reads[slice(c, j)])).collect(),
+                profile: if c % 2 == 0 { Profile::Steady } else { Profile::Bursty },
+                seed: 0xada7 ^ c as u64,
+            })
+            .collect();
+        let reports = drive_clients(&tx, &plans);
+        for (c, report) in reports.into_iter().enumerate() {
+            let report = report.expect("client ran");
+            assert_eq!(report.outcomes.len(), 3);
+            for (j, (name, outcome)) in report.outcomes.iter().enumerate() {
+                let (gaf, _summary) = expect_done(outcome);
+                let expect = oracle_gaf(&input, &reads[slice(c, j)], &options, name);
+                assert_eq!(
+                    std::str::from_utf8(gaf).unwrap(),
+                    expect,
+                    "adaptive client {c} job {j} GAF diverged from the oracle"
+                );
+            }
+        }
+        // STATS over the wire carries the cache and adaptive sections.
+        let (conn, side) = Conn::pair();
+        tx.send(conn).unwrap();
+        let mut admin = BlockingClient::new(side);
+        let stats = admin.stats().expect("STATS");
+        assert!(stats.contains("\"cache\":{\"private_hits\":"), "no cache section: {stats}");
+        assert!(stats.contains("\"adaptive\":{\"batch_size\":"), "no adaptive section: {stats}");
+        admin.shutdown().unwrap();
+    });
+    assert_eq!(server.ctl().jobs_completed(), 18);
+    assert_eq!(server.ctl().jobs_failed(), 0);
+    let (knobs, stats, _converged) = server.adaptive_status().expect("adaptive server");
+    assert!(stats.epochs > 0, "no epochs closed across 18 jobs");
+    // Probes stay inside the guard rails...
+    assert!(knobs.batch_size >= 2 && knobs.batch_size <= 64, "batch escaped bounds: {knobs}");
+    assert!(knobs.cache_capacity >= 32 && knobs.cache_capacity <= 1024);
+    // ...and the hot axis never moves by default, preserving the
+    // residency contract even under adaptation.
+    assert_eq!(knobs.hot_tier_budget, options.mapping.hot_tier_budget);
+    assert_eq!(server.ctl().hot_rebuilds(), 1, "adaptive serve must keep the hot tier resident");
+    // The final drain stats JSON carries the same extended sections.
+    let stats_json = server.stats_json();
+    assert!(stats_json.contains("\"adaptive\":{"), "{stats_json}");
+    assert!(stats_json.contains("\"hot_hit_rate\":"), "{stats_json}");
+}

@@ -254,4 +254,39 @@ if rep["one_shard_speedup"] <= k:
 print("shard gate: OK")
 EOF
 
+echo "== adapt smoke (closed-loop controller from defaults vs offline-sweep optimum) =="
+run_gated_bench smoke_adapt BENCH_ADAPT.json
+
+# Adaptation must be an execution strategy, never a result change: the
+# bench byte-compares the adaptive GAF against a fixed-default-knob run on
+# all four golden workloads before timing anything. The controller
+# starting from stock defaults targets within 10% of the offline batch x
+# cache sweep optimum; the gated B-yeast ratio is the median across fresh
+# child processes (same layout-bias hardening as smoke_shard). The other
+# workloads' single-process ratios are gated looser (0.80) — their scaled
+# read sets are small enough for CI jitter to swing a lone sample — with
+# the printed numbers as the real signal.
+python3 - "$out/BENCH_ADAPT.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+if not rep["oracle_match"]:
+    sys.exit("FAIL: adaptive GAF diverged from the fixed-knob oracle")
+print(f"oracle: GAF byte-identical on {len(rep['workloads'])} workloads")
+ratio = rep["convergence_ratio"]
+print(f"adaptive/optimum throughput: {ratio:.3f} on B-yeast "
+      f"(median across {rep['timing_processes']} processes, target 0.90)")
+if ratio < 0.90:
+    sys.exit(f"FAIL: converged knobs reach only {ratio:.3f}x of the sweep optimum (< 0.90)")
+for w in rep["workloads"]:
+    print(f"  {w['name']:<8}: {w['epochs']} epochs, knobs bs{w['batch_size']}/cc{w['cache_capacity']} "
+          f"(sweep best bs{w['sweep_best_batch_size']}/cc{w['sweep_best_cache_capacity']}), "
+          f"ratio {w['ratio']:.3f}, converged {w['converged']}")
+    if not w["oracle_match"]:
+        sys.exit(f"FAIL: {w['name']} adaptive GAF diverged from the oracle")
+    if w["ratio"] < 0.80:
+        sys.exit(f"FAIL: {w['name']} converged knobs reach only {w['ratio']:.3f}x "
+                 "of the sweep optimum (< 0.80)")
+print("adapt gate: OK")
+EOF
+
 echo "verify: all gates passed"

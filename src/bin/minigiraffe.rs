@@ -79,17 +79,21 @@ USAGE:
   minigiraffe map <seeds.bin> <pangenome.mgz | --mgi <index.mgi>>
                   [--threads N] [--batch N] [--capacity N]
                   [--scheduler static|dynamic|ws|vg]
-                  [--shards <dir>]
+                  [--shards <dir>] [--adaptive true]
                   [--instrument <timeline.csv>] [--out <results.csv>]
       Run the proxy kernels; prints a summary and optionally writes
       per-extension results and a region timeline. With --shards,
       reads whose seeds stay inside one shard core run that shard's
-      kernel only (identical output, shard-local working set).
+      kernel only (identical output, shard-local working set). With
+      --adaptive, a feedback controller drives batch/chunk/cache
+      knobs from per-epoch deltas while mapping (identical output;
+      prints the knob trajectory for A/B against a fixed run).
 
   minigiraffe parent <reads.fastq> <pangenome.mgz | --mgi <index.mgi>>
                      [--threads N] [--batch N] [--capacity N]
                      [--gaf <out.gaf>] [--dump <seeds.bin>]
                      [--stream <reads-per-batch>] [--shards <dir>]
+                     [--adaptive true]
       Run the full Giraffe-like parent pipeline on raw reads: seeding,
       kernels, post-processing. Optionally writes GAF alignments and
       the seed dump the proxy consumes. With --stream, reads are
@@ -103,7 +107,7 @@ USAGE:
                     [--threads N] [--batch N] [--capacity N]
                     [--scheduler static|dynamic|ws|vg]
                     [--max-pending N] [--max-active N] [--client-cap N]
-                    [--chunk-reads N] [--paired true]
+                    [--chunk-reads N] [--paired true] [--adaptive true]
                     [--write-timeout-ms N] [--shards <dir>]
       Run the long-lived mapping server: loads the pangenome and builds
       the minimizer index once (or mmaps everything from --mgi), then
@@ -112,7 +116,10 @@ USAGE:
       control bounds the pending queue and per-client in-flight jobs;
       SHUTDOWN drains gracefully. A client that stops reading its GAF
       stream is disconnected after --write-timeout-ms (default 30000;
-      0 disables). See README \"server mode\" for the frame protocol.
+      0 disables). With --adaptive, a closed-loop controller tunes
+      batch size, chunk window, and cache capacity from live metric
+      epochs while serving (GAF stays byte-identical; STATS reports
+      the knobs). See README \"server mode\" for the frame protocol.
 
   minigiraffe validate <seeds.bin> <pangenome.mgz> <expected.csv>
       Map the dump and compare against an expected-output CSV
@@ -385,8 +392,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(sharded) = &sharded {
         server = server.with_sharded(sharded);
     }
+    if flag(&flags, "adaptive", false)? {
+        eprintln!("adaptive tuning on: batch, chunk window, and cache capacity follow live metrics");
+        server = server.with_adaptive(minigiraffe::server::ControllerConfig::default());
+    }
     server.serve_tcp(listener).map_err(|e| format!("serving: {e}"))?;
-    println!("{}", server.ctl().stats_json());
+    println!("{}", server.stats_json());
     Ok(())
 }
 
@@ -465,6 +476,44 @@ fn cmd_parent(args: &[String]) -> Result<(), String> {
 
     let reads = minigiraffe::workload::fastq::load_read_bases(reads_path)
         .map_err(|e| format!("loading {reads_path}: {e}"))?;
+
+    if flag(&flags, "adaptive", false)? {
+        use minigiraffe::obs::Metrics;
+        use minigiraffe::tuning::{run_adaptive_parent, ControllerConfig};
+        if sharded.is_some() {
+            return Err("--adaptive requires the monolithic path (drop --shards)".into());
+        }
+        eprintln!("mapping {} reads with adaptive knobs...", reads.len());
+        let metrics = Metrics::new();
+        let run = run_adaptive_parent(
+            &parent,
+            "read",
+            &reads,
+            &options,
+            ControllerConfig::default(),
+            8,
+            &metrics,
+        );
+        println!(
+            "mapped {} reads in {:.3}s ({} chunks, {} epochs: {} accepted / {} reverted moves; final knobs {})",
+            run.reads,
+            run.wall.as_secs_f64(),
+            run.chunks,
+            run.report.stats.epochs,
+            run.report.stats.accepted,
+            run.report.stats.reverted,
+            run.report.knobs,
+        );
+        if let Some(gaf) = flags.get("gaf") {
+            std::fs::write(gaf, &run.gaf).map_err(|e| format!("writing {gaf}: {e}"))?;
+            println!("wrote alignments to {gaf}");
+        }
+        if flags.contains_key("dump") {
+            return Err("--dump requires the fixed-knob batch path (drop --adaptive)".into());
+        }
+        return Ok(());
+    }
+
     eprintln!("mapping {} reads...", reads.len());
     let run = match &sharded {
         Some(sp) => sp.run(&reads, &options),
@@ -616,6 +665,37 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let mapper = Mapper::with_distance(bundle.gbz(), bundle.distance().clone());
+    if flag(&flags, "adaptive", false)? {
+        use minigiraffe::tuning::{run_adaptive_map, ControllerConfig};
+        if flags.contains_key("instrument") {
+            return Err("--instrument requires the fixed-knob path (drop --adaptive)".into());
+        }
+        let run = run_adaptive_map(
+            &mapper,
+            &dump,
+            &options,
+            ControllerConfig::default(),
+            8,
+            minigiraffe::obs::Metrics::off_ref(),
+        );
+        println!(
+            "mapped {:.2}% of reads; {} extensions; makespan {:.3}s ({} chunks, {} epochs: {} accepted / {} reverted; final knobs {})",
+            run.results.mapped_fraction() * 100.0,
+            run.results.total_extensions(),
+            run.results.wall.as_secs_f64(),
+            run.chunks,
+            run.report.stats.epochs,
+            run.report.stats.accepted,
+            run.report.stats.reverted,
+            run.report.knobs,
+        );
+        if let Some(out) = flags.get("out") {
+            std::fs::write(out, results_csv(&run.results))
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote extensions to {out}");
+        }
+        return Ok(());
+    }
     let results = if let Some(timeline) = flags.get("instrument") {
         let profiler = Profiler::new();
         let results = mapper.run_with_sink(&dump, &options, &profiler);
